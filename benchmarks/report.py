@@ -1,0 +1,46 @@
+"""Regenerate every experiment table in one go.
+
+Runs the ``report()`` of each experiment module E1–E14 in order,
+printing the rows recorded in EXPERIMENTS.md::
+
+    python benchmarks/report.py            # all experiments
+    python benchmarks/report.py e4 e13     # a selection
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+EXPERIMENTS = [
+    ("e1", "test_e1_example41_trace"),
+    ("e2", "test_e2_safety_bound"),
+    ("e3", "test_e3_data_expressiveness"),
+    ("e4", "test_e4_query_expressiveness"),
+    ("e5", "test_e5_algebra_ptime"),
+    ("e6", "test_e6_closed_form_vs_ground"),
+    ("e7", "test_e7_giveup_policy"),
+    ("e8", "test_e8_ablations"),
+    ("e9", "test_e9_ci_period_bounds"),
+    ("e10", "test_e10_fo_negation"),
+    ("e11", "test_e11_stratified_negation"),
+    ("e12", "test_e12_projection_ablation"),
+    ("e13", "test_e13_ltl_fo_equivalence"),
+    ("e14", "test_e14_engine_scaling"),
+]
+
+
+def main(argv=None):
+    """Run the selected (default: all) experiment reports."""
+    wanted = {name.lower() for name in (argv or [])[0:]} or None
+    for key, module_name in EXPERIMENTS:
+        if wanted is not None and key not in wanted:
+            continue
+        module = importlib.import_module(module_name)
+        module.report()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

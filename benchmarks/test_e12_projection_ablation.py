@@ -1,0 +1,112 @@
+"""E12 — ablation: projection fast paths vs forced alignment.
+
+DESIGN.md calls out the aligned-disjunct form as the exactness
+workhorse and the fast paths (period-1 columns, equality-linked
+columns, unconstrained columns) as what keeps the common join/shift
+patterns in the paper's compact form.  This experiment measures what
+the fast paths are worth: the same projections computed with the fast
+paths enabled vs forced through alignment, plus the effect on the
+engine's closed-form sizes.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintSystem
+from repro.gdb import GeneralizedRelation, GeneralizedTuple
+from repro.lrp import Lrp
+
+from workloads import schedule_database
+
+
+def equality_linked_relation(n):
+    """Tuples where the dropped column is equality-linked — the fast
+    path the engine hits on every clause of Example 4.1."""
+    tuples = []
+    for k in range(n):
+        tuples.append(
+            GeneralizedTuple(
+                (Lrp(168, (8 + 24 * k) % 168), Lrp(168, (10 + 24 * k) % 168)),
+                (),
+                ConstraintSystem.parse("T2 = T1 + 2", 2),
+            )
+        )
+    return GeneralizedRelation(2, 0, tuples)
+
+
+def window_linked_relation(n):
+    """Tuples where the dropped column is window-linked (no equality)
+    — both paths must align."""
+    tuples = []
+    for k in range(n):
+        tuples.append(
+            GeneralizedTuple(
+                (Lrp(6, k % 6), Lrp(8, (k + 3) % 8)),
+                (),
+                ConstraintSystem.parse("T1 <= T2 & T2 <= T1 + 4", 2),
+            )
+        )
+    return GeneralizedRelation(2, 0, tuples)
+
+
+@pytest.mark.parametrize("force", (False, True), ids=("fast-path", "aligned"))
+def test_e12_equality_linked(benchmark, force):
+    relation = equality_linked_relation(24)
+    result = benchmark(lambda: relation.project([0], [], force_aligned=force))
+    assert result.temporal_arity == 1
+
+
+@pytest.mark.parametrize("force", (False, True), ids=("fast-path", "aligned"))
+def test_e12_window_linked(benchmark, force):
+    relation = window_linked_relation(12)
+    result = benchmark(lambda: relation.project([0], [], force_aligned=force))
+    assert result.temporal_arity == 1
+
+
+def test_e12_results_agree(benchmark):
+    def check():
+        for maker in (equality_linked_relation, window_linked_relation):
+            relation = maker(10)
+            fast = relation.project([0], [])
+            forced = relation.project([0], [], force_aligned=True)
+            assert fast.extension(-50, 260) == forced.extension(-50, 260)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e12_fast_path_keeps_representation_small(benchmark):
+    relation = equality_linked_relation(24)
+
+    def sizes():
+        fast = relation.project([0], [])
+        forced = relation.project([0], [], force_aligned=True)
+        return len(fast), len(forced)
+
+    fast_size, forced_size = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    assert fast_size <= forced_size
+
+
+def report():
+    import time
+
+    print("E12 — projection ablation (fast paths vs forced alignment)")
+    print("%-18s %10s %12s %10s %12s" % ("workload", "fast (ms)", "tuples", "forced", "tuples"))
+    for name, maker, n in (
+        ("equality-linked", equality_linked_relation, 24),
+        ("window-linked", window_linked_relation, 12),
+    ):
+        relation = maker(n)
+        start = time.perf_counter()
+        fast = relation.project([0], [])
+        fast_ms = (time.perf_counter() - start) * 1000
+        start = time.perf_counter()
+        forced = relation.project([0], [], force_aligned=True)
+        forced_ms = (time.perf_counter() - start) * 1000
+        print(
+            "%-18s %10.2f %12d %10.2f %12d"
+            % (name, fast_ms, len(fast), forced_ms, len(forced))
+        )
+
+
+if __name__ == "__main__":
+    report()

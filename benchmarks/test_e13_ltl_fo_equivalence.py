@@ -1,0 +1,125 @@
+"""E13 — Section 3.2: the FO query language is temporal logic.
+
+The paper cites [GPSS80]: the query expressiveness of the [KSW90]
+first-order language (restricted to one temporal argument over ℕ)
+"is also the expressiveness of temporal logic with the operators
+○, □, ◇ and U (until)".  This experiment runs paired queries — one
+written in LTL and evaluated on the database's characteristic lasso
+word, one written in first-order logic and evaluated by the algebra —
+over a population of random temporal databases, and asserts that
+every pair agrees.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog1s.translate import eps_to_relation
+from repro.fo import evaluate_query
+from repro.gdb.database import GeneralizedDatabase
+from repro.omega.ltl import And, Atom, F, G, Next, Not, Until, query_eps
+
+from workloads import random_eps
+
+P = Atom("p")
+
+# Each pair: (name, LTL formula at time 0, FO sentence over relation p).
+PAIRS = [
+    ("now", P, "exists t (p(t) and t = 0)"),
+    ("next3", Next(Next(Next(P))), "exists t (p(t) and t = 3)"),
+    ("eventually", F(P), "exists t (p(t) and t >= 0)"),
+    (
+        "always",
+        G(P),
+        "not exists t (t >= 0 and not exists u (p(u) and u = t))",
+    ),
+    (
+        "adjacent",
+        F(And(P, Next(P))),
+        "exists t (p(t) and p(t + 1) and t >= 0)",
+    ),
+    (
+        "until",
+        Until(P, Not(P)),
+        # p U ¬p at 0: some t >= 0 with ¬p(t) and p everywhere before.
+        "exists t (t >= 0 and not p(t) and "
+        "not exists u (u >= 0 and u < t and not p(u)))",
+    ),
+    (
+        "infinitely-often is NOT FO",  # sanity anchor: see assertion below
+        G(F(P)),
+        None,
+    ),
+]
+
+
+def database_of(eps):
+    db = GeneralizedDatabase()
+    db.declare("p", 1, 0)
+    db.set_relation("p", eps_to_relation(eps))
+    return db
+
+
+def check_population(count, seed):
+    rng = random.Random(seed)
+    agreements = 0
+    for _ in range(count):
+        eps = random_eps(rng)
+        db = database_of(eps)
+        for (name, formula, fo_text) in PAIRS:
+            ltl_answer = query_eps(formula, eps)
+            if fo_text is None:
+                continue
+            fo_answer = evaluate_query(db, fo_text).is_true()
+            assert ltl_answer == fo_answer, (name, str(eps))
+            agreements += 1
+    return agreements
+
+
+def test_e13_pairs_agree(benchmark):
+    agreements = benchmark.pedantic(
+        lambda: check_population(15, seed=13), rounds=1, iterations=1
+    )
+    assert agreements == 15 * (len(PAIRS) - 1)
+
+
+@pytest.mark.parametrize("name", [n for (n, _, fo) in PAIRS if fo])
+def test_e13_individual_queries(benchmark, name):
+    rng = random.Random(131)
+    cases = [random_eps(rng) for _ in range(6)]
+    formula = next(f for (n, f, _) in PAIRS if n == name)
+    fo_text = next(fo for (n, _, fo) in PAIRS if n == name)
+
+    def run():
+        results = []
+        for eps in cases:
+            db = database_of(eps)
+            results.append(
+                (query_eps(formula, eps), evaluate_query(db, fo_text).is_true())
+            )
+        return results
+
+    results = benchmark(run)
+    for ltl_answer, fo_answer in results:
+        assert ltl_answer == fo_answer
+
+
+def report():
+    rng = random.Random(13)
+    print("E13 — LTL vs FO query agreement (Section 3.2 / [GPSS80])")
+    print("%-14s %8s %8s" % ("query", "LTL", "FO"))
+    eps = random_eps(rng)
+    db = database_of(eps)
+    print("database:", eps)
+    for (name, formula, fo_text) in PAIRS:
+        ltl_answer = query_eps(formula, eps)
+        fo_answer = (
+            evaluate_query(db, fo_text).is_true() if fo_text else "(n/a)"
+        )
+        print("%-14s %8s %8s" % (name.split()[0], ltl_answer, fo_answer))
+    total = check_population(15, seed=13)
+    print("population check: %d paired answers, all equal" % total)
+
+
+if __name__ == "__main__":
+    report()

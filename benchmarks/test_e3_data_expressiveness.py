@@ -1,0 +1,101 @@
+"""E3 — Section 3.1: the three formalisms have the same data
+expressiveness (eventually periodic sets).
+
+Random eventually periodic sets are carried around the full circle
+
+    periodic set → Datalog1S program → minimal model
+                 → lrp relation → Datalog1S again → Templog → back
+
+and must come back **equal** (the canonical representation makes the
+comparison bit-for-bit).  The benchmark times the complete round trip
+for a batch of random sets.
+"""
+
+import random
+
+from repro.datalog1s import (
+    datalog1s_model_to_relation,
+    minimal_model,
+    relation_to_datalog1s,
+)
+from repro.datalog1s.ast import Datalog1SProgram
+from repro.datalog1s.translate import (
+    eventually_periodic_to_clauses,
+    relation_extension_as_eps,
+)
+from repro.core.ast import Program
+from repro.templog.ast import TemplogAtom, TemplogClause, TemplogProgram
+from repro.templog.translate import templog_minimal_model
+
+from workloads import random_eps
+
+
+def eps_to_templog(eps, predicate="p"):
+    """Templog clauses with minimal model `eps` for `predicate`
+    (mirror of the Datalog1S construction: auxiliaries per residue)."""
+    clauses = []
+    for point in sorted(eps.prefix):
+        clauses.append(TemplogClause(TemplogAtom(predicate, (), point)))
+    for index, residue in enumerate(sorted(eps.residues)):
+        aux = "cls%d" % index
+        first = eps.threshold + (residue - eps.threshold) % eps.period
+        clauses.append(TemplogClause(TemplogAtom(aux, (), first)))
+        clauses.append(
+            TemplogClause(
+                TemplogAtom(aux, (), eps.period),
+                (TemplogAtom(aux, (), 0),),
+                boxed=True,
+            )
+        )
+        clauses.append(
+            TemplogClause(
+                TemplogAtom(predicate, (), 0),
+                (TemplogAtom(aux, (), 0),),
+                boxed=True,
+            )
+        )
+    return TemplogProgram(tuple(clauses))
+
+
+def full_round_trip(eps):
+    # periodic set -> Datalog1S -> model
+    clauses = eventually_periodic_to_clauses("p", eps)
+    if clauses:
+        model = minimal_model(Datalog1SProgram(Program(tuple(clauses))))
+        assert model.set_of("p") == eps
+        # model -> lrp relation -> Datalog1S -> model
+        relation = datalog1s_model_to_relation(model, "p")
+        assert relation_extension_as_eps(relation) == eps
+        again = relation_to_datalog1s(relation, "p")
+        assert minimal_model(again).set_of("p") == eps
+    # periodic set -> Templog -> model
+    templog_model = templog_minimal_model(eps_to_templog(eps))
+    assert templog_model.set_of("p") == eps
+    return True
+
+
+def test_e3_round_trips(benchmark):
+    rng = random.Random(3)
+    batch = [random_eps(rng) for _ in range(12)]
+
+    def run():
+        for eps in batch:
+            full_round_trip(eps)
+        return len(batch)
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == 12
+
+
+def report():
+    rng = random.Random(3)
+    print("E3 — data-expressiveness round trips (Section 3.1)")
+    for index in range(12):
+        eps = random_eps(rng)
+        full_round_trip(eps)
+        print("  ok: %s" % eps)
+    print("  all 12 random sets identical through lrp / Datalog1S / Templog")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,105 @@
+"""E4 — Section 3.2: the query-expressiveness hierarchy, decided.
+
+Regenerates the paper's placement of the three formalisms as a table
+of witness languages and machine-checked class memberships:
+
+* "p at some even time"   — regular, **not star-free** ⇒ beyond the
+  FO language of [KSW90]; expressible in Datalog1S / Templog;
+* ``Σ*·101`` pattern      — star-free ⇒ FO-expressible;
+* "eventually p"          — open ⇒ finitely regular ⇒ a deductive
+  yes/no query;
+* "infinitely often p"    — ω-regular but **not open** ⇒ needs
+  stratified negation (the full ω-regular class).
+
+The benchmarks time the two decision procedures (aperiodicity of the
+syntactic monoid; openness of a deterministic Büchi automaton).
+"""
+
+from repro.datalog1s import minimal_model, parse_datalog1s
+from repro.omega import (
+    buchi_eventually,
+    buchi_infinitely_often,
+    is_deterministic_buchi_open,
+    is_star_free,
+)
+from repro.omega.expressiveness import (
+    dfa_one_at_even_position,
+    dfa_position_multiple,
+    dfa_suffix_language,
+)
+
+
+def hierarchy_rows():
+    return [
+        (
+            "p at some even time",
+            is_star_free(dfa_one_at_even_position()),
+            True,  # Datalog1S-expressible, see the witness program below
+        ),
+        (
+            "pattern 101 just seen (Sigma*.101)",
+            is_star_free(dfa_suffix_language(("1", "0", "1"))),
+            True,
+        ),
+        (
+            "length multiple of 3",
+            is_star_free(dfa_position_multiple(3)),
+            True,
+        ),
+    ]
+
+
+def omega_rows():
+    return [
+        ("eventually p", is_deterministic_buchi_open(buchi_eventually())),
+        (
+            "infinitely often p",
+            is_deterministic_buchi_open(buchi_infinitely_often()),
+        ),
+    ]
+
+
+def datalog_even_witness():
+    """The deductive side of the separation: a Datalog1S program whose
+    model is exactly the even time points."""
+    program = parse_datalog1s("even(0). even(t + 2) <- even(t).")
+    model = minimal_model(program)
+    return model.set_of("even")
+
+
+def test_e4_star_freeness_decisions(benchmark):
+    rows = benchmark(hierarchy_rows)
+    star_free = {name: flag for (name, flag, _) in rows}
+    assert star_free["p at some even time"] is False
+    assert star_free["pattern 101 just seen (Sigma*.101)"] is True
+    assert star_free["length multiple of 3"] is False
+
+
+def test_e4_openness_decisions(benchmark):
+    rows = benchmark(omega_rows)
+    openness = dict(rows)
+    assert openness["eventually p"] is True
+    assert openness["infinitely often p"] is False
+
+
+def test_e4_deductive_witness(benchmark):
+    evens = benchmark(datalog_even_witness)
+    assert evens.period == 2 and 0 in evens and 1 not in evens
+
+
+def report():
+    print("E4 — query expressiveness hierarchy (Section 3.2)")
+    print("%-38s %-22s %s" % ("finite-word witness", "star-free (FO)?", "deductive?"))
+    for (name, star_free, deductive) in hierarchy_rows():
+        print("%-38s %-22s %s" % (name, star_free, deductive))
+    print()
+    print("%-38s %s" % ("omega-language witness", "finitely regular (open)?"))
+    for (name, open_flag) in omega_rows():
+        print("%-38s %s" % (name, open_flag))
+    print()
+    evens = datalog_even_witness()
+    print("Deductive witness for the even-time query:", evens)
+
+
+if __name__ == "__main__":
+    report()

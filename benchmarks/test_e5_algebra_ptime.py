@@ -1,0 +1,92 @@
+"""E5 — the PTIME algebra claim quoted in Section 4.3.
+
+"the intersection, the join, and the projection operations on
+generalized relations can be computed in PTIME (see [KSW90])".
+The benchmark sweeps the relation size n and times intersection,
+product+selection (join), projection, and union on timetable-style
+relations; the report fits the growth rate, which should be clearly
+polynomial (≈ quadratic in n for the pairwise operations).
+"""
+
+import time
+
+import pytest
+
+from repro.constraints.atoms import Comparison, TemporalTerm
+
+from workloads import schedule_database
+
+SIZES = (8, 16, 32, 64)
+
+
+def make_pair(n):
+    return schedule_database(n, seed=1), schedule_database(n, seed=2)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e5_intersection(benchmark, n):
+    left, right = make_pair(n)
+    result = benchmark(lambda: left.intersect(right))
+    assert result.temporal_arity == 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e5_join(benchmark, n):
+    left, right = make_pair(n)
+    # Join on the shared arrival/departure column: r1.T2 = r2.T1.
+    atom = Comparison("=", TemporalTerm(1), TemporalTerm(2))
+
+    def join():
+        return left.product(right).select([atom]).project([0, 3], [])
+
+    result = benchmark(join)
+    assert result.temporal_arity == 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e5_projection(benchmark, n):
+    relation = schedule_database(n, seed=3)
+    result = benchmark(lambda: relation.project([0], []))
+    assert result.temporal_arity == 1
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_e5_union_and_normalize(benchmark, n):
+    left, right = make_pair(n)
+    result = benchmark(lambda: left.union(right).normalize())
+    assert len(result) <= 2 * n
+
+
+def report():
+    print("E5 — algebra scaling (PTIME claim of [KSW90], Section 4.3)")
+    print(
+        "%6s %14s %14s %14s" % ("n", "intersect (ms)", "join (ms)", "project (ms)")
+    )
+    atom = Comparison("=", TemporalTerm(1), TemporalTerm(2))
+    rows = []
+    for n in SIZES:
+        left, right = make_pair(n)
+
+        def timed(fn):
+            start = time.perf_counter()
+            fn()
+            return (time.perf_counter() - start) * 1000
+
+        t_meet = timed(lambda: left.intersect(right))
+        t_join = timed(
+            lambda: left.product(right).select([atom]).project([0, 3], [])
+        )
+        t_proj = timed(lambda: left.project([0], []))
+        rows.append((n, t_meet, t_join, t_proj))
+        print("%6d %14.2f %14.2f %14.2f" % (n, t_meet, t_join, t_proj))
+    # Growth-rate sanity: doubling n must not blow up super-polynomially
+    # (factor clearly below cubic between consecutive doublings).
+    for (n1, a1, b1, c1), (n2, a2, b2, c2) in zip(rows, rows[1:]):
+        for before, after in ((a1, a2), (b1, b2), (c1, c2)):
+            if before > 1e-3:
+                assert after / before < 16, "super-polynomial growth?"
+    print("  growth between doublings stays polynomial (< n^3 factor)")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,98 @@
+"""E8 — ablations on the evaluation strategy (Section 4.3).
+
+Two design choices of the engine are swept on the Example 4.1 and
+shift-cycle workloads:
+
+* **naive vs semi-naive** T_GP rounds — same model, fewer derived
+  tuples per round for semi-naive;
+* **paper vs semantic** coverage — the paper's constraint-safety test
+  matches only tuples with the same free extension; the semantic test
+  is full containment.  Both stop at the same model here; the paper's
+  test is cheaper per check but may accept more tuples.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import DeductiveEngine
+
+from workloads import example_41, shift_cycle_workload
+
+CONFIGS = list(itertools.product(("naive", "semi-naive"), ("paper", "semantic")))
+
+
+def run(strategy, safety, workload):
+    program, edb = workload
+    return DeductiveEngine(program, edb, strategy=strategy, safety=safety).run()
+
+
+@pytest.mark.parametrize("strategy,safety", CONFIGS)
+def test_e8_example41_configs(benchmark, strategy, safety):
+    model = benchmark(lambda: run(strategy, safety, example_41()))
+    assert model.stats.constraint_safe
+    offsets = sorted(gt.lrps[0].offset for gt in model.relation("problems"))
+    assert offsets == [10, 34, 58, 82, 106, 130, 154]
+
+
+@pytest.mark.parametrize("strategy,safety", CONFIGS)
+def test_e8_shift_cycle_configs(benchmark, strategy, safety):
+    model = benchmark(
+        lambda: run(strategy, safety, shift_cycle_workload(48, 18))
+    )
+    assert model.stats.constraint_safe
+
+
+def test_e8_all_configs_agree(benchmark):
+    def compare():
+        models = [run(s, c, example_41()) for (s, c) in CONFIGS]
+        baseline = models[0].relation("problems")
+        return all(
+            model.relation("problems").equivalent(baseline)
+            for model in models[1:]
+        )
+
+    assert benchmark.pedantic(compare, rounds=1, iterations=1)
+
+
+def test_e8_seminaive_derives_less(benchmark):
+    def derive_counts():
+        naive = run("naive", "paper", shift_cycle_workload(48, 6))
+        seminaive = run("semi-naive", "paper", shift_cycle_workload(48, 6))
+        return (
+            sum(naive.stats.derived_tuples_per_round),
+            sum(seminaive.stats.derived_tuples_per_round),
+        )
+
+    naive_total, seminaive_total = benchmark.pedantic(
+        derive_counts, rounds=1, iterations=1
+    )
+    assert seminaive_total < naive_total
+
+
+def report():
+    print("E8 — strategy / safety ablations")
+    print(
+        "%-12s %-10s %-24s %8s %14s"
+        % ("strategy", "safety", "workload", "rounds", "derived total")
+    )
+    for (strategy, safety) in CONFIGS:
+        for name, workload in (
+            ("example 4.1", example_41()),
+            ("cycle 48/18", shift_cycle_workload(48, 18)),
+        ):
+            model = run(strategy, safety, workload)
+            print(
+                "%-12s %-10s %-24s %8d %14d"
+                % (
+                    strategy,
+                    safety,
+                    name,
+                    model.stats.rounds,
+                    sum(model.stats.derived_tuples_per_round),
+                )
+            )
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,87 @@
+"""E9 — Section 3.1: measured periods and offsets of Datalog1S
+minimal models vs the structural bounds.
+
+The [CI88] result the paper cites says minimal models are eventually
+periodic, with bounds on the period and the offset.  For random
+forward programs made of seeded chains joined by a conjunction, the
+canonical model period must divide the lcm of the chain increments,
+and the threshold must stay below the product-style bound used by the
+frontier automaton.  The benchmark times closed-form model
+construction.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.datalog1s import minimal_model, parse_datalog1s
+
+from workloads import random_datalog1s_text
+
+
+def lcm_all(values):
+    out = 1
+    for v in values:
+        out = out * v // math.gcd(out, v)
+    return out
+
+
+def build_cases(count, chains, seed):
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(count):
+        text, steps = random_datalog1s_text(rng, chains=chains)
+        cases.append((parse_datalog1s(text), steps))
+    return cases
+
+
+@pytest.mark.parametrize("chains", (2, 3))
+def test_e9_period_divides_lcm(benchmark, chains):
+    cases = build_cases(10, chains, seed=9 + chains)
+
+    def sweep():
+        rows = []
+        for program, steps in cases:
+            model = minimal_model(program)
+            for key in model.keys():
+                eps = model.set_of(*key)
+                rows.append((steps, eps.period, eps.threshold))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for steps, period, threshold in rows:
+        bound = lcm_all(steps)
+        assert bound % period == 0, (steps, period)
+        # Frontier bound: threshold < start offsets + one full cycle of
+        # window states; generous structural cap for this family.
+        assert threshold <= 8 + 2 * bound
+
+
+def test_e9_meet_period_is_lcm_for_coprime(benchmark):
+    program = parse_datalog1s(
+        """
+        a(0). a(t + 3) <- a(t).
+        b(0). b(t + 5) <- b(t).
+        meet(t) <- a(t), b(t).
+        """
+    )
+    model = benchmark(lambda: minimal_model(program))
+    assert model.set_of("meet").period == 15
+
+
+def report():
+    print("E9 — Datalog1S model periods vs lcm-of-increments bound")
+    print("%-24s %10s %10s %12s" % ("chain steps", "period", "thresh", "lcm bound"))
+    for chains in (2, 3):
+        for program, steps in build_cases(6, chains, seed=9 + chains):
+            model = minimal_model(program)
+            eps = model.set_of("meet")
+            print(
+                "%-24s %10d %10d %12d"
+                % (steps, eps.period, eps.threshold, lcm_all(steps))
+            )
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,74 @@
+"""Example 4.1 of the paper, reproduced end to end.
+
+The extensional relation ``course`` says the database course runs
+every Monday 8–10 (time unit: one hour, week = 168).  The deductive
+program defines ``problems``: problem sessions start right after the
+course and repeat every other day (48 hours).  The paper traces the
+naive generalized-tuple-at-a-time bottom-up evaluation through eight
+derivation steps and shows it terminates by free-extension and
+constraint safety; this script prints the same trace.
+
+Run with::
+
+    python examples/course_scheduling.py
+"""
+
+from repro.core import DeductiveEngine, parse_program
+from repro.gdb import parse_database
+
+EDB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+"""
+
+PROGRAM = """
+% Problem sessions are given right after the course ...
+problems(t1 + 2, t2 + 2; "database") <- course(t1, t2; "database").
+% ... and every other day thereafter.
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+
+def main():
+    edb = parse_database(EDB)
+    program = parse_program(PROGRAM)
+
+    print("EDB:")
+    print(edb)
+    print()
+    print("Program:")
+    print(program)
+    print()
+
+    print("Naive bottom-up trace (T_GP, one accepted tuple per line —")
+    print("compare Section 4.3 of the paper; offsets are canonical")
+    print("representatives mod 168, the paper lists 10, 58, 106, 154,")
+    print("202, 250, 298, 346 before normalization):")
+    engine = DeductiveEngine(program, edb, strategy="naive")
+    for round_number, fresh in engine.trace():
+        for gt in fresh.get("problems", []):
+            print("  round %d: %s" % (round_number, gt))
+    print()
+
+    model = DeductiveEngine(program, edb).run(check_free_extension_safety=True)
+    stats = model.stats
+    print("Termination: constraint safe =", stats.constraint_safe)
+    print("Free-extension safety (Theorem 4.2 check):",
+          stats.free_extension_safe_checked)
+    print("Rounds:", stats.rounds,
+          "— tuples accepted:", stats.total_new_tuples())
+    print()
+
+    problems = model.relation("problems")
+    print("Closed form of `problems`:")
+    print(problems)
+    print()
+
+    print("Problem sessions in the first fortnight (hours):")
+    fortnight = sorted(t1 for (t1, _, __) in problems.extension(0, 336))
+    print("  ", fortnight)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""A guided tour of Section 3: data vs query expressiveness.
+
+Part 1 — *data expressiveness*: the same infinite temporal extension
+is carried through all three formalisms of the paper — a generalized
+relation with lrps, a Datalog1S program, a Templog program — and comes
+back bit for bit: all three denote exactly the eventually periodic
+sets.
+
+Part 2 — *query expressiveness*: the hierarchy
+
+    star-free  ⊥  finitely regular  ⊂  ω-regular
+
+is demonstrated with real decision procedures: Schützenberger's
+aperiodicity test for star-freeness and the openness test for
+finite regularity.
+
+Run with::
+
+    python examples/expressiveness_tour.py
+"""
+
+from repro.datalog1s import (
+    datalog1s_model_to_relation,
+    minimal_model,
+    relation_to_datalog1s,
+)
+from repro.datalog1s.translate import relation_extension_as_eps
+from repro.gdb import parse_database
+from repro.omega import (
+    buchi_eventually,
+    buchi_infinitely_often,
+    is_deterministic_buchi_open,
+    is_star_free,
+)
+from repro.omega.expressiveness import (
+    dfa_one_at_even_position,
+    dfa_suffix_language,
+)
+from repro.templog import parse_templog, templog_minimal_model
+
+
+def part_one():
+    print("Part 1 — data expressiveness (Section 3.1)")
+    print("===========================================")
+    db = parse_database(
+        """
+        relation duty[1; 1] {
+          (24n+9; "alice") where T1 >= 9;
+          (5; "alice");
+        }
+        """
+    )
+    relation = db.relation("duty")
+    eps = relation_extension_as_eps(relation, ("alice",))
+    print("lrp relation   :", relation)
+    print("as periodic set:", eps)
+
+    program = relation_to_datalog1s(relation, "duty")
+    print("\nas Datalog1S:")
+    print(program)
+    model = minimal_model(program)
+    assert model.set_of("duty", ("alice",)) == eps
+    print("Datalog1S minimal model equals the set:", True)
+
+    back = datalog1s_model_to_relation(model, "duty")
+    window = {t for (t, _) in back.extension(0, 200)}
+    original = {t for (t, _) in relation.extension(0, 200)}
+    print("round trip back to lrp relation matches:", window == original)
+
+    templog = parse_templog(
+        """
+        next^5 duty(alice).
+        next^9 shift(alice).
+        always (next^24 shift(X) <- shift(X)).
+        always (duty(X) <- shift(X)).
+        """
+    )
+    tmodel = templog_minimal_model(templog)
+    assert tmodel.set_of("duty", ("alice",)) == eps
+    print("Templog minimal model equals the set  :", True)
+    print()
+
+
+def part_two():
+    print("Part 2 — query expressiveness (Section 3.2)")
+    print("============================================")
+    rows = []
+
+    even = dfa_one_at_even_position()
+    rows.append(
+        (
+            '"p holds at some even time"',
+            "no (group Z/2 in monoid)" if not is_star_free(even) else "yes",
+            "yes (Datalog1S: even(0); even(t+2)<-even(t); ...)",
+        )
+    )
+    pattern = dfa_suffix_language(("1", "0", "1"))
+    rows.append(
+        (
+            '"p, not p, p just happened"',
+            "yes" if is_star_free(pattern) else "no",
+            "yes",
+        )
+    )
+    print("%-32s %-28s %s" % ("finite-word building block", "star-free (FO/KSW90)?", "deductive?"))
+    for row in rows:
+        print("%-32s %-28s %s" % row)
+    print()
+
+    print("%-32s %-22s %s" % ("omega-language", "finitely regular?", "class"))
+    eventually = buchi_eventually()
+    infinitely = buchi_infinitely_often()
+    print(
+        "%-32s %-22s %s"
+        % (
+            '"eventually p"',
+            is_deterministic_buchi_open(eventually),
+            "open — a Datalog1S/Templog yes-no query",
+        )
+    )
+    print(
+        "%-32s %-22s %s"
+        % (
+            '"infinitely often p"',
+            is_deterministic_buchi_open(infinitely),
+            "needs stratified negation (full omega-regular)",
+        )
+    )
+    print()
+    print("Summary: the deductive languages express periodicity (not")
+    print("star-free) but only open properties; the FO language expresses")
+    print("negation (not open) but no periodicity — incomparable, both")
+    print("strictly inside the omega-regular class.  [paper, Section 3.2]")
+
+
+def part_three():
+    print()
+    print("Part 3 — the FO language *is* temporal logic ([GPSS80])")
+    print("========================================================")
+    from repro.omega.ltl import Atom, F, G, Next, query_eps
+    from repro.datalog1s import minimal_model, parse_datalog1s
+
+    # A periodic database: two interleaved 24-hour chains (from 5 and 9).
+    model = minimal_model(
+        parse_datalog1s("p(5). p(9). p(t + 24) <- p(t).")
+    )
+    eps = model.set_of("p")
+    print("database:", eps)
+    P = Atom("p")
+    for name, formula in (
+        ("F p          (eventually)", F(P)),
+        ("G p          (always)", G(P)),
+        ("X^5 p        (at time 5)", Next(Next(Next(Next(Next(P)))))),
+        ("G F p        (infinitely often)", G(F(P))),
+    ):
+        print("  %-32s -> %s" % (name, query_eps(formula, eps)))
+    print("Every LTL answer above can be matched by an FO query (see")
+    print("benchmarks/test_e13_ltl_fo_equivalence.py) — except G F p,")
+    print("which is the ω-regular landmark beyond both.")
+
+
+def main():
+    part_one()
+    part_two()
+    part_three()
+
+
+if __name__ == "__main__":
+    main()

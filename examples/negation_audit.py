@@ -1,0 +1,77 @@
+"""Stratified negation: auditing a periodic service plan.
+
+The paper's Section 3.2 places stratified negation at the top of the
+deductive hierarchy (full ω-regular query expressiveness).  This
+example uses it the way an operations team would: find scheduled
+services that were *not* performed, machines with *no* coverage in a
+maintenance window, and idle slots — all computed in closed form over
+infinite periodic schedules.
+
+Run with::
+
+    python examples/negation_audit.py
+"""
+
+from repro.core import DeductiveEngine, parse_program, stratify
+from repro.gdb import parse_database
+
+EDB = """
+% planned(t; machine): machine is due for service at hour t.
+relation planned[1; 1] {
+  (24n+6;  "press")  where T1 >= 6;
+  (36n+12; "lathe")  where T1 >= 12;
+}
+
+% done(t; machine): a technician actually serviced the machine.
+relation done[1; 1] {
+  (24n+6;  "press")  where T1 >= 6 & T1 < 100;   % press kept up only early on
+  (36n+12; "lathe")  where T1 >= 12;
+}
+"""
+
+PROGRAM = """
+% A planned service that never happened.
+missed(t; M) <- planned(t; M), not done(t; M).
+
+% Coverage: some service within 12 hours after t.
+covered(t; M) <- planned(u; M), done(u; M), t <= u, u <= t + 12, 0 <= t.
+
+% Exposure: in-scope hours with no coverage at all.
+exposed(t; M) <- planned(u; M), not covered(t; M), 0 <= t, t < 120.
+"""
+
+
+def main():
+    edb = parse_database(EDB)
+    program = parse_program(PROGRAM)
+
+    strata, clause_strata = stratify(program)
+    print("Strata:", dict(sorted(strata.items())))
+    print("  (negation forces %d evaluation passes)" % len(clause_strata))
+    print()
+
+    model = DeductiveEngine(program, edb).run()
+    print(
+        "Engine: %d strata, %d rounds, constraint safe = %s"
+        % (model.stats.strata, model.stats.rounds, model.stats.constraint_safe)
+    )
+    print()
+
+    print("Missed services (closed form — an infinite set!):")
+    print(model.relation("missed").coalesce())
+    print()
+    print("First few missed service times:")
+    for (t, machine) in sorted(model.extension("missed", 0, 400))[:6]:
+        print("  hour %4d: %s" % (t, machine))
+    print()
+
+    print("Exposed hours for the press in the first 5 days:")
+    exposed = sorted(
+        t for (t, machine) in model.extension("exposed", 0, 120)
+        if machine == "press"
+    )
+    print("  %d of 120 hours, e.g. %s ..." % (len(exposed), exposed[:8]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: the paper's train schedule as a generalized database.
+
+Reproduces Example 2.1 (Baudinet, Niézette & Wolper, PODS 1991): a
+relation with two temporal attributes holding linear repeating points
+constrained by gap-order atoms, queried with the first-order language
+of [KSW90].
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.fo import evaluate_query
+from repro.gdb import parse_database
+
+SCHEDULE = """
+% Example 2.1: time 0 is midnight some Monday, unit = one minute.
+% A train leaves Liege for Brussels 5 minutes after time 0 and every
+% 40 minutes thereafter, arriving 60 minutes after departure.
+relation train[2; 2] {
+  (40n+5, 40n+65; "Liege", "Brussels") where T1 >= 0 & T2 = T1 + 60;
+  (60n+10, 60n+100; "Liege", "Antwerp") where T1 >= 0 & T2 = T1 + 90;
+}
+"""
+
+
+def main():
+    db = parse_database(SCHEDULE)
+    train = db.relation("train")
+
+    print("The generalized relation (finitely many tuples, infinitely")
+    print("many ground facts):")
+    print(train)
+    print()
+
+    print("A few concrete departures within the first three hours:")
+    for flat in sorted(train.extension(0, 180)):
+        t1, t2, origin, destination = flat
+        print("  leaves %-6s at %4d, arrives %-9s at %4d" % (origin, t1, destination, t2))
+    print()
+
+    # Infinite extension, finite representation: membership far beyond
+    # anything we enumerated.
+    week = 7 * 24 * 60
+    print("Is there a Brussels train leaving exactly one week in? ->",
+          train.contains_point((week + 5, week + 65), ("Liege", "Brussels")))
+    print()
+
+    print("First-order queries (the KSW90 language: negation, no recursion)")
+    print("-----------------------------------------------------------------")
+
+    q1 = 'exists t2 (train(t1, t2; "Liege", C))'
+    answers = evaluate_query(db, q1)
+    print("Q1: departure times per destination —", q1)
+    print(answers.relation)
+    print()
+
+    q2 = (
+        'exists b (train(t, b; "Liege", "Brussels")) and t >= 50 and '
+        'not exists u (exists c (train(u, c; "Liege", "Brussels")) '
+        "and u >= 50 and u < t)"
+    )
+    answers = evaluate_query(db, q2)
+    print("Q2: the first Brussels train at or after minute 50")
+    print("    ->", sorted(answers.extension(0, 500)))
+    print()
+
+    q3 = 'not exists t1, t2 (train(t1, t2; "Liege", C))'
+    answers = evaluate_query(db, q3)
+    print("Q3: active-domain cities receiving no train from Liege")
+    print("    ->", sorted(answers.extension(0, 1)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — temporal constraint databases with linear repeating points.
+
+A faithful, from-scratch reproduction of
+
+    Marianne Baudinet, Marc Niézette, Pierre Wolper,
+    "On the Representation of Infinite Temporal Data and Queries",
+    PODS 1991.
+
+The package provides:
+
+* ``repro.lrp`` — linear repeating points and (eventually) periodic
+  sets, the arithmetic substrate (paper §2.1 / §3.1);
+* ``repro.constraints`` — gap-order constraints as exact integer
+  zones (difference-bound matrices);
+* ``repro.gdb`` — generalized databases and their relational algebra
+  (Kabanza–Stévenne–Wolper style, paper §2.1);
+* ``repro.core`` — the paper's contribution: a deductive language
+  with any number of temporal arguments, evaluated bottom-up on
+  generalized tuples with the free-extension / constraint safety
+  termination criteria of §4.3;
+* ``repro.datalog1s`` — the Chomicki–Imieliński one-temporal-argument
+  Datalog (§2.2) with closed-form eventually-periodic minimal models;
+* ``repro.templog`` — Templog (§2.3), its TL1 reduction, and the
+  translation to Datalog1S;
+* ``repro.omega`` — the ω-automata machinery used to check the
+  expressiveness statements of §3;
+* ``repro.fo`` — the first-order query language of generalized
+  databases, with negation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.lrp import EventuallyPeriodicSet, Lrp, ZPeriodicSet
+from repro.constraints import ConstraintSystem
+
+__all__ = [
+    "Lrp",
+    "ZPeriodicSet",
+    "EventuallyPeriodicSet",
+    "ConstraintSystem",
+    "__version__",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Four subcommands mirror the library's four front ends:
+
+``run``
+    Evaluate a deductive program (Section 4 language) bottom-up over a
+    generalized database and print the closed-form IDB.
+
+``query``
+    Evaluate a first-order query (the [KSW90] language) against a
+    generalized database.
+
+``datalog1s``
+    Compute the eventually periodic minimal model of a
+    Chomicki–Imieliński program.
+
+``templog``
+    Reduce a Templog program to TL1, translate it to Datalog1S, and
+    print its minimal model.
+
+Examples::
+
+    python -m repro run program.dtl --edb schedule.gdb --window 0 200
+    python -m repro query schedule.gdb 'exists u (train(t, u; "Liege", C))'
+    python -m repro datalog1s trains.d1s
+    python -m repro templog monitor.tlg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import DeductiveEngine, parse_program
+from repro.datalog1s import minimal_model, parse_datalog1s
+from repro.fo import evaluate_query
+from repro.gdb import parse_database
+from repro.templog import parse_templog, templog_minimal_model
+from repro.util.errors import GiveUpError, ReproError
+
+
+def _read(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _add_window(parser):
+    parser.add_argument(
+        "--window",
+        nargs=2,
+        type=int,
+        metavar=("LOW", "HIGH"),
+        help="also enumerate ground answers within [LOW, HIGH)",
+    )
+
+
+def _cmd_run(args, out):
+    program = parse_program(_read(args.program))
+    edb = parse_database(_read(args.edb))
+    engine = DeductiveEngine(
+        program,
+        edb,
+        strategy=args.strategy,
+        patience=args.patience,
+        on_give_up="partial" if args.partial else "raise",
+    )
+    model = engine.run()
+    stats = model.stats
+    print(
+        "%% %d strata, %d rounds, constraint safe: %s%s"
+        % (
+            stats.strata,
+            stats.rounds,
+            stats.constraint_safe,
+            " (gave up)" if stats.gave_up else "",
+        ),
+        file=out,
+    )
+    predicates = [args.predicate] if args.predicate else model.predicates()
+    for name in predicates:
+        relation = model.relation(name).coalesce()
+        print("%s %s" % (name, relation), file=out)
+        if args.stats:
+            from repro.gdb.analysis import analyze
+
+            print("%% stats: %s" % analyze(model.relation(name)), file=out)
+        if args.window:
+            low, high = args.window
+            for flat in sorted(model.extension(name, low, high), key=repr):
+                print("  %s" % (flat,), file=out)
+    if args.verify:
+        from repro.core.verify import verify_model
+
+        window = tuple(args.window) if args.window else (0, 200)
+        report = verify_model(program, edb, model, window=window)
+        print("%% %s" % report, file=out)
+        if not report.ok():
+            return 3
+    return 0
+
+
+def _cmd_query(args, out):
+    edb = parse_database(_read(args.database))
+    answers = evaluate_query(edb, args.formula)
+    header = ", ".join(answers.temporal_vars + answers.data_vars) or "(closed)"
+    print("%% answers over: %s" % header, file=out)
+    print(str(answers.relation), file=out)
+    if not answers.temporal_vars and not answers.data_vars:
+        print("%% truth value: %s" % answers.is_true(), file=out)
+    if args.window:
+        low, high = args.window
+        for flat in sorted(answers.extension(low, high), key=repr):
+            print("  %s" % (flat,), file=out)
+    return 0
+
+
+def _cmd_datalog1s(args, out):
+    program = parse_datalog1s(_read(args.program))
+    model = minimal_model(program)
+    print(str(model), file=out)
+    return 0
+
+
+def _cmd_templog(args, out):
+    program = parse_templog(_read(args.program))
+    model = templog_minimal_model(program)
+    print(str(model), file=out)
+    return 0
+
+
+def build_parser():
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal constraint databases with linear repeating "
+        "points (Baudinet, Niézette & Wolper, PODS 1991).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="evaluate a deductive program")
+    run.add_argument("program", help="deductive program file")
+    run.add_argument("--edb", required=True, help="generalized database file")
+    run.add_argument("--predicate", help="print only this IDB predicate")
+    run.add_argument(
+        "--strategy", choices=("naive", "semi-naive"), default="semi-naive"
+    )
+    run.add_argument("--patience", type=int, default=10)
+    run.add_argument(
+        "--partial",
+        action="store_true",
+        help="return the partial model instead of failing on give-up",
+    )
+    run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print relation statistics for each predicate",
+    )
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="independently verify the model (stability + ground window)",
+    )
+    _add_window(run)
+    run.set_defaults(handler=_cmd_run)
+
+    query = commands.add_parser("query", help="evaluate an FO query")
+    query.add_argument("database", help="generalized database file")
+    query.add_argument("formula", help="first-order query text")
+    _add_window(query)
+    query.set_defaults(handler=_cmd_query)
+
+    d1s = commands.add_parser(
+        "datalog1s", help="closed-form Datalog1S minimal model"
+    )
+    d1s.add_argument("program", help="Datalog1S program file")
+    d1s.set_defaults(handler=_cmd_datalog1s)
+
+    tlg = commands.add_parser("templog", help="Templog minimal model")
+    tlg.add_argument("program", help="Templog program file")
+    tlg.set_defaults(handler=_cmd_templog)
+
+    return parser
+
+
+def main(argv=None, out=None):
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except GiveUpError as error:
+        print("give-up: %s" % error, file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1

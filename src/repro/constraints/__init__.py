@@ -1,0 +1,25 @@
+"""Gap-order (difference) constraints over temporal variables.
+
+The constraints a generalized tuple may carry (paper Section 2.1) are
+of the forms ``Ti < Tj + c``, ``Ti = Tj + c``, ``Ti < c``, ``Ti = c``
+and ``c < Ti``.  A conjunction of such atoms over integer variables is
+exactly a *zone*: a difference-bound matrix (DBM).  Over the integers
+strict bounds tighten exactly (``x - y < c`` iff ``x - y <= c - 1``),
+so every operation this package provides — satisfiability, canonical
+closure, variable projection, zone difference, containment in a union
+of zones — is **exact**, which is what makes the safety tests of
+Section 4.3 decidable.
+"""
+
+from repro.constraints.atoms import Comparison, TemporalTerm, parse_comparison
+from repro.constraints.dbm import Dbm, INF
+from repro.constraints.system import ConstraintSystem
+
+__all__ = [
+    "Comparison",
+    "TemporalTerm",
+    "parse_comparison",
+    "Dbm",
+    "INF",
+    "ConstraintSystem",
+]

@@ -1,0 +1,49 @@
+"""Helpers for simplifying collections of constrained objects.
+
+Used by the generalized-database layer to keep relations small: a
+tuple whose zone is covered by the zones of other tuples with the same
+shape contributes nothing to the extension and can be dropped.
+"""
+
+from __future__ import annotations
+
+
+def prune_covered(systems):
+    """Drop every ConstraintSystem covered by the union of the others.
+
+    ``systems`` is a list of :class:`ConstraintSystem` over the same
+    arity.  Returns a sublist with identical union.  Quadratic in the
+    number of systems; intended for the small per-signature groups the
+    engine manipulates.
+    """
+    kept = list(systems)
+    changed = True
+    while changed:
+        changed = False
+        for index, candidate in enumerate(kept):
+            others = kept[:index] + kept[index + 1 :]
+            if others and candidate.implied_by_union(others):
+                kept.pop(index)
+                changed = True
+                break
+    return kept
+
+
+def disjoint_cover(systems):
+    """Rewrite a union of zones as a disjoint union.
+
+    Preserves the union exactly; useful when enumerating extensions
+    without double counting.
+    """
+    disjoint = []
+    for system in systems:
+        pieces = [system]
+        for existing in disjoint:
+            next_pieces = []
+            for piece in pieces:
+                next_pieces.extend(piece.minus(existing))
+            pieces = next_pieces
+            if not pieces:
+                break
+        disjoint.extend(pieces)
+    return disjoint

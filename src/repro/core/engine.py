@@ -1,0 +1,323 @@
+"""The user-facing bottom-up engine with the paper's give-up policy.
+
+:class:`DeductiveEngine` runs the T_GP fixpoint of Section 4.3 on a
+program and a generalized EDB.  Each round it derives tuples with
+every clause, discards the ones already covered (the constraint-safety
+test of Theorem 4.3 applied tuple-by-tuple), and stops successfully
+when a round derives nothing new.  Free-extension safety (Theorem 4.2)
+is tracked for diagnostics; once the free-signature set has been
+stable for ``patience`` rounds while tuples still keep arriving, the
+engine gives up — exactly the policy the paper recommends ("it is
+reasonable to give up on the computation if the interpretation does
+not become constraint safe after a few iterations").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.evaluation import ProgramEvaluator
+from repro.core.safety import coverage_test, free_signatures, is_free_extension_safe
+from repro.util.errors import GiveUpError
+
+
+@dataclass
+class EvaluationStats:
+    """Bookkeeping for one engine run.
+
+    ``rounds`` counts T_GP applications; ``new_tuples_per_round`` the
+    accepted (not-covered) tuples each round; ``signature_stable_round``
+    is the first round after which no new free signature appeared
+    (1-based; 0 when the EDB signatures already cover everything);
+    ``constraint_safe`` reports successful Theorem-4.3 termination;
+    ``gave_up`` the paper's give-up exit.
+    """
+
+    strategy: str = "semi-naive"
+    safety_mode: str = "paper"
+    strata: int = 1
+    rounds: int = 0
+    new_tuples_per_round: list = field(default_factory=list)
+    derived_tuples_per_round: list = field(default_factory=list)
+    signature_stable_round: int = None
+    constraint_safe: bool = False
+    gave_up: bool = False
+    free_extension_safe_checked: bool = None
+    elapsed_seconds: float = 0.0
+
+    def total_new_tuples(self):
+        """Tuples accepted into the model across all rounds."""
+        return sum(self.new_tuples_per_round)
+
+
+class Model:
+    """The result of an engine run: the IDB relations plus stats."""
+
+    def __init__(self, relations, stats, edb=None):
+        self._relations = dict(relations)
+        self.stats = stats
+        self._edb = edb
+
+    def predicates(self):
+        """The intensional predicate names."""
+        return sorted(self._relations)
+
+    def relation(self, name):
+        """The closed-form relation computed for ``name``."""
+        return self._relations[name]
+
+    def extension(self, name, low, high):
+        """Ground tuples of ``name`` within the window ``[low, high)``."""
+        return self.relation(name).extension(low, high)
+
+    def query(self, formula):
+        """Evaluate a first-order query (text or AST) over this model's
+        IDB together with the EDB it was computed from — deduction once,
+        querying many times (the paper's Section 1 argument)."""
+        from repro.fo import evaluate_query
+        from repro.gdb.database import GeneralizedDatabase
+
+        edb = self._edb if self._edb is not None else GeneralizedDatabase()
+        return evaluate_query(edb, formula, extra_relations=self._relations)
+
+    def as_database(self):
+        """The model as a :class:`GeneralizedDatabase` — the paper's
+        "closed form": derived predicates become ordinary generalized
+        relations that can be stored, re-parsed, and queried without
+        re-running the deduction (its Section 1 argument for computing
+        the explicit form "once and for all")."""
+        from repro.gdb.database import GeneralizedDatabase
+
+        db = GeneralizedDatabase()
+        for name in self.predicates():
+            relation = self.relation(name)
+            db.declare(name, relation.temporal_arity, relation.data_arity)
+            db.set_relation(name, relation)
+        return db
+
+    def __getitem__(self, name):
+        return self.relation(name)
+
+    def __contains__(self, name):
+        return name in self._relations
+
+    def __str__(self):
+        chunks = []
+        for name in self.predicates():
+            chunks.append("%s %s" % (name, self.relation(name)))
+        return "\n".join(chunks)
+
+
+class DeductiveEngine:
+    """Closed-form bottom-up evaluation of a deductive program.
+
+    Parameters
+    ----------
+    program:
+        A :class:`~repro.core.ast.Program` (see
+        :func:`~repro.core.parser.parse_program`).
+    edb:
+        A :class:`~repro.gdb.database.GeneralizedDatabase` providing
+        every extensional predicate.
+    strategy:
+        ``"semi-naive"`` (default) or ``"naive"``.
+    safety:
+        Coverage test for accepting/stopping: ``"paper"`` (Theorem 4.3,
+        same-free-extension implication) or ``"semantic"`` (full
+        extension containment; ablation).
+    max_rounds:
+        Hard iteration cap.
+    patience:
+        Give-up budget: extra rounds allowed after the free-signature
+        set stops growing.  ``None`` disables the give-up policy (only
+        ``max_rounds`` limits the run).
+    on_give_up:
+        ``"raise"`` (default) raises
+        :class:`~repro.util.errors.GiveUpError` carrying the partial
+        model; ``"partial"`` returns the partial model with
+        ``stats.gave_up`` set.
+
+    >>> from repro.core import DeductiveEngine, parse_program
+    >>> from repro.gdb import parse_database
+    >>> edb = parse_database('''
+    ...   relation course[2; 1] {
+    ...     (168n+8, 168n+10; "database") where T2 = T1 + 2;
+    ...   }''')
+    >>> program = parse_program('''
+    ...   problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+    ...   problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+    ... ''')
+    >>> model = DeductiveEngine(program, edb).run()
+    >>> model.relation("problems").contains_point((10, 12), ("database",))
+    True
+    """
+
+    def __init__(
+        self,
+        program,
+        edb,
+        strategy="semi-naive",
+        safety="paper",
+        max_rounds=500,
+        patience=10,
+        on_give_up="raise",
+    ):
+        if strategy not in ("naive", "semi-naive"):
+            raise ValueError("strategy must be 'naive' or 'semi-naive'")
+        if on_give_up not in ("raise", "partial"):
+            raise ValueError("on_give_up must be 'raise' or 'partial'")
+        self.program = program
+        self.edb = edb
+        self.strategy = strategy
+        self.safety = safety
+        self.max_rounds = max_rounds
+        self.patience = patience
+        self.on_give_up = on_give_up
+        self._covered = coverage_test(safety)
+        self.evaluator = ProgramEvaluator(program, edb)
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, check_free_extension_safety=False):
+        """Run to constraint safety, give-up, or the round cap.
+
+        With ``check_free_extension_safety`` the paper-literal
+        Theorem-4.2 test is evaluated on the final interpretation and
+        recorded in the stats (it costs one extra T_GP round).
+        """
+        stats = EvaluationStats(strategy=self.strategy, safety_mode=self.safety)
+        started = time.perf_counter()
+        env = self.evaluator.initial_environment()
+        known_signatures = {
+            name: free_signatures(env[name]) for name in self.evaluator.intensional
+        }
+        stats.strata = self.evaluator.stratum_count()
+        last_signature_growth = 0
+
+        for evaluators in self.evaluator.stratum_evaluators:
+            complements = self.evaluator.complements_for(evaluators, env)
+            stratum_closed = self._run_stratum(
+                evaluators,
+                complements,
+                env,
+                known_signatures,
+                stats,
+            )
+            last_signature_growth = stats.signature_stable_round
+            if not stratum_closed:
+                stats.gave_up = True
+                break
+        else:
+            stats.constraint_safe = True
+
+        stats.elapsed_seconds = time.perf_counter() - started
+
+        if check_free_extension_safety:
+            stats.free_extension_safe_checked = is_free_extension_safe(
+                self.evaluator, env
+            )
+
+        relations = {
+            name: env[name].normalize() for name in self.evaluator.intensional
+        }
+        model = Model(relations, stats, edb=self.edb)
+        if stats.gave_up and self.on_give_up == "raise":
+            raise GiveUpError(
+                "bottom-up evaluation did not reach constraint safety "
+                "within its budget (%d rounds, free signatures stable "
+                "since round %d)" % (stats.rounds, last_signature_growth),
+                partial_model=model,
+                stats=stats,
+            )
+        return model
+
+    def _run_stratum(self, evaluators, complements, env, known_signatures, stats):
+        """Fixpoint over one stratum's clauses; returns True when the
+        stratum reached constraint safety, False on give-up/cap."""
+        delta = None
+        last_growth = stats.rounds
+        for _ in range(self.max_rounds):
+            stats.rounds += 1
+            if self.strategy == "naive" or delta is None:
+                derived = self.evaluator.naive_round(
+                    env, evaluators=evaluators, complements=complements
+                )
+            else:
+                derived = self.evaluator.seminaive_round(
+                    env, delta, evaluators=evaluators, complements=complements
+                )
+            stats.derived_tuples_per_round.append(
+                sum(len(ts) for ts in derived.values())
+            )
+
+            fresh = {}
+            seen_keys = set()
+            for predicate, tuples in derived.items():
+                for gt in tuples:
+                    key = (predicate, gt.canonical_key())
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    if self._covered(gt, env[predicate]):
+                        continue
+                    fresh.setdefault(predicate, []).append(gt)
+
+            stats.new_tuples_per_round.append(
+                sum(len(ts) for ts in fresh.values())
+            )
+
+            if not fresh:
+                stats.signature_stable_round = last_growth
+                return True
+
+            grew_signatures = False
+            for predicate, tuples in fresh.items():
+                env[predicate] = env[predicate].with_tuples(tuples)
+                for gt in tuples:
+                    if gt.free_signature() not in known_signatures[predicate]:
+                        known_signatures[predicate].add(gt.free_signature())
+                        grew_signatures = True
+            if grew_signatures:
+                last_growth = stats.rounds
+            delta = fresh
+
+            if (
+                self.patience is not None
+                and stats.rounds - last_growth >= self.patience
+            ):
+                break
+        stats.signature_stable_round = last_growth
+        return False
+
+    def trace(self, max_rounds=None):
+        """Yield ``(round_number, {predicate: [accepted tuples]})`` for
+        each round, naive strategy — the form in which the paper prints
+        the Example 4.1 computation.  Stops at constraint safety or the
+        round cap (no give-up error)."""
+        limit = max_rounds or self.max_rounds
+        env = self.evaluator.initial_environment()
+        round_number = 0
+        for evaluators in self.evaluator.stratum_evaluators:
+            complements = self.evaluator.complements_for(evaluators, env)
+            for _ in range(limit):
+                round_number += 1
+                derived = self.evaluator.naive_round(
+                    env, evaluators=evaluators, complements=complements
+                )
+                fresh = {}
+                seen_keys = set()
+                for predicate, tuples in derived.items():
+                    for gt in tuples:
+                        key = (predicate, gt.canonical_key())
+                        if key in seen_keys:
+                            continue
+                        seen_keys.add(key)
+                        if self._covered(gt, env[predicate]):
+                            continue
+                        fresh.setdefault(predicate, []).append(gt)
+                if not fresh:
+                    break
+                for predicate, tuples in fresh.items():
+                    env[predicate] = env[predicate].with_tuples(tuples)
+                yield round_number, fresh

@@ -1,0 +1,193 @@
+"""Concrete syntax for the deductive language.
+
+The Example 4.1 program of the paper reads::
+
+    problems(t1 + 2, t2 + 2; "database") <- course(t1, t2; "database").
+    problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+
+Conventions
+-----------
+* Temporal arguments come first, separated from data arguments by a
+  semicolon.  A temporal argument is a lowercase variable with an
+  optional ``± c``, or an integer constant.
+* Data arguments are quoted strings, integers, identifiers starting
+  with an uppercase letter or underscore (data **variables**), or
+  lowercase identifiers (symbolic **constants** — the Prolog
+  convention).
+* Constraint atoms (``t1 < t2 + 5``, ``t1 >= 0``) may appear anywhere
+  in the body.
+* Clauses end with a period; ``<-`` and ``:-`` both work; a factual
+  clause may omit the arrow.
+* ``%`` and ``#`` start comments.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import (
+    Clause,
+    ConstraintAtom,
+    DataTerm,
+    NegatedAtom,
+    PredicateAtom,
+    Program,
+    TemporalTerm,
+)
+from repro.util.errors import ParseError
+from repro.util.lexing import Lexer, TokenKind
+
+_COMPARISONS = {
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.EQ: "=",
+    TokenKind.GE: ">=",
+    TokenKind.GT: ">",
+}
+
+
+def _is_data_variable(name):
+    return name[0].isupper() or name[0] == "_"
+
+
+def _parse_temporal_term(lexer):
+    token = lexer.peek()
+    if token.kind is TokenKind.MINUS:
+        lexer.next()
+        value = int(lexer.expect(TokenKind.NUMBER).value)
+        return TemporalTerm(None, -value)
+    if token.kind is TokenKind.NUMBER:
+        lexer.next()
+        return TemporalTerm(None, int(token.value))
+    if token.kind is TokenKind.IDENT:
+        lexer.next()
+        offset = 0
+        if lexer.peek().kind is TokenKind.PLUS:
+            lexer.next()
+            offset = int(lexer.expect(TokenKind.NUMBER).value)
+        elif lexer.peek().kind is TokenKind.MINUS:
+            lexer.next()
+            offset = -int(lexer.expect(TokenKind.NUMBER).value)
+        return TemporalTerm(token.value, offset)
+    raise ParseError(
+        "expected a temporal term, found %s" % token, token.line, token.column
+    )
+
+
+def _parse_data_term(lexer):
+    token = lexer.next()
+    if token.kind is TokenKind.STRING:
+        return DataTerm.constant(token.value)
+    if token.kind is TokenKind.NUMBER:
+        return DataTerm.constant(int(token.value))
+    if token.kind is TokenKind.MINUS:
+        value = int(lexer.expect(TokenKind.NUMBER).value)
+        return DataTerm.constant(-value)
+    if token.kind is TokenKind.IDENT:
+        if _is_data_variable(token.value):
+            return DataTerm.variable(token.value)
+        return DataTerm.constant(token.value)
+    raise ParseError(
+        "expected a data term, found %s" % token, token.line, token.column
+    )
+
+
+def _parse_predicate_atom(lexer, name):
+    lexer.expect(TokenKind.LPAREN)
+    temporal = []
+    data = []
+    if lexer.peek().kind is not TokenKind.RPAREN:
+        while True:
+            temporal.append(_parse_temporal_term(lexer))
+            if lexer.accept(TokenKind.COMMA):
+                continue
+            break
+        if lexer.accept(TokenKind.SEMICOLON):
+            while True:
+                data.append(_parse_data_term(lexer))
+                if lexer.accept(TokenKind.COMMA):
+                    continue
+                break
+    lexer.expect(TokenKind.RPAREN)
+    return PredicateAtom(name, tuple(temporal), tuple(data))
+
+
+def _parse_body_atom(lexer):
+    """A body atom: predicate atom or constraint atom.
+
+    Lookahead: IDENT followed by '(' is a predicate atom; anything
+    else (IDENT, NUMBER, or '-') starts a temporal term of a
+    constraint atom.
+    """
+    token = lexer.peek()
+    if token.kind is TokenKind.IDENT and token.value == "not":
+        lexer.next()
+        name = lexer.expect(TokenKind.IDENT, "a predicate name after 'not'")
+        if lexer.peek().kind is not TokenKind.LPAREN:
+            raise ParseError(
+                "'not' must be followed by a predicate atom",
+                name.line,
+                name.column,
+            )
+        return NegatedAtom(_parse_predicate_atom(lexer, name.value))
+    if token.kind is TokenKind.IDENT:
+        name = lexer.next()
+        if lexer.peek().kind is TokenKind.LPAREN:
+            return _parse_predicate_atom(lexer, name.value)
+        # Constraint atom beginning with a variable: re-assemble the term.
+        offset = 0
+        if lexer.peek().kind is TokenKind.PLUS:
+            lexer.next()
+            offset = int(lexer.expect(TokenKind.NUMBER).value)
+        elif lexer.peek().kind is TokenKind.MINUS:
+            lexer.next()
+            offset = -int(lexer.expect(TokenKind.NUMBER).value)
+        left = TemporalTerm(name.value, offset)
+        return _finish_constraint(lexer, left)
+    left = _parse_temporal_term(lexer)
+    return _finish_constraint(lexer, left)
+
+
+def _finish_constraint(lexer, left):
+    token = lexer.next()
+    op = _COMPARISONS.get(token.kind)
+    if op is None:
+        raise ParseError(
+            "expected a comparison operator, found %s" % token,
+            token.line,
+            token.column,
+        )
+    right = _parse_temporal_term(lexer)
+    return ConstraintAtom(op, left, right)
+
+
+def parse_clause(text):
+    """Parse a single clause (with or without the final period)."""
+    lexer = Lexer(text)
+    clause = _parse_one_clause(lexer)
+    lexer.accept(TokenKind.PERIOD)
+    if not lexer.at_end():
+        lexer.error("unexpected trailing input after clause")
+    return clause
+
+
+def _parse_one_clause(lexer):
+    head_name = lexer.expect(TokenKind.IDENT, "a predicate name")
+    head = _parse_predicate_atom(lexer, head_name.value)
+    body = []
+    if lexer.accept(TokenKind.ARROW):
+        if lexer.peek().kind not in (TokenKind.PERIOD, TokenKind.EOF):
+            while True:
+                body.append(_parse_body_atom(lexer))
+                if lexer.accept(TokenKind.COMMA):
+                    continue
+                break
+    return Clause(head, tuple(body))
+
+
+def parse_program(text):
+    """Parse a whole program: clauses separated by periods."""
+    lexer = Lexer(text)
+    clauses = []
+    while not lexer.at_end():
+        clauses.append(_parse_one_clause(lexer))
+        lexer.expect(TokenKind.PERIOD)
+    return Program(tuple(clauses)).validate()

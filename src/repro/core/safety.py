@@ -1,0 +1,109 @@
+"""The paper's termination criteria (Section 4.3).
+
+*Free-extension safety* (Theorem 4.2): applying T_GP to the freed
+interpretation generates no tuple with a new free extension.  The
+theorem guarantees this state is always reached, because the periods
+of all lrps arising in the computation are bounded (joins only take
+lcms of EDB periods).
+
+*Constraint safety* (Theorem 4.3): every tuple T_GP derives is implied
+— constraint-wise — by the disjunction of the constraints of existing
+tuples **with the same free extension**.  When an interpretation is
+both free-extension safe and constraint safe, the naive
+generalized-tuple-at-a-time evaluation has reached its least fixpoint
+and can stop.
+
+This module implements both tests exactly (the implication test is
+zone containment in a union of zones, decided by zone subtraction),
+plus the strictly stronger *semantic* coverage test used as an
+ablation: a new tuple is covered if its extension is contained in the
+union of all same-data tuples, regardless of free-extension matching.
+"""
+
+from __future__ import annotations
+
+
+def free_signatures(relation):
+    """The set of free-extension signatures of a relation's tuples."""
+    return {gt.free_signature() for gt in relation.tuples}
+
+
+def covered_paper(gt, relation):
+    """The paper's constraint-safety coverage test for one tuple:
+    is ``constraints(gt)`` implied by the disjunction of the
+    constraints of the tuples of ``relation`` with the same free
+    extension?"""
+    same_signature = [
+        existing.constraints
+        for existing in relation.tuples
+        if existing.free_signature() == gt.free_signature()
+    ]
+    if not same_signature:
+        return False
+    return gt.constraints.implied_by_union(same_signature)
+
+
+def covered_semantic(gt, relation):
+    """Exact extension coverage: ``gt ⊆ relation`` (same data tuples
+    may have different lrps).  Strictly stronger than
+    :func:`covered_paper`; used as an ablation (experiment E8)."""
+    remaining = gt.subtract(list(relation.tuples))
+    return all(piece.is_empty() for piece in remaining)
+
+
+_COVERAGE_MODES = {
+    "paper": covered_paper,
+    "semantic": covered_semantic,
+}
+
+
+def coverage_test(mode):
+    """Look up a coverage predicate by name ('paper' or 'semantic')."""
+    try:
+        return _COVERAGE_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            "unknown safety mode %r (expected 'paper' or 'semantic')" % mode
+        ) from None
+
+
+def is_constraint_safe(derived, env, mode="paper"):
+    """True when every derived tuple is covered by the environment —
+    the stopping condition of Theorem 4.3."""
+    test = coverage_test(mode)
+    for predicate, tuples in derived.items():
+        relation = env[predicate]
+        for gt in tuples:
+            if not test(gt, relation):
+                return False
+    return True
+
+
+def is_free_extension_safe(evaluator, env):
+    """The paper-literal free-extension safety test (Theorem 4.2):
+    apply one T_GP round to the *freed* environment and check that no
+    new free signature appears.
+
+    ``evaluator`` is a :class:`~repro.core.evaluation.ProgramEvaluator`;
+    the check is read-only.
+    """
+    freed = {
+        name: _freed_relation(relation) for name, relation in env.items()
+    }
+    complements = evaluator.complements_for(evaluator.evaluators, freed)
+    derived = evaluator.naive_round(freed, complements=complements)
+    for predicate, tuples in derived.items():
+        existing = free_signatures(env[predicate])
+        for gt in tuples:
+            if gt.free_signature() not in existing:
+                return False
+    return True
+
+
+def _freed_relation(relation):
+    from repro.gdb.relation import GeneralizedRelation
+
+    freed = [gt.free_extension() for gt in relation.tuples]
+    return GeneralizedRelation(
+        relation.temporal_arity, relation.data_arity, freed
+    )

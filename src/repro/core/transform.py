@@ -1,0 +1,197 @@
+"""The *generalized program* transformation (paper Section 4.3).
+
+Before T_GP can operate on generalized tuples, the paper normalizes
+programs so that
+
+* integer constants are eliminated — a constant ``c`` in a temporal
+  position becomes a fresh variable constrained to equal ``c`` (the
+  lrp ``n`` with constraint ``T = c``);
+* the head of every clause carries **distinct temporal variables** —
+  offsets and repetitions move into constraint atoms in the body.
+
+We normalize body atoms the same way, so that after transformation
+every predicate atom carries distinct bare variables and all the
+arithmetic lives in constraint atoms.  Clause evaluation then reduces
+to: product of the body atom relations, conjunction of the constraint
+atoms, projection onto the head variables — exactly the join/project
+formulation of the T_GP definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import (
+    Clause,
+    ConstraintAtom,
+    PredicateAtom,
+    TemporalTerm,
+)
+
+
+@dataclass(frozen=True)
+class NormalizedClause:
+    """A clause in generalized-program form.
+
+    ``head_vars`` are distinct temporal variable names (one per head
+    temporal position); every body atom in ``body_atoms`` carries
+    distinct bare temporal variables; ``constraints`` holds the linking
+    equalities introduced by normalization plus the clause's original
+    constraint atoms.
+    """
+
+    head_predicate: str
+    head_vars: tuple
+    head_data: tuple
+    body_atoms: tuple
+    constraints: tuple
+    original: Clause
+    negated_atoms: tuple = ()
+
+    def all_temporal_variables(self):
+        """Every temporal variable the clause mentions, body-first
+        (deterministic order)."""
+        ordered = []
+        seen = set()
+
+        def add(name):
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+
+        for atom in self.body_atoms:
+            for term in atom.temporal_args:
+                add(term.var)
+        for atom in self.negated_atoms:
+            for term in atom.temporal_args:
+                add(term.var)
+        for constraint in self.constraints:
+            for term in (constraint.left, constraint.right):
+                if term.var is not None:
+                    add(term.var)
+        for name in self.head_vars:
+            add(name)
+        return ordered
+
+    def __str__(self):
+        head_terms = ", ".join(self.head_vars)
+        data = ""
+        if self.head_data:
+            data = "; " + ", ".join(str(d) for d in self.head_data)
+        head = "%s(%s%s)" % (self.head_predicate, head_terms, data)
+        body = [str(a) for a in self.body_atoms]
+        body += ["not %s" % a for a in self.negated_atoms]
+        body += [str(c) for c in self.constraints]
+        if not body:
+            return "%s." % head
+        return "%s <- %s." % (head, ", ".join(body))
+
+
+class _FreshNames:
+    """Generates fresh temporal variable names not clashing with the
+    clause's own variables."""
+
+    def __init__(self, taken):
+        self._taken = set(taken)
+        self._counter = 0
+
+    def fresh(self, base="w"):
+        while True:
+            self._counter += 1
+            name = "_%s%d" % (base, self._counter)
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+
+def _clause_variables(clause):
+    names = set()
+    for atom in [clause.head] + list(clause.body):
+        if isinstance(atom, PredicateAtom):
+            names |= atom.temporal_variables()
+        else:
+            names |= atom.temporal_variables()
+    return names
+
+
+def normalize_clause(clause):
+    """Rewrite one clause into :class:`NormalizedClause` form."""
+    fresh = _FreshNames(_clause_variables(clause))
+    constraints = list(clause.constraint_atoms())
+    used_columns = set()
+
+    def normalize_term(term, base):
+        """Return a bare fresh-or-reused variable name for ``term`` and
+        record the linking constraint if one is needed."""
+        if term.is_constant():
+            name = fresh.fresh(base)
+            constraints.append(
+                ConstraintAtom(
+                    "=", TemporalTerm(name), TemporalTerm(None, term.offset)
+                )
+            )
+            used_columns.add(name)
+            return name
+        if term.offset == 0 and term.var not in used_columns:
+            used_columns.add(term.var)
+            return term.var
+        name = fresh.fresh(base)
+        constraints.append(
+            ConstraintAtom("=", TemporalTerm(name), term)
+        )
+        used_columns.add(name)
+        return name
+
+    body_atoms = []
+    for atom in clause.predicate_atoms():
+        new_args = tuple(
+            TemporalTerm(normalize_term(term, "b")) for term in atom.temporal_args
+        )
+        body_atoms.append(PredicateAtom(atom.predicate, new_args, atom.data_args))
+
+    negated_atoms = []
+    for negated in clause.negated_atoms():
+        atom = negated.atom
+        new_args = tuple(
+            TemporalTerm(normalize_term(term, "n")) for term in atom.temporal_args
+        )
+        negated_atoms.append(PredicateAtom(atom.predicate, new_args, atom.data_args))
+
+    head_vars = []
+    head_taken = set()
+    for term in clause.head.temporal_args:
+        if (
+            not term.is_constant()
+            and term.offset == 0
+            and term.var not in head_taken
+        ):
+            # A bare, first-occurrence head variable needs no link.
+            head_vars.append(term.var)
+            head_taken.add(term.var)
+            continue
+        name = fresh.fresh("h")
+        head_taken.add(name)
+        if term.is_constant():
+            constraints.append(
+                ConstraintAtom(
+                    "=", TemporalTerm(name), TemporalTerm(None, term.offset)
+                )
+            )
+        else:
+            constraints.append(ConstraintAtom("=", TemporalTerm(name), term))
+        head_vars.append(name)
+
+    return NormalizedClause(
+        head_predicate=clause.head.predicate,
+        head_vars=tuple(head_vars),
+        head_data=clause.head.data_args,
+        body_atoms=tuple(body_atoms),
+        constraints=tuple(constraints),
+        original=clause,
+        negated_atoms=tuple(negated_atoms),
+    )
+
+
+def normalize_program(program):
+    """Normalize every clause of a program."""
+    return [normalize_clause(clause) for clause in program.clauses]

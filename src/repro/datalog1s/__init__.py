@@ -1,0 +1,33 @@
+"""The temporal Datalog of Chomicki and Imieliński (paper Section 2.2).
+
+Datalog1S is ordinary Datalog in which every predicate carries exactly
+one temporal parameter over the natural numbers, and temporal terms
+are built from 0 and a single temporal variable with the successor
+function.  The paper's Example 2.2 is::
+
+    train_leaves(5; liege, brussels).
+    train_leaves(t + 40; liege, brussels) <- train_leaves(t; liege, brussels).
+    train_arrives(t + 60; liege, brussels) <- train_leaves(t; liege, brussels).
+
+The minimal model of such a program is **eventually periodic** in each
+predicate (the [CI88] result cited in Section 3.1); the evaluator in
+:mod:`repro.datalog1s.evaluation` computes that closed form exactly
+for forward programs via a frontier (slice-window) automaton, and by
+horizon doubling with stabilization checks otherwise.
+"""
+
+from repro.datalog1s.ast import Datalog1SProgram, parse_datalog1s
+from repro.datalog1s.evaluation import Model1S, minimal_model
+from repro.datalog1s.translate import (
+    datalog1s_model_to_relation,
+    relation_to_datalog1s,
+)
+
+__all__ = [
+    "Datalog1SProgram",
+    "parse_datalog1s",
+    "Model1S",
+    "minimal_model",
+    "relation_to_datalog1s",
+    "datalog1s_model_to_relation",
+]

@@ -1,0 +1,213 @@
+"""Syntax and static checks for Datalog1S.
+
+Datalog1S reuses the clause AST of :mod:`repro.core.ast` (the paper
+presents its deductive language as "the extension of the language of
+[CI88] to an arbitrary number of temporal arguments", so the subset
+relationship is literal) and adds the CI88 restrictions:
+
+* every predicate atom has exactly **one** temporal argument;
+* the temporal domain is ℕ — integer constants must be non-negative;
+* a non-fact clause uses a single temporal variable, shared by the
+  head and all body atoms (terms are ``t + k`` with ``k >= 0`` after
+  normalization);
+* no interpreted order atoms (``<`` is not in the CI88 language).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import Program
+from repro.core.parser import parse_program
+from repro.util.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Datalog1SProgram:
+    """A validated Datalog1S program (wrapping a core Program)."""
+
+    program: Program
+
+    def __post_init__(self):
+        _validate(self.program)
+
+    @property
+    def clauses(self):
+        return self.program.clauses
+
+    def predicates(self):
+        """All predicate names with their data arities."""
+        return {
+            name: shape[1]
+            for name, shape in self.program.schemas().items()
+        }
+
+    def data_constants(self):
+        """The active domain: every data constant in the program."""
+        constants = set()
+        for clause in self.clauses:
+            atoms = [clause.head] + clause.predicate_atoms()
+            atoms += [negated.atom for negated in clause.negated_atoms()]
+            for atom in atoms:
+                for term in atom.data_args:
+                    if not term.is_variable():
+                        constants.add(term.value)
+        return constants
+
+    @staticmethod
+    def _body_entries(clause):
+        """Body atoms as ``(predicate, offset_term, data_args, negative)``."""
+        entries = [
+            (atom.predicate, atom.temporal_args[0], atom.data_args, False)
+            for atom in clause.predicate_atoms()
+        ]
+        entries += [
+            (
+                negated.atom.predicate,
+                negated.atom.temporal_args[0],
+                negated.atom.data_args,
+                True,
+            )
+            for negated in clause.negated_atoms()
+        ]
+        return entries
+
+    def normalized_clauses(self):
+        """Variable clauses shifted so the least body offset is 0.
+
+        Returns a list of ``(head_offset, body, head)`` triples where
+        ``body`` is a list of ``(predicate, offset, data_args,
+        negative)``; variable-free facts appear with ``body == []`` and
+        their absolute time as ``head_offset``.  Fully ground rules are
+        reported separately by :meth:`ground_rules`.
+        """
+        normalized = []
+        for clause in self.clauses:
+            head_term = clause.head.temporal_args[0]
+            entries = self._body_entries(clause)
+            if not entries:
+                normalized.append((head_term.offset, [], clause.head))
+                continue
+            if head_term.var is None:
+                continue  # fully ground rule, see ground_rules()
+            shift = min(term.offset for (_, term, __, ___) in entries)
+            body = [
+                (pred, term.offset - shift, data, negative)
+                for (pred, term, data, negative) in entries
+            ]
+            normalized.append((head_term.offset - shift, body, clause.head))
+        return normalized
+
+    def ground_rules(self):
+        """Rules whose atoms all carry absolute times (these arise from
+        unboxed Templog clauses asserted at time 0).
+
+        Returns ``(head_time, body, head)`` triples with ``body`` a
+        list of ``(predicate, time, data_args, negative)``.
+        """
+        rules = []
+        for clause in self.clauses:
+            head_term = clause.head.temporal_args[0]
+            entries = self._body_entries(clause)
+            if entries and head_term.var is None:
+                body = [
+                    (pred, term.offset, data, negative)
+                    for (pred, term, data, negative) in entries
+                ]
+                rules.append((head_term.offset, body, clause.head))
+        return rules
+
+    def is_forward(self):
+        """True when every rule's head time is >= every body time —
+        the class the frontier automaton evaluates exactly."""
+        for head_offset, body, _ in self.normalized_clauses():
+            if body and head_offset < max(offset for (_, offset, __, ___) in body):
+                return False
+        for head_time, body, _ in self.ground_rules():
+            if head_time < max(time for (_, time, __, ___) in body):
+                return False
+        return True
+
+    def strata(self):
+        """Clause strata for stratified negation (list of
+        :class:`Datalog1SProgram`, in evaluation order)."""
+        from repro.core.stratify import stratify
+
+        _, clause_strata = stratify(self.program)
+        return [
+            Datalog1SProgram(Program(tuple(clauses)))
+            for clauses in clause_strata
+        ]
+
+    def __str__(self):
+        return str(self.program)
+
+    def __len__(self):
+        return len(self.clauses)
+
+
+def _validate(program):
+    program.validate()
+    for clause in program.clauses:
+        atoms = [clause.head] + clause.predicate_atoms()
+        atoms += [negated.atom for negated in clause.negated_atoms()]
+        if clause.constraint_atoms():
+            raise SchemaError(
+                "Datalog1S has no interpreted order atoms: %s" % clause
+            )
+        for atom in atoms:
+            if atom.temporal_arity != 1:
+                raise SchemaError(
+                    "Datalog1S predicates carry exactly one temporal "
+                    "argument: %s" % atom
+                )
+        variables = set()
+        for atom in atoms:
+            term = atom.temporal_args[0]
+            if term.var is not None:
+                variables.add(term.var)
+                if term.offset < 0:
+                    raise SchemaError(
+                        "Datalog1S temporal terms are built with the "
+                        "successor only (no predecessor): %s" % atom
+                    )
+            elif term.offset < 0:
+                raise SchemaError(
+                    "Datalog1S times are natural numbers: %s" % atom
+                )
+        if len(variables) > 1:
+            raise SchemaError(
+                "a Datalog1S clause uses a single temporal variable: %s"
+                % clause
+            )
+        body_atoms = clause.predicate_atoms() + [
+            negated.atom for negated in clause.negated_atoms()
+        ]
+        if body_atoms:
+            head_term = clause.head.temporal_args[0]
+            body_ground = [
+                atom.temporal_args[0].var is None for atom in body_atoms
+            ]
+            if head_term.var is None:
+                # Fully ground rule (from unboxed Templog clauses):
+                # every body atom must be ground too.
+                if not all(body_ground):
+                    raise SchemaError(
+                        "a ground-headed rule needs a ground body: %s" % clause
+                    )
+            elif any(body_ground):
+                raise SchemaError(
+                    "mixing absolute times and the temporal variable "
+                    "in one clause is not supported: %s" % clause
+                )
+        else:
+            term = clause.head.temporal_args[0]
+            if term.var is not None:
+                raise SchemaError(
+                    "a Datalog1S fact must carry a ground time: %s" % clause
+                )
+
+
+def parse_datalog1s(text):
+    """Parse and validate Datalog1S source text."""
+    return Datalog1SProgram(parse_program(text))

@@ -1,0 +1,401 @@
+"""Closed-form minimal models for Datalog1S (paper Sections 2.2, 3.1).
+
+The [CI88] theorem cited by the paper states that the minimal model of
+a Datalog1S program is *eventually periodic* in every predicate.  The
+evaluator here computes that closed form:
+
+* **Forward programs** (every rule's head offset >= all its body
+  offsets — every program in the paper is of this shape) are evaluated
+  with a *frontier automaton*: the slice of atoms true at time ``t``
+  depends only on the previous ``D`` slices (``D`` = max head offset),
+  so the sequence of ``D``-windows is eventually periodic and the
+  repetition is detected **exactly**; the resulting
+  :class:`~repro.lrp.periodic_set.EventuallyPeriodicSet` per predicate
+  and data vector is the true minimal model.
+
+* **Non-forward programs** (heads earlier than bodies, as produced by
+  Templog's ◇) are evaluated by window fixpoints with horizon
+  doubling: ``F(H)`` under-approximates the minimal model and
+  converges pointwise; the evaluator doubles the horizon until the
+  prefix stabilizes and a periodic tail fits twice in a row.  This is
+  exact on every program whose model is eventually periodic with
+  parameters within the horizon cap, and raises
+  :class:`~repro.util.errors.EvaluationError` otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.lrp.congruence import lcm_all
+from repro.lrp.periodic_set import EventuallyPeriodicSet
+from repro.util.errors import EvaluationError
+
+
+class Model1S:
+    """A closed-form model: one eventually periodic set per
+    ``(predicate, data vector)`` pair."""
+
+    def __init__(self, sets):
+        self._sets = {
+            key: value
+            for key, value in sets.items()
+            if not value.is_empty()
+        }
+
+    def set_of(self, predicate, data=()):
+        """The times at which ``predicate(…; data)`` holds."""
+        return self._sets.get(
+            (predicate, tuple(data)), EventuallyPeriodicSet.empty()
+        )
+
+    def holds(self, predicate, t, data=()):
+        """Truth of one ground atom."""
+        return t in self.set_of(predicate, data)
+
+    def keys(self):
+        """All non-empty ``(predicate, data)`` pairs."""
+        return sorted(self._sets, key=repr)
+
+    def predicates(self):
+        """The predicates with non-empty extensions."""
+        return sorted({predicate for predicate, _ in self._sets})
+
+    def restricted_to(self, predicates):
+        """The sub-model of the given predicates."""
+        return Model1S(
+            {
+                key: value
+                for key, value in self._sets.items()
+                if key[0] in predicates
+            }
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Model1S):
+            return NotImplemented
+        return self._sets == other._sets
+
+    def __str__(self):
+        lines = []
+        for (predicate, data) in self.keys():
+            suffix = "(%s)" % ", ".join(map(repr, data)) if data else ""
+            lines.append("%s%s: %s" % (predicate, suffix, self._sets[(predicate, data)]))
+        return "\n".join(lines)
+
+
+class _GroundRules:
+    """Clauses instantiated over the active data domain."""
+
+    def __init__(self, program, edb):
+        self.facts = []        # (pred, data, time)
+        self.rules = []        # (head_pred, head_data, head_offset, body)
+        self.fixed_rules = []  # (head_pred, head_data, head_time, body @ absolute times)
+        self.edb = {key: value for key, value in (edb or {}).items()}
+        domain = set(program.data_constants())
+        for (_, data), _value in self.edb.items():
+            domain.update(data)
+        domain = sorted(domain, key=repr)
+
+        for head_time, body, head in program.ground_rules():
+            for theta in _data_assignments(head, body, domain):
+                head_data = _ground_data(head.data_args, theta)
+                ground_body = [
+                    (pred, time, _ground_data(data, theta), negative)
+                    for (pred, time, data, negative) in body
+                ]
+                self.fixed_rules.append(
+                    (head.predicate, head_data, head_time, ground_body)
+                )
+
+        for head_offset, body, head in program.normalized_clauses():
+            for theta in _data_assignments(head, body, domain):
+                head_data = _ground_data(head.data_args, theta)
+                if not body:
+                    self.facts.append((head.predicate, head_data, head_offset))
+                else:
+                    ground_body = [
+                        (pred, offset, _ground_data(data, theta), negative)
+                        for (pred, offset, data, negative) in body
+                    ]
+                    self.rules.append(
+                        (head.predicate, head_data, head_offset, ground_body)
+                    )
+
+        self.keys = set()
+        self.keys.update((pred, data) for (pred, data, _) in self.facts)
+        for (pred, data, _, body) in self.rules + self.fixed_rules:
+            self.keys.add((pred, data))
+            self.keys.update((p, d) for (p, _t, d, _neg) in body)
+        self.keys.update(self.edb)
+
+    def max_fact_time(self):
+        """The last time at which non-recurring content is injected:
+        facts and ground-rule head/body times."""
+        times = [t for (_, __, t) in self.facts]
+        for (_, __, head_time, body) in self.fixed_rules:
+            times.append(head_time)
+            times.extend(t for (_, t, __, ___) in body)
+        return max(times, default=-1)
+
+    def max_delay(self):
+        return max((head_offset for (_, __, head_offset, ___) in self.rules), default=1)
+
+
+def _data_assignments(head, body, domain):
+    """All substitutions of the clause's data variables over the
+    active domain (one empty substitution for ground clauses)."""
+    variables = sorted(
+        {
+            term.name
+            for atom_data in [head.data_args]
+            + [data for (_, __, data, ___) in body]
+            for term in atom_data
+            if term.is_variable()
+        }
+    )
+    if not variables:
+        return [{}]
+    return (
+        dict(zip(variables, values))
+        for values in itertools.product(domain, repeat=len(variables))
+    )
+
+
+def _ground_data(terms, theta):
+    return tuple(
+        theta[term.name] if term.is_variable() else term.value for term in terms
+    )
+
+
+def minimal_model(program, edb=None, max_horizon=200_000):
+    """The closed-form minimal model of a Datalog1S program.
+
+    ``edb`` optionally maps ``(predicate, data_tuple)`` to
+    :class:`EventuallyPeriodicSet` extensions for extensional
+    predicates.  Programs with stratified negation are evaluated
+    stratum by stratum, each lower stratum's closed-form sets serving
+    as fixed extensions for the ``not`` atoms above (Section 3.2's
+    extension of the deductive languages).  Raises
+    :class:`EvaluationError` if closure cannot be detected within
+    ``max_horizon`` time points.
+    """
+    strata = program.strata()
+    if len(strata) == 1:
+        return _stratum_model(strata[0], dict(edb or {}), max_horizon)
+    accumulated = dict(edb or {})
+    for stratum in strata:
+        model = _stratum_model(stratum, accumulated, max_horizon)
+        for key in model.keys():
+            accumulated[key] = model.set_of(*key)
+    return Model1S(accumulated)
+
+
+def _stratum_model(program, edb, max_horizon):
+    ground = _GroundRules(program, edb)
+    if program.is_forward():
+        return _forward_model(ground, max_horizon)
+    return _doubling_model(ground, max_horizon)
+
+
+# -- exact frontier automaton for forward programs ------------------------
+
+
+def _forward_model(ground, max_horizon):
+    delay = max(ground.max_delay(), 1)
+    facts_by_time = {}
+    for (pred, data, t) in ground.facts:
+        facts_by_time.setdefault(t, set()).add((pred, data))
+    last_fact = ground.max_fact_time()
+    edb_period = lcm_all(
+        [value.period for value in ground.edb.values()] or [1]
+    )
+    edb_threshold = max(
+        (value.threshold for value in ground.edb.values()), default=0
+    )
+    stable_from = max(last_fact + 1, edb_threshold, delay)
+
+    slices = []
+    seen_states = {}
+    cycle = None
+    for t in range(max_horizon):
+        slices.append(_compute_slice(ground, slices, facts_by_time, t))
+        if t >= stable_from + delay - 1:
+            window = tuple(
+                frozenset(slices[t - k]) for k in range(delay)
+            )
+            state = (window, t % edb_period)
+            if state in seen_states:
+                cycle = (seen_states[state], t)
+                break
+            seen_states[state] = t
+    if cycle is None:
+        raise EvaluationError(
+            "no frontier cycle within %d time points" % max_horizon
+        )
+    t1, t2 = cycle
+    return _model_from_slices(ground, slices, t1, t2 - t1)
+
+
+def _compute_slice(ground, slices, facts_by_time, t):
+    current = set(facts_by_time.get(t, ()))
+    for (key, extension) in ground.edb.items():
+        if t in extension:
+            current.add(key)
+
+    def body_holds(pred, data, body_time, negative):
+        if body_time < 0:
+            present = False
+        elif body_time == t:
+            present = (pred, data) in current
+        else:
+            present = (pred, data) in slices[body_time]
+        return present != negative
+
+    changed = True
+    while changed:
+        changed = False
+        for (head_pred, head_data, head_offset, body) in ground.rules:
+            if t < head_offset:
+                continue  # the clause variable ranges over the naturals
+            if (head_pred, head_data) in current:
+                continue
+            base = t - head_offset
+            if all(
+                body_holds(pred, data, base + offset, negative)
+                for (pred, offset, data, negative) in body
+            ):
+                current.add((head_pred, head_data))
+                changed = True
+        for (head_pred, head_data, head_time, body) in ground.fixed_rules:
+            if head_time != t or (head_pred, head_data) in current:
+                continue
+            if all(
+                body_holds(pred, data, time, negative)
+                for (pred, time, data, negative) in body
+            ):
+                current.add((head_pred, head_data))
+                changed = True
+    return current
+
+
+def _model_from_slices(ground, slices, threshold, period):
+    sets = {}
+    for key in ground.keys:
+        prefix = {t for t in range(threshold) if key in slices[t]}
+        residues = {
+            t % period
+            for t in range(threshold, threshold + period)
+            if key in slices[t]
+        }
+        sets[key] = EventuallyPeriodicSet(
+            threshold=threshold,
+            period=period,
+            residues=residues,
+            prefix=prefix,
+        )
+    return Model1S(sets)
+
+
+# -- horizon doubling for non-forward programs -----------------------------
+
+
+def _window_fixpoint(ground, horizon):
+    facts = {key: set() for key in ground.keys}
+    for (pred, data, t) in ground.facts:
+        if 0 <= t < horizon:
+            facts[(pred, data)].add(t)
+    for key, extension in ground.edb.items():
+        facts[key].update(extension.window(0, horizon))
+    changed = True
+    while changed:
+        changed = False
+        for (head_pred, head_data, head_offset, body) in ground.rules:
+            head_key = (head_pred, head_data)
+            for base in range(0, horizon):
+                head_time = base + head_offset
+                if head_time >= horizon or head_time in facts[head_key]:
+                    continue
+                if all(
+                    base + offset < horizon
+                    and ((base + offset) in facts[(pred, data)]) != negative
+                    for (pred, offset, data, negative) in body
+                ):
+                    facts[head_key].add(head_time)
+                    changed = True
+        for (head_pred, head_data, head_time, body) in ground.fixed_rules:
+            head_key = (head_pred, head_data)
+            if head_time >= horizon or head_time in facts[head_key]:
+                continue
+            if all(
+                time < horizon and (time in facts[(pred, data)]) != negative
+                for (pred, time, data, negative) in body
+            ):
+                facts[head_key].add(head_time)
+                changed = True
+    return facts
+
+
+def _fit_eventually_periodic(times, horizon, guard):
+    """Fit (threshold, period) to a set of times computed on
+    ``[0, horizon)``, ignoring the last ``guard`` points (window
+    truncation).  Returns an EventuallyPeriodicSet or None."""
+    usable = horizon - guard
+    if usable <= 4:
+        return None
+    threshold = usable // 2
+    for period in range(1, (usable - threshold) // 2 + 1):
+        ok = all(
+            ((t in times) == ((t + period) in times))
+            for t in range(threshold, usable - period)
+        )
+        if ok:
+            return EventuallyPeriodicSet(
+                threshold=threshold,
+                period=period,
+                residues={
+                    t % period
+                    for t in range(threshold, threshold + period)
+                    if t in times
+                },
+                prefix={t for t in range(threshold) if t in times},
+            )
+    return None
+
+
+def _doubling_model(ground, max_horizon):
+    delay = max(ground.max_delay(), 1)
+    backward_reach = max(
+        (
+            max(offset for (_, offset, __, ___) in body) - head_offset
+            for (_, __, head_offset, body) in ground.rules
+            if body
+        ),
+        default=0,
+    )
+    base_guard = max(delay, backward_reach, 1) * 4
+    horizon = max(64, 4 * base_guard, 2 * (ground.max_fact_time() + 2))
+    previous_fit = None
+    while horizon <= max_horizon:
+        # Backward chains (aux(t) <- aux(t+1)) can propagate the window
+        # truncation arbitrarily far down, but never further than one
+        # period of their support; a guard proportional to the horizon
+        # eventually dominates any fixed period.
+        guard = max(base_guard, horizon // 4)
+        facts = _window_fixpoint(ground, horizon)
+        fit = {}
+        failed = False
+        for key, times in facts.items():
+            eps = _fit_eventually_periodic(times, horizon, guard)
+            if eps is None:
+                failed = True
+                break
+            fit[key] = eps
+        if not failed and previous_fit is not None and fit == previous_fit:
+            return Model1S(fit)
+        previous_fit = None if failed else fit
+        horizon *= 2
+    raise EvaluationError(
+        "horizon doubling did not converge within %d time points"
+        % max_horizon
+    )

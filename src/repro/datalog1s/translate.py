@@ -1,0 +1,180 @@
+"""Round-trip conversions between the three formalisms (Section 3.1).
+
+The paper's data-expressiveness claim is that one-temporal-argument
+generalized relations with lrps, Datalog1S, and Templog all denote
+exactly the (eventually) periodic sets.  These converters make the
+equivalence executable:
+
+* :func:`relation_to_datalog1s` compiles a temporal-arity-1
+  generalized relation (restricted to ℕ) into a Datalog1S program
+  whose minimal model is the same set of time points — the standard
+  construction with one auxiliary predicate per residue class, so that
+  the recursive clause never contaminates the finite prefix;
+* :func:`datalog1s_model_to_relation` converts a closed-form model
+  back into a generalized relation.
+
+Experiment E3 checks the round trips bit for bit.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.system import ConstraintSystem
+from repro.core.ast import Clause, DataTerm, PredicateAtom, Program, TemporalTerm
+from repro.datalog1s.ast import Datalog1SProgram
+from repro.gdb.relation import GeneralizedRelation
+from repro.gdb.tuple import GeneralizedTuple
+from repro.lrp.periodic_set import EventuallyPeriodicSet
+from repro.lrp.point import Lrp
+from repro.util.errors import SchemaError
+
+
+def eventually_periodic_to_clauses(predicate, eps, data=(), aux_prefix=None):
+    """Datalog1S clauses whose minimal model gives ``predicate`` the
+    extension ``eps`` (an :class:`EventuallyPeriodicSet`).
+
+    Construction: each prefix point becomes a ground fact; each residue
+    class of the tail gets an auxiliary predicate seeded at its first
+    member and advanced by the period, feeding ``predicate`` through a
+    copy clause — recursion never touches the prefix facts.
+    """
+    aux_prefix = aux_prefix or ("_%s_cls" % predicate)
+    data_terms = tuple(DataTerm.constant(value) for value in data)
+    clauses = []
+    for point in sorted(eps.prefix):
+        clauses.append(
+            Clause(
+                PredicateAtom(predicate, (TemporalTerm(None, point),), data_terms)
+            )
+        )
+    for index, residue in enumerate(sorted(eps.residues)):
+        aux = "%s%d" % (aux_prefix, index)
+        first = eps.threshold + (residue - eps.threshold) % eps.period
+        clauses.append(
+            Clause(PredicateAtom(aux, (TemporalTerm(None, first),), data_terms))
+        )
+        clauses.append(
+            Clause(
+                PredicateAtom(aux, (TemporalTerm("t", eps.period),), data_terms),
+                (PredicateAtom(aux, (TemporalTerm("t"),), data_terms),),
+            )
+        )
+        clauses.append(
+            Clause(
+                PredicateAtom(predicate, (TemporalTerm("t"),), data_terms),
+                (PredicateAtom(aux, (TemporalTerm("t"),), data_terms),),
+            )
+        )
+    return clauses
+
+
+def relation_to_datalog1s(relation, predicate="p"):
+    """Compile a temporal-arity-1 generalized relation into Datalog1S.
+
+    The relation is restricted to the natural numbers (the CI88
+    temporal domain); each data vector of the relation keeps its own
+    clauses.  Raises SchemaError for temporal arity != 1.
+    """
+    if relation.temporal_arity != 1:
+        raise SchemaError(
+            "Datalog1S predicates have one temporal argument; relation "
+            "has %d" % relation.temporal_arity
+        )
+    clauses = []
+    for index, vector in enumerate(sorted(
+        {gt.data for gt in relation.tuples}, key=repr
+    )):
+        eps = relation_extension_as_eps(relation, vector)
+        clauses.extend(
+            eventually_periodic_to_clauses(
+                predicate,
+                eps,
+                data=vector,
+                aux_prefix="_%s_d%d_cls" % (predicate, index),
+            )
+        )
+    return Datalog1SProgram(Program(tuple(clauses)))
+
+
+def relation_extension_as_eps(relation, data=()):
+    """The ℕ-restriction of a temporal-arity-1 relation for one data
+    vector, as an EventuallyPeriodicSet.  Exact: works on the aligned
+    disjuncts of each tuple."""
+    if relation.temporal_arity != 1:
+        raise SchemaError("expected temporal arity 1")
+    result = EventuallyPeriodicSet.empty()
+    for gt in relation.tuples:
+        if gt.data != tuple(data):
+            continue
+        for disjunct in gt.aligned():
+            lo, hi = disjunct.zone.difference_interval(1, 0)
+            period = disjunct.period
+            residue = disjunct.residues[0]
+            # Times are period * m + residue with m in [lo, hi].
+            if lo == float("-inf"):
+                start = 0
+            else:
+                start = max(period * int(lo) + residue, 0)
+            if hi == float("inf"):
+                piece = EventuallyPeriodicSet(
+                    threshold=start, period=period, residues=[residue % period]
+                )
+            else:
+                end = period * int(hi) + residue
+                if end < 0:
+                    continue
+                members = [
+                    t
+                    for t in range(start, end + 1)
+                    if (t - residue) % period == 0
+                ]
+                piece = EventuallyPeriodicSet.from_finite(members)
+            result = result | piece
+    return result
+
+
+def eps_to_relation(eps, data=()):
+    """A temporal-arity-1 generalized relation whose ℕ-extension is
+    exactly the given :class:`EventuallyPeriodicSet` (prefix points as
+    pinned tuples, tail residues as lrps with a lower bound)."""
+    tuples = []
+    data = tuple(data)
+    for point in sorted(eps.prefix):
+        constraints = ConstraintSystem.equal_to_constant(1, 0, point)
+        tuples.append(
+            GeneralizedTuple((Lrp.constant_carrier(),), data, constraints)
+        )
+    for residue in sorted(eps.residues):
+        first = eps.threshold + (residue - eps.threshold) % eps.period
+        constraints = ConstraintSystem.parse("T1 >= %d" % first, 1)
+        tuples.append(
+            GeneralizedTuple((Lrp(eps.period, residue),), data, constraints)
+        )
+    return GeneralizedRelation(1, len(data), tuples)
+
+
+def datalog1s_model_to_relation(model, predicate):
+    """The closed-form model of one predicate as a generalized relation
+    (temporal arity 1, data arity from the model's vectors).
+
+    Prefix points become constant tuples; each tail residue class
+    becomes an lrp with a ``T1 >= first`` constraint.
+    """
+    keys = [key for key in model.keys() if key[0] == predicate]
+    if not keys:
+        return GeneralizedRelation.empty(1, 0)
+    data_arity = len(keys[0][1])
+    tuples = []
+    for (_, data) in keys:
+        eps = model.set_of(predicate, data)
+        for point in sorted(eps.prefix):
+            constraints = ConstraintSystem.equal_to_constant(1, 0, point)
+            tuples.append(
+                GeneralizedTuple((Lrp.constant_carrier(),), data, constraints)
+            )
+        for residue in sorted(eps.residues):
+            first = eps.threshold + (residue - eps.threshold) % eps.period
+            constraints = ConstraintSystem.parse("T1 >= %d" % first, 1)
+            tuples.append(
+                GeneralizedTuple((Lrp(eps.period, residue),), data, constraints)
+            )
+    return GeneralizedRelation(1, data_arity, tuples)

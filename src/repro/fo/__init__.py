@@ -1,0 +1,45 @@
+"""The first-order query language of generalized databases (Section 2.1).
+
+[KSW90]'s query language — quoted by the paper as "a partially
+interpreted first-order logic" with temporal parameters over ℤ and
+uninterpreted data parameters, "equipped with negation but … no
+recursion mechanism".  Queries are evaluated by compiling to the
+generalized-relation algebra: conjunction is join, negation is the
+exact complement (``ℤ^m`` for temporal columns, the active domain for
+data columns), existential quantification is projection.
+
+>>> from repro.fo import evaluate_query
+>>> from repro.gdb import parse_database
+>>> db = parse_database('''
+...   relation train[2; 2] {
+...     (40n+5, 40n+65; "Liege", "Brussels") where T1 >= 0 & T2 = T1 + 60;
+...   }''')
+>>> answers = evaluate_query(db, 'exists t2 (train(t1, t2; "Liege", C))')
+>>> answers.relation.contains_point((45,), ("Brussels",))
+True
+"""
+
+from repro.fo.ast import (
+    FoAnd,
+    FoAtom,
+    FoComparison,
+    FoExists,
+    FoForAll,
+    FoNot,
+    FoOr,
+    parse_formula,
+)
+from repro.fo.evaluator import Answers, evaluate_query
+
+__all__ = [
+    "FoAtom",
+    "FoComparison",
+    "FoAnd",
+    "FoOr",
+    "FoNot",
+    "FoExists",
+    "FoForAll",
+    "parse_formula",
+    "evaluate_query",
+    "Answers",
+]

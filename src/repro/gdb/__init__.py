@@ -1,0 +1,32 @@
+"""Generalized databases with linear repeating points (paper Section 2.1).
+
+This package implements the temporal database model of Kabanza,
+Stévenne and Wolper ([KSW90] in the paper) that the deductive language
+of Section 4 evaluates over:
+
+* :mod:`repro.gdb.tuple` — ground generalized tuples: a vector of
+  lrps, a vector of data constants, and a gap-order constraint system;
+  plus the *aligned disjunct* normal form that makes every operation
+  exact in the presence of congruences.
+* :mod:`repro.gdb.relation` — generalized relations and the full
+  algebra: selection, projection, product/join, union, intersection,
+  difference, complement, column shift — each closed on finitely
+  representable relations, as [KSW90] requires.
+* :mod:`repro.gdb.database` — named relations with schemas, and the
+  text format used by examples and tests.
+"""
+
+from repro.gdb.tuple import AlignedTuple, GeneralizedTuple
+from repro.gdb.relation import GeneralizedRelation
+from repro.gdb.database import GeneralizedDatabase, RelationSchema
+from repro.gdb.parser import parse_database, parse_generalized_tuple
+
+__all__ = [
+    "GeneralizedTuple",
+    "AlignedTuple",
+    "GeneralizedRelation",
+    "GeneralizedDatabase",
+    "RelationSchema",
+    "parse_database",
+    "parse_generalized_tuple",
+]

@@ -1,0 +1,87 @@
+"""Descriptive statistics of generalized relations.
+
+Reporting helpers used by the CLI and the experiment harness: how many
+tuples a relation holds, the period structure of its columns, the
+density of its temporal content, and whether columns are bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.dbm import INF
+from repro.lrp.congruence import lcm_all
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """A summary of one generalized relation."""
+
+    tuple_count: int
+    signature_count: int
+    data_vectors: int
+    column_periods: tuple
+    common_period: int
+    densities: tuple
+    bounded_columns: tuple
+
+    def __str__(self):
+        return (
+            "%d tuples, %d free signatures, %d data vectors; "
+            "column periods %s (lcm %d); density per column %s; "
+            "bounded columns %s"
+            % (
+                self.tuple_count,
+                self.signature_count,
+                self.data_vectors,
+                list(self.column_periods),
+                self.common_period,
+                ["%.3f" % d for d in self.densities],
+                list(self.bounded_columns),
+            )
+        )
+
+
+def analyze(relation):
+    """Compute :class:`RelationStatistics` for a relation.
+
+    * ``column_periods`` — per column, the lcm of the lrp periods
+      appearing in that column;
+    * ``common_period`` — the lcm over all columns (the alignment
+      period of Theorem 4.2's bound discussion);
+    * ``densities`` — per column, the fraction of residues mod the
+      column period carrying at least one tuple (an upper bound on the
+      natural density of that column's projection);
+    * ``bounded_columns`` — per column, whether every tuple bounds the
+      column to a finite interval.
+    """
+    m = relation.temporal_arity
+    signatures = {gt.free_signature() for gt in relation.tuples}
+    data_vectors = {gt.data for gt in relation.tuples}
+    column_periods = []
+    densities = []
+    bounded = []
+    for column in range(m):
+        periods = [gt.lrps[column].period for gt in relation.tuples]
+        period = lcm_all(periods or [1])
+        column_periods.append(period)
+        residues = set()
+        for gt in relation.tuples:
+            residues.update(gt.lrps[column].residues_modulo(period))
+        densities.append(len(residues) / period if relation.tuples else 0.0)
+        column_bounded = bool(relation.tuples)
+        for gt in relation.tuples:
+            lo, hi = gt.constraints.column_interval(column)
+            if lo == -INF or hi == INF:
+                column_bounded = False
+                break
+        bounded.append(column_bounded)
+    return RelationStatistics(
+        tuple_count=len(relation.tuples),
+        signature_count=len(signatures),
+        data_vectors=len(data_vectors),
+        column_periods=tuple(column_periods),
+        common_period=lcm_all(column_periods or [1]),
+        densities=tuple(densities),
+        bounded_columns=tuple(bounded),
+    )

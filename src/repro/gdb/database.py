@@ -1,0 +1,116 @@
+"""Named generalized relations with schemas.
+
+A :class:`GeneralizedDatabase` is the extensional layer the deductive
+language of Section 4 evaluates over: a mapping from predicate names
+to :class:`~repro.gdb.relation.GeneralizedRelation`, each with a
+declared temporal and data arity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gdb.relation import GeneralizedRelation
+from repro.util.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The declared shape of a relation: name, temporal arity, data arity."""
+
+    name: str
+    temporal_arity: int
+    data_arity: int
+
+    def __str__(self):
+        return "%s[%d; %d]" % (self.name, self.temporal_arity, self.data_arity)
+
+
+class GeneralizedDatabase:
+    """A mutable collection of named generalized relations.
+
+    >>> db = GeneralizedDatabase()
+    >>> db.declare("train", 2, 2)
+    RelationSchema(name='train', temporal_arity=2, data_arity=2)
+    >>> db.schema("train").temporal_arity
+    2
+    """
+
+    def __init__(self):
+        self._schemas = {}
+        self._relations = {}
+
+    def declare(self, name, temporal_arity, data_arity=0):
+        """Declare a relation; idempotent when the schema agrees."""
+        schema = RelationSchema(name, temporal_arity, data_arity)
+        existing = self._schemas.get(name)
+        if existing is not None:
+            if existing != schema:
+                raise SchemaError(
+                    "relation %r redeclared with different schema: %s vs %s"
+                    % (name, existing, schema)
+                )
+            return existing
+        self._schemas[name] = schema
+        self._relations[name] = GeneralizedRelation.empty(temporal_arity, data_arity)
+        return schema
+
+    def names(self):
+        """The declared relation names, in declaration order."""
+        return list(self._schemas)
+
+    def schema(self, name):
+        """The schema of a declared relation."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaError("unknown relation %r" % name) from None
+
+    def relation(self, name):
+        """The current contents of a declared relation."""
+        self.schema(name)
+        return self._relations[name]
+
+    def set_relation(self, name, relation):
+        """Replace the contents of a declared relation."""
+        schema = self.schema(name)
+        if (
+            relation.temporal_arity != schema.temporal_arity
+            or relation.data_arity != schema.data_arity
+        ):
+            raise SchemaError(
+                "relation %s has schema [%d; %d], got [%d; %d]"
+                % (
+                    name,
+                    schema.temporal_arity,
+                    schema.data_arity,
+                    relation.temporal_arity,
+                    relation.data_arity,
+                )
+            )
+        self._relations[name] = relation
+
+    def add_tuple(self, name, gt):
+        """Append one generalized tuple to a declared relation."""
+        self.set_relation(name, self.relation(name).with_tuple(gt))
+
+    def copy(self):
+        """A shallow copy (relations are immutable, so this is safe)."""
+        clone = GeneralizedDatabase()
+        clone._schemas = dict(self._schemas)
+        clone._relations = dict(self._relations)
+        return clone
+
+    def __contains__(self, name):
+        return name in self._schemas
+
+    def __str__(self):
+        chunks = []
+        for name, schema in self._schemas.items():
+            rel = self._relations[name]
+            body = "\n".join("  %s;" % gt for gt in rel)
+            chunks.append(
+                "relation %s {\n%s\n}" % (schema, body) if len(rel) else
+                "relation %s {}" % schema
+            )
+        return "\n\n".join(chunks)

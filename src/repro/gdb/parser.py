@@ -1,0 +1,159 @@
+"""Text format for generalized databases.
+
+The grammar mirrors the tables of the paper (Examples 2.1 and 4.1)::
+
+    relation train[2; 2] {
+      (40n+5, 40n+65; "Liege", "Brussels") where T1 >= 0 & T2 = T1 + 60;
+    }
+
+    relation course[2; 1] {
+      (168n+8, 168n+10; "database") where T2 = T1 + 2;
+    }
+
+* Temporal entries are lrp literals ``a n + b`` (``n``, ``5n``,
+  ``n+3``, ``168n+8``) or plain integers, which — following the
+  paper's constant-elimination rule — become the lrp ``n`` with the
+  constraint ``Ti = c``.
+* Data entries after the ``;`` are quoted strings, integers, or bare
+  identifiers (symbolic constants).
+* The optional ``where`` clause is a conjunction of gap-order atoms
+  over ``T1 … Tm`` separated by ``,``, ``&`` or ``and``.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.atoms import Comparison, TemporalTerm, parse_comparison
+from repro.constraints.system import ConstraintSystem
+from repro.gdb.database import GeneralizedDatabase
+from repro.gdb.tuple import GeneralizedTuple
+from repro.lrp.point import Lrp
+from repro.util.errors import ParseError
+from repro.util.lexing import Lexer, TokenKind
+
+
+def _parse_lrp_entry(lexer):
+    """Parse one temporal entry; returns ``(lrp, pinned_constant)``
+    where ``pinned_constant`` is not None for plain integers."""
+    token = lexer.peek()
+    negative = False
+    if token.kind is TokenKind.MINUS:
+        lexer.next()
+        negative = True
+        token = lexer.peek()
+    if token.kind is TokenKind.NUMBER:
+        lexer.next()
+        value = int(token.value)
+        # "168n+8" lexes as NUMBER IDENT; a lone NUMBER is a constant.
+        follower = lexer.peek()
+        if not negative and follower.kind is TokenKind.IDENT and follower.value == "n":
+            lexer.next()
+            period = value
+            offset = 0
+            if lexer.peek().kind is TokenKind.PLUS:
+                lexer.next()
+                offset = int(lexer.expect(TokenKind.NUMBER).value)
+            elif lexer.peek().kind is TokenKind.MINUS:
+                lexer.next()
+                offset = -int(lexer.expect(TokenKind.NUMBER).value)
+            return Lrp(period, offset), None
+        constant = -value if negative else value
+        return Lrp.constant_carrier(), constant
+    if token.kind is TokenKind.IDENT and token.value == "n":
+        lexer.next()
+        offset = 0
+        if lexer.peek().kind is TokenKind.PLUS:
+            lexer.next()
+            offset = int(lexer.expect(TokenKind.NUMBER).value)
+        elif lexer.peek().kind is TokenKind.MINUS:
+            lexer.next()
+            offset = -int(lexer.expect(TokenKind.NUMBER).value)
+        return Lrp(1, offset), None
+    raise ParseError(
+        "expected an lrp literal or integer, found %s" % token,
+        token.line,
+        token.column,
+    )
+
+
+def _parse_data_entry(lexer):
+    token = lexer.next()
+    if token.kind is TokenKind.STRING:
+        return token.value
+    if token.kind is TokenKind.NUMBER:
+        return int(token.value)
+    if token.kind is TokenKind.MINUS:
+        number = lexer.expect(TokenKind.NUMBER)
+        return -int(number.value)
+    if token.kind is TokenKind.IDENT:
+        return token.value
+    raise ParseError(
+        "expected a data constant, found %s" % token, token.line, token.column
+    )
+
+
+def _parse_tuple_body(lexer, temporal_arity, data_arity):
+    lexer.expect(TokenKind.LPAREN)
+    lrps = []
+    pinned = []
+    for index in range(temporal_arity):
+        if index:
+            lexer.expect(TokenKind.COMMA)
+        lrp, constant = _parse_lrp_entry(lexer)
+        lrps.append(lrp)
+        if constant is not None:
+            pinned.append((index, constant))
+    data = []
+    if data_arity:
+        lexer.expect(TokenKind.SEMICOLON)
+        for index in range(data_arity):
+            if index:
+                lexer.expect(TokenKind.COMMA)
+            data.append(_parse_data_entry(lexer))
+    lexer.expect(TokenKind.RPAREN)
+    atoms = [
+        Comparison("=", TemporalTerm(index), TemporalTerm(None, constant))
+        for (index, constant) in pinned
+    ]
+    if lexer.accept_keyword("where"):
+        names = {"T%d" % (k + 1): k for k in range(temporal_arity)}
+        while True:
+            atoms.append(parse_comparison(lexer, names))
+            if lexer.accept(TokenKind.COMMA) or lexer.accept(TokenKind.AMP):
+                continue
+            if lexer.accept_keyword("and"):
+                continue
+            break
+    constraints = ConstraintSystem.from_atoms(temporal_arity, atoms)
+    return GeneralizedTuple(tuple(lrps), tuple(data), constraints)
+
+
+def parse_generalized_tuple(text, temporal_arity, data_arity=0):
+    """Parse a single tuple literal such as
+    ``'(168n+8, 168n+10; "database") where T2 = T1 + 2'``."""
+    lexer = Lexer(text)
+    gt = _parse_tuple_body(lexer, temporal_arity, data_arity)
+    if not lexer.at_end():
+        lexer.error("unexpected trailing input after tuple")
+    return gt
+
+
+def parse_database(text):
+    """Parse a database description (see module docstring)."""
+    lexer = Lexer(text)
+    db = GeneralizedDatabase()
+    while not lexer.at_end():
+        lexer.expect_keyword("relation")
+        name = lexer.expect(TokenKind.IDENT).value
+        lexer.expect(TokenKind.LBRACKET)
+        temporal_arity = int(lexer.expect(TokenKind.NUMBER).value)
+        lexer.expect(TokenKind.SEMICOLON)
+        data_arity = int(lexer.expect(TokenKind.NUMBER).value)
+        lexer.expect(TokenKind.RBRACKET)
+        db.declare(name, temporal_arity, data_arity)
+        lexer.expect(TokenKind.LBRACE)
+        while lexer.peek().kind is not TokenKind.RBRACE:
+            gt = _parse_tuple_body(lexer, temporal_arity, data_arity)
+            db.add_tuple(name, gt)
+            lexer.accept(TokenKind.SEMICOLON)
+        lexer.expect(TokenKind.RBRACE)
+    return db

@@ -1,0 +1,29 @@
+"""Linear repeating points and periodic sets (paper Section 2.1 / 3.1).
+
+This package provides the arithmetic substrate of the whole library:
+
+* :mod:`repro.lrp.congruence` — extended gcd, modular inverses, and the
+  Chinese Remainder Theorem, the tools behind every lrp intersection.
+* :mod:`repro.lrp.point` — the :class:`~repro.lrp.point.Lrp` class, the
+  paper's linear repeating point ``an + b`` denoting the residue class
+  ``{t : t ≡ b (mod a)}`` of the integers.
+* :mod:`repro.lrp.periodic_set` — purely periodic subsets of ℤ and
+  eventually periodic subsets of ℕ, the "common currency" in which the
+  data expressiveness of all three formalisms of the paper coincides
+  (Section 3.1).
+"""
+
+from repro.lrp.congruence import crt, egcd, lcm, modular_inverse, solve_congruence
+from repro.lrp.point import Lrp
+from repro.lrp.periodic_set import EventuallyPeriodicSet, ZPeriodicSet
+
+__all__ = [
+    "Lrp",
+    "ZPeriodicSet",
+    "EventuallyPeriodicSet",
+    "crt",
+    "egcd",
+    "lcm",
+    "modular_inverse",
+    "solve_congruence",
+]

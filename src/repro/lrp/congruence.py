@@ -1,0 +1,135 @@
+"""Elementary number theory used by linear repeating points.
+
+Everything here is exact integer arithmetic; no floating point is ever
+involved.  These functions are the substrate for intersecting linear
+repeating points (Chinese Remainder Theorem) and for aligning the
+periods of generalized tuples.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def egcd(a, b):
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``.
+
+    ``g`` is always non-negative.
+
+    >>> egcd(240, 46)
+    (2, -9, 47)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+        old_y, y = y, old_y - quotient * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def lcm(a, b):
+    """Least common multiple of two positive integers."""
+    return a // math.gcd(a, b) * b
+
+
+def lcm_all(values):
+    """Least common multiple of an iterable of positive integers.
+
+    Returns 1 for an empty iterable.
+    """
+    result = 1
+    for value in values:
+        result = lcm(result, value)
+    return result
+
+
+def modular_inverse(a, m):
+    """Return ``x`` with ``a*x ≡ 1 (mod m)``, or None if not invertible.
+
+    >>> modular_inverse(3, 7)
+    5
+    """
+    g, x, _ = egcd(a, m)
+    if g != 1:
+        return None
+    return x % m
+
+
+def solve_congruence(a, b, m):
+    """Solve ``a*x ≡ b (mod m)`` for x.
+
+    Returns ``(x0, step)`` describing the full solution set
+    ``{x0 + k*step : k ∈ ℤ}`` with ``0 <= x0 < step``, or None when the
+    congruence has no solution.
+
+    >>> solve_congruence(4, 2, 6)
+    (2, 3)
+    """
+    g = math.gcd(a, m)
+    if b % g != 0:
+        return None
+    step = m // g
+    inverse = modular_inverse((a // g) % step, step)
+    if inverse is None:  # pragma: no cover - impossible after division by g
+        return None
+    x0 = (b // g) * inverse % step
+    return x0, step
+
+
+def crt(r1, m1, r2, m2):
+    """Chinese Remainder Theorem for two congruences.
+
+    Solve ``x ≡ r1 (mod m1)`` and ``x ≡ r2 (mod m2)``.  Returns
+    ``(r, lcm(m1, m2))`` with ``0 <= r < lcm(m1, m2)``, or None when the
+    congruences are incompatible.
+
+    >>> crt(3, 5, 5, 7)
+    (33, 35)
+    >>> crt(0, 2, 1, 4) is None
+    True
+    """
+    g, p, _ = egcd(m1, m2)
+    if (r2 - r1) % g != 0:
+        return None
+    modulus = m1 // g * m2
+    # x = r1 + m1 * t where t ≡ (r2 - r1)/g * p (mod m2/g)
+    t = (r2 - r1) // g * p % (m2 // g)
+    return (r1 + m1 * t) % modulus, modulus
+
+
+def crt_all(pairs):
+    """CRT for any number of ``(residue, modulus)`` pairs.
+
+    Returns ``(residue, modulus)`` for the combined congruence or None
+    when the system is inconsistent.  The empty system yields
+    ``(0, 1)`` (all integers).
+    """
+    residue, modulus = 0, 1
+    for r, m in pairs:
+        combined = crt(residue, modulus, r, m)
+        if combined is None:
+            return None
+        residue, modulus = combined
+    return residue, modulus
+
+
+def divisors(n):
+    """All positive divisors of ``n`` in increasing order.
+
+    >>> divisors(12)
+    [1, 2, 3, 4, 6, 12]
+    """
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]

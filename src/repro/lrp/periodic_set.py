@@ -1,0 +1,462 @@
+"""Periodic and eventually periodic sets of integers (paper Section 3.1).
+
+Two canonical representations are provided:
+
+* :class:`ZPeriodicSet` — a *purely periodic* subset of ℤ, i.e. a
+  finite union of linear repeating points.  This is exactly the class
+  of sets a single temporal column of a generalized database can
+  denote before constraints are applied.
+
+* :class:`EventuallyPeriodicSet` — a subset of ℕ that is arbitrary on
+  a finite prefix and periodic beyond a threshold.  Chomicki and
+  Imieliński prove (cited in Section 3.1) that the minimal models of
+  their one-temporal-argument Datalog are exactly such sets, and the
+  same holds for Templog; this class is therefore the common currency
+  in which the data-expressiveness equivalence of the three formalisms
+  is checked (experiment E3).
+
+Both classes are immutable, hashable, canonical (equal sets compare
+equal), and support the full boolean algebra exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lrp.congruence import divisors, lcm_all
+from repro.lrp.point import Lrp
+
+
+def _minimal_period(period, residues):
+    """Reduce ``(period, residues)`` to the least period describing the
+    same periodic set.  ``residues`` is a frozenset within [0, period).
+    """
+    for d in divisors(period):
+        if all((r + d) % period in residues for r in residues):
+            return d, frozenset(r % d for r in residues)
+    return period, residues
+
+
+@dataclass(frozen=True)
+class ZPeriodicSet:
+    """A purely periodic subset of ℤ: ``{t : t mod period ∈ residues}``.
+
+    The representation is canonical — the period is minimal — so two
+    instances are equal iff they denote the same set of integers.
+
+    >>> evens = ZPeriodicSet(2, [0])
+    >>> 4 in evens and 5 not in evens
+    True
+    >>> evens | ZPeriodicSet(2, [1]) == ZPeriodicSet.all()
+    True
+    """
+
+    period: int
+    residues: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        residues = frozenset(r % self.period for r in self.residues)
+        period, residues = _minimal_period(self.period, residues)
+        object.__setattr__(self, "period", period)
+        object.__setattr__(self, "residues", residues)
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def empty(cls):
+        """The empty subset of ℤ."""
+        return cls(1, frozenset())
+
+    @classmethod
+    def all(cls):
+        """All of ℤ."""
+        return cls(1, frozenset([0]))
+
+    @classmethod
+    def from_lrp(cls, lrp):
+        """The set denoted by a single linear repeating point."""
+        return cls(lrp.period, frozenset([lrp.offset]))
+
+    @classmethod
+    def from_lrps(cls, lrps):
+        """The union of the sets denoted by an iterable of lrps."""
+        result = cls.empty()
+        for lrp in lrps:
+            result = result | cls.from_lrp(lrp)
+        return result
+
+    def to_lrps(self):
+        """A list of disjoint lrps whose union denotes this set.
+
+        The decomposition uses the canonical (minimal) period, so it is
+        as coarse as a residue-class decomposition can be.
+
+        >>> ZPeriodicSet(4, [1, 3]).to_lrps()
+        [Lrp(period=2, offset=1)]
+        """
+        return [Lrp(self.period, r) for r in sorted(self.residues)]
+
+    # -- set predicates ------------------------------------------------
+
+    def __contains__(self, t):
+        return t % self.period in self.residues
+
+    def is_empty(self):
+        """True when the set contains no integer."""
+        return not self.residues
+
+    def is_all(self):
+        """True when the set is all of ℤ."""
+        return self.period == 1 and 0 in self.residues
+
+    def is_subset(self, other):
+        """True when this set is contained in ``other``."""
+        return (self - other).is_empty()
+
+    def density(self):
+        """The natural density of the set, a fraction in [0, 1]."""
+        return len(self.residues) / self.period
+
+    # -- boolean algebra -----------------------------------------------
+
+    def _aligned(self, other):
+        period = lcm_all([self.period, other.period])
+        mine = frozenset(
+            r + k * self.period for r in self.residues for k in range(period // self.period)
+        )
+        theirs = frozenset(
+            r + k * other.period for r in other.residues for k in range(period // other.period)
+        )
+        return period, mine, theirs
+
+    def __or__(self, other):
+        period, mine, theirs = self._aligned(other)
+        return ZPeriodicSet(period, mine | theirs)
+
+    def __and__(self, other):
+        period, mine, theirs = self._aligned(other)
+        return ZPeriodicSet(period, mine & theirs)
+
+    def __sub__(self, other):
+        period, mine, theirs = self._aligned(other)
+        return ZPeriodicSet(period, mine - theirs)
+
+    def __xor__(self, other):
+        period, mine, theirs = self._aligned(other)
+        return ZPeriodicSet(period, mine ^ theirs)
+
+    def __invert__(self):
+        return ZPeriodicSet(self.period, frozenset(range(self.period)) - self.residues)
+
+    def shift(self, c):
+        """The set ``{t + c : t ∈ self}``."""
+        return ZPeriodicSet(self.period, frozenset((r + c) % self.period for r in self.residues))
+
+    # -- conversions -------------------------------------------------------
+
+    def restrict_to_naturals(self, start=0):
+        """The ℕ-restriction ``{t ∈ self : t >= start}`` as an
+        :class:`EventuallyPeriodicSet`."""
+        if start < 0:
+            raise ValueError("start must be a natural number")
+        return EventuallyPeriodicSet(
+            threshold=start, period=self.period, residues=self.residues
+        )
+
+    # -- enumeration -----------------------------------------------------
+
+    def enumerate(self, low, high):
+        """The sorted list of members in the window ``[low, high)``."""
+        return [t for t in range(low, high) if t in self]
+
+    def __str__(self):
+        if self.is_empty():
+            return "{}"
+        return " | ".join(str(lrp) for lrp in self.to_lrps())
+
+
+@dataclass(frozen=True)
+class EventuallyPeriodicSet:
+    """A subset of ℕ, arbitrary below ``threshold`` and periodic above.
+
+    ``t ∈ S`` iff ``t ∈ prefix`` when ``t < threshold``, and iff
+    ``t mod period ∈ residues`` when ``t >= threshold``.  The
+    representation is canonical: the threshold is minimal and the
+    period minimal for the tail, so equal sets compare equal.
+
+    >>> s = EventuallyPeriodicSet.from_finite([0, 5]) | \\
+    ...     EventuallyPeriodicSet(threshold=10, period=5, residues=[0])
+    >>> sorted(s.window(0, 22))
+    [0, 5, 10, 15, 20]
+    """
+
+    threshold: int = 0
+    period: int = 1
+    residues: frozenset = field(default_factory=frozenset)
+    prefix: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        residues = frozenset(r % self.period for r in self.residues)
+        prefix = frozenset(t for t in self.prefix if 0 <= t < self.threshold)
+        threshold = self.threshold
+        period, residues = _minimal_period(self.period, residues)
+        # Pull the threshold back as long as the periodic rule already
+        # explains the last prefix position.
+        while threshold > 0:
+            t = threshold - 1
+            periodic_says = t % period in residues
+            prefix_says = t in prefix
+            if periodic_says != prefix_says:
+                break
+            threshold = t
+            prefix = prefix - {t}
+        if not residues:
+            period = 1
+        object.__setattr__(self, "threshold", threshold)
+        object.__setattr__(self, "period", period)
+        object.__setattr__(self, "residues", residues)
+        object.__setattr__(self, "prefix", prefix)
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def empty(cls):
+        """The empty subset of ℕ."""
+        return cls()
+
+    @classmethod
+    def all(cls):
+        """All of ℕ."""
+        return cls(period=1, residues=[0])
+
+    @classmethod
+    def from_finite(cls, values):
+        """The finite set of the given natural numbers."""
+        values = frozenset(values)
+        if any(v < 0 for v in values):
+            raise ValueError("EventuallyPeriodicSet lives in the naturals")
+        threshold = max(values) + 1 if values else 0
+        return cls(threshold=threshold, prefix=values)
+
+    @classmethod
+    def from_lrp(cls, lrp, start=0):
+        """The restriction of an lrp to ``{t ∈ ℕ : t >= start}``."""
+        return cls(threshold=start, period=lrp.period, residues=[lrp.offset])
+
+    # -- set predicates ------------------------------------------------
+
+    def __contains__(self, t):
+        if t < 0:
+            return False
+        if t < self.threshold:
+            return t in self.prefix
+        return t % self.period in self.residues
+
+    def is_empty(self):
+        """True when the set contains no natural number."""
+        return not self.prefix and not self.residues
+
+    def is_finite(self):
+        """True when the set has finitely many members."""
+        return not self.residues
+
+    def is_all(self):
+        """True when the set is all of ℕ."""
+        return self.threshold == 0 and self.period == 1 and 0 in self.residues
+
+    def is_subset(self, other):
+        """True when this set is contained in ``other``."""
+        return (self - other).is_empty()
+
+    def min_element(self):
+        """The least member, or None when the set is empty."""
+        if self.prefix:
+            return min(self.prefix)
+        if not self.residues:
+            return None
+        candidates = [
+            self.threshold + (r - self.threshold) % self.period for r in self.residues
+        ]
+        return min(candidates)
+
+    def max_element(self):
+        """The greatest member of a finite set, or None when empty.
+
+        Raises ValueError on an infinite set.
+        """
+        if self.residues:
+            raise ValueError("max_element of an infinite set")
+        if not self.prefix:
+            return None
+        return max(self.prefix)
+
+    # -- boolean algebra -----------------------------------------------
+
+    def _aligned(self, other):
+        threshold = max(self.threshold, other.threshold)
+        period = lcm_all([self.period, other.period])
+
+        def widen(s):
+            prefix = frozenset(t for t in range(threshold) if t in s)
+            residues = frozenset(
+                r
+                for r in range(period)
+                if r % s.period in s.residues
+            )
+            return prefix, residues
+
+        mine_prefix, mine_res = widen(self)
+        their_prefix, their_res = widen(other)
+        return threshold, period, (mine_prefix, mine_res), (their_prefix, their_res)
+
+    def _combine(self, other, prefix_op, residue_op):
+        threshold, period, mine, theirs = self._aligned(other)
+        return EventuallyPeriodicSet(
+            threshold=threshold,
+            period=period,
+            residues=residue_op(mine[1], theirs[1]),
+            prefix=prefix_op(mine[0], theirs[0]),
+        )
+
+    def __or__(self, other):
+        return self._combine(other, frozenset.union, frozenset.union)
+
+    def __and__(self, other):
+        return self._combine(other, frozenset.intersection, frozenset.intersection)
+
+    def __sub__(self, other):
+        return self._combine(other, frozenset.difference, frozenset.difference)
+
+    def __xor__(self, other):
+        return self._combine(other, frozenset.symmetric_difference, frozenset.symmetric_difference)
+
+    def __invert__(self):
+        return EventuallyPeriodicSet(
+            threshold=self.threshold,
+            period=self.period,
+            residues=frozenset(range(self.period)) - self.residues,
+            prefix=frozenset(range(self.threshold)) - self.prefix,
+        )
+
+    # -- temporal transformations ---------------------------------------
+
+    def shift(self, k):
+        """The set ``{t + k : t ∈ self}`` for ``k >= 0``.
+
+        This is the semantics of Templog's ``○^k`` applied to a clause
+        head, and of ``t + k`` head terms in Datalog1S.
+        """
+        if k < 0:
+            raise ValueError("shift amount must be non-negative; use shift_back")
+        return EventuallyPeriodicSet(
+            threshold=self.threshold + k,
+            period=self.period,
+            residues=frozenset((r + k) % self.period for r in self.residues),
+            prefix=frozenset(t + k for t in self.prefix),
+        )
+
+    def shift_back(self, k):
+        """The set ``{t : t + k ∈ self} ⊆ ℕ`` for ``k >= 0``."""
+        if k < 0:
+            raise ValueError("shift amount must be non-negative; use shift")
+        # For t >= threshold - k the original periodic rule applies to
+        # t + k, so the tail residues simply shift; below that point the
+        # original prefix decides and is re-read explicitly.
+        new_threshold = max(self.threshold - k, 0)
+        residues = frozenset((r - k) % self.period for r in self.residues)
+        explicit = frozenset(t for t in range(new_threshold) if (t + k) in self)
+        return EventuallyPeriodicSet(
+            threshold=new_threshold,
+            period=self.period,
+            residues=residues,
+            prefix=explicit,
+        )
+
+    def up_closure(self):
+        """``{t : ∃ s ∈ self, s >= t}`` — the semantics of Templog's ◇.
+
+        For an infinite set this is all of ℕ; for a finite set it is
+        the initial segment ``[0, max]``.
+        """
+        if self.residues:
+            return EventuallyPeriodicSet.all()
+        if not self.prefix:
+            return EventuallyPeriodicSet.empty()
+        return EventuallyPeriodicSet.from_finite(range(max(self.prefix) + 1))
+
+    def down_closure(self):
+        """``{t : ∃ s ∈ self, s <= t}`` — all naturals from the minimum on."""
+        least = self.min_element()
+        if least is None:
+            return EventuallyPeriodicSet.empty()
+        return EventuallyPeriodicSet(threshold=least, period=1, residues=[0])
+
+    def plus_closure(self, k):
+        """The closure of the set under adding ``k`` ≥ 1:
+        ``{t + j*k : t ∈ self, j >= 0}``.
+
+        This accelerates the recursive clause ``p(t+k) ← p(t)`` in one
+        exact step: a natural ``t`` belongs to the closure iff some
+        member ``s <= t`` of the set is congruent to ``t`` modulo ``k``.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if self.is_empty():
+            return self
+        period = lcm_all([self.period, k])
+        # Least member of the set in each residue class modulo k.
+        least_in_class = {}
+        horizon = self.threshold + period
+        for t in range(horizon):
+            if t in self and (t % k) not in least_in_class:
+                least_in_class[t % k] = t
+        for r in range(period):
+            if r % self.period in self.residues:
+                rho = r % k
+                candidate = self.threshold + (r - self.threshold) % period
+                least_in_class[rho] = min(least_in_class.get(rho, candidate), candidate)
+        result = EventuallyPeriodicSet.empty()
+        for rho, least in least_in_class.items():
+            cls_from_least = EventuallyPeriodicSet(
+                threshold=least, period=k, residues=[rho % k]
+            )
+            result = result | cls_from_least
+        return result
+
+    # -- conversions -------------------------------------------------------
+
+    def tail_as_zset(self):
+        """The purely periodic law of the tail (ignoring threshold and
+        prefix) as a :class:`ZPeriodicSet` over all of ℤ."""
+        return ZPeriodicSet(self.period, self.residues)
+
+    def eventually_agrees_with(self, zset):
+        """True when this set coincides with the ℤ-periodic ``zset``
+        from some point on."""
+        return self.tail_as_zset() == zset
+
+    # -- enumeration ------------------------------------------------------
+
+    def window(self, low, high):
+        """The sorted list of members in the window ``[low, high)``."""
+        return [t for t in range(max(low, 0), high) if t in self]
+
+    def __str__(self):
+        if self.is_empty():
+            return "{}"
+        parts = []
+        if self.prefix:
+            parts.append("{%s}" % ", ".join(str(t) for t in sorted(self.prefix)))
+        for r in sorted(self.residues):
+            start = self.threshold + (r - self.threshold) % self.period
+            if self.period == 1:
+                parts.append("[%d..∞)" % start)
+            else:
+                parts.append("%dn+%d (n>=%d)" % (self.period, r, (start - r) // self.period))
+        return " ∪ ".join(parts)

@@ -1,0 +1,62 @@
+"""ω-automata and the decision procedures behind Section 3.
+
+The paper's query-expressiveness statements place the three formalisms
+at three levels of the ω-language hierarchy:
+
+* Datalog1S / Templog yes-no queries ≙ **finitely regular**
+  ω-languages — those accepted by finite-acceptance automata
+  (equivalently: the *open* ω-regular languages, ``W·Σ^ω`` for a
+  regular ``W``);
+* with stratified negation ≙ the full class of **ω-regular**
+  languages (Büchi automata);
+* the first-order language of [KSW90] ≙ the **star-free** ω-regular
+  languages — incomparable with finitely regular, strictly inside
+  ω-regular.
+
+This package provides machine-checkable versions of the separations:
+
+* :mod:`repro.omega.dfa` — NFAs/DFAs with determinization,
+  minimization, boolean operations;
+* :mod:`repro.omega.monoid` — the syntactic (transition) monoid and
+  Schützenberger's aperiodicity criterion, deciding star-freeness of
+  the regular building blocks;
+* :mod:`repro.omega.buchi` — Büchi automata with union, intersection,
+  emptiness, and lasso-word membership;
+* :mod:`repro.omega.finite_acceptance` — finite-acceptance automata
+  on ω-words and the exact openness test for deterministic Büchi
+  automata (deciding "is this language finitely regular?");
+* :mod:`repro.omega.expressiveness` — bridges from periodic sets and
+  queries to automata, used by experiment E4.
+"""
+
+from repro.omega.dfa import Dfa, Nfa
+from repro.omega.monoid import is_aperiodic, is_star_free, syntactic_monoid
+from repro.omega.buchi import BuchiAutomaton
+from repro.omega.finite_acceptance import (
+    FiniteAcceptanceAutomaton,
+    is_deterministic_buchi_open,
+)
+from repro.omega.expressiveness import (
+    buchi_eventually,
+    buchi_infinitely_often,
+    characteristic_buchi,
+    dfa_position_multiple,
+    dfa_suffix_language,
+)
+from repro.omega import ltl
+
+__all__ = [
+    "Dfa",
+    "Nfa",
+    "syntactic_monoid",
+    "is_aperiodic",
+    "is_star_free",
+    "BuchiAutomaton",
+    "FiniteAcceptanceAutomaton",
+    "is_deterministic_buchi_open",
+    "buchi_eventually",
+    "buchi_infinitely_often",
+    "characteristic_buchi",
+    "dfa_position_multiple",
+    "dfa_suffix_language",
+]

@@ -1,0 +1,182 @@
+"""Büchi automata — the ω-regular class of Section 3.2.
+
+Nondeterministic Büchi automata with union, intersection (the
+two-track degeneralization), emptiness via the lasso criterion, and
+membership of ultimately periodic words ``u·v^ω`` — everything the
+expressiveness experiments need, implemented exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class BuchiAutomaton:
+    """A nondeterministic Büchi automaton.
+
+    ``transitions`` maps ``(state, symbol)`` to a set of states; a run
+    is accepting when it visits ``accepting`` infinitely often.
+    """
+
+    def __init__(self, states, alphabet, transitions, initial, accepting):
+        self.states = frozenset(states)
+        self.alphabet = tuple(alphabet)
+        self.transitions = {
+            key: frozenset(value) for key, value in transitions.items()
+        }
+        self.initial = frozenset(initial)
+        self.accepting = frozenset(accepting)
+
+    def successors(self, state, symbol):
+        """Transition targets (possibly empty)."""
+        return self.transitions.get((state, symbol), frozenset())
+
+    def is_deterministic(self):
+        """At most one initial state and one successor per symbol."""
+        if len(self.initial) > 1:
+            return False
+        return all(
+            len(self.successors(state, symbol)) <= 1
+            for state in self.states
+            for symbol in self.alphabet
+        )
+
+    # -- graph helpers -----------------------------------------------------
+
+    def _reachable_from(self, sources):
+        seen = set(sources)
+        queue = list(sources)
+        while queue:
+            state = queue.pop()
+            for symbol in self.alphabet:
+                for target in self.successors(state, symbol):
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+        return seen
+
+    def is_empty(self):
+        """Lasso criterion: the language is non-empty iff some
+        accepting state is reachable from an initial state and lies on
+        a cycle."""
+        reachable = self._reachable_from(self.initial)
+        for state in self.accepting & frozenset(reachable):
+            # Is `state` reachable from itself in >= 1 step?
+            frontier = set()
+            for symbol in self.alphabet:
+                frontier |= self.successors(state, symbol)
+            if state in self._reachable_from(frontier):
+                return False
+        return True
+
+    def accepts_lasso(self, prefix, loop):
+        """Membership of the ultimately periodic word ``prefix·loop^ω``.
+
+        Decided on the product of the automaton with the lasso shape:
+        an accepting cycle must exist within the loop part.
+        """
+        if not loop:
+            raise ValueError("the loop part must be non-empty")
+        # States after the prefix.
+        current = set(self.initial)
+        for symbol in prefix:
+            nxt = set()
+            for state in current:
+                nxt |= self.successors(state, symbol)
+            current = nxt
+        # Product graph over (state, loop position); edge is accepting
+        # when it leaves an accepting automaton state.
+        n = len(loop)
+        nodes = set()
+        edges = {}
+        queue = [(state, 0) for state in current]
+        nodes.update(queue)
+        while queue:
+            (state, position) = queue.pop()
+            symbol = loop[position]
+            for target in self.successors(state, symbol):
+                node = (target, (position + 1) % n)
+                edges.setdefault((state, position), set()).add(node)
+                if node not in nodes:
+                    nodes.add(node)
+                    queue.append(node)
+        # Search for a reachable cycle through an accepting state.
+        for node in nodes:
+            state, _ = node
+            if state not in self.accepting:
+                continue
+            if self._node_reaches(edges, node, node):
+                return True
+        return False
+
+    @staticmethod
+    def _node_reaches(edges, source, target):
+        seen = set()
+        queue = list(edges.get(source, ()))
+        seen.update(queue)
+        while queue:
+            node = queue.pop()
+            if node == target:
+                return True
+            for nxt in edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    # -- boolean operations ----------------------------------------------------
+
+    def union(self, other):
+        """Language union (disjoint sum)."""
+        if tuple(other.alphabet) != tuple(self.alphabet):
+            raise ValueError("alphabet mismatch")
+
+        def tag(automaton, label):
+            return {(label, state) for state in automaton}
+
+        states = tag(self.states, 0) | tag(other.states, 1)
+        transitions = {}
+        for (state, symbol), targets in self.transitions.items():
+            transitions[((0, state), symbol)] = {(0, t) for t in targets}
+        for (state, symbol), targets in other.transitions.items():
+            transitions[((1, state), symbol)] = {(1, t) for t in targets}
+        return BuchiAutomaton(
+            states,
+            self.alphabet,
+            transitions,
+            tag(self.initial, 0) | tag(other.initial, 1),
+            tag(self.accepting, 0) | tag(other.accepting, 1),
+        )
+
+    def intersection(self, other):
+        """Language intersection (standard two-copy degeneralized
+        product)."""
+        if tuple(other.alphabet) != tuple(self.alphabet):
+            raise ValueError("alphabet mismatch")
+        states = set(itertools.product(self.states, other.states, (0, 1)))
+        transitions = {}
+        for (p, q, track) in states:
+            # The track switches based on the state being left: waiting
+            # for F_A on track 0, for F_B on track 1.
+            if track == 0:
+                new_track = 1 if p in self.accepting else 0
+            else:
+                new_track = 0 if q in other.accepting else 1
+            for symbol in self.alphabet:
+                targets = {
+                    (p2, q2, new_track)
+                    for p2 in self.successors(p, symbol)
+                    for q2 in other.successors(q, symbol)
+                }
+                if targets:
+                    transitions[((p, q, track), symbol)] = targets
+        initial = {
+            (p, q, 0) for p in self.initial for q in other.initial
+        }
+        # Accepting: about to complete a full F_A-then-F_B round.
+        accepting = {
+            (p, q, 1)
+            for (p, q, track) in states
+            if track == 1 and q in other.accepting
+        }
+        return BuchiAutomaton(states, self.alphabet, transitions, initial, accepting)

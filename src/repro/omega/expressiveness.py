@@ -1,0 +1,161 @@
+"""Bridges between temporal databases and ω-automata (Section 3).
+
+A one-predicate temporal database over ℕ *is* an ω-word over the
+alphabet ``('0', '1')`` (``'1'`` at position t iff the predicate holds
+at t) — exactly the encoding the paper uses to characterize query
+expressiveness.  This module builds:
+
+* the witness automata of the E4 experiment — "p at some even time"
+  (regular but not star-free), "eventually p" (open / finitely
+  regular), "infinitely often p" (ω-regular, not open);
+* characteristic automata for eventually periodic sets — the
+  deterministic Büchi automaton accepting exactly the one ω-word that
+  encodes the set.
+"""
+
+from __future__ import annotations
+
+from repro.omega.buchi import BuchiAutomaton
+from repro.omega.dfa import Dfa
+from repro.omega.finite_acceptance import FiniteAcceptanceAutomaton
+
+ALPHABET = ("0", "1")
+
+
+def dfa_position_multiple(k, alphabet=ALPHABET):
+    """The DFA of ``{w : |w| ≡ 0 (mod k)}`` — the classic
+    non-star-free family for k >= 2 (its syntactic monoid contains
+    the cyclic group ℤ/k)."""
+    states = list(range(k))
+    delta = {
+        (state, symbol): (state + 1) % k
+        for state in states
+        for symbol in alphabet
+    }
+    return Dfa(states, alphabet, delta, 0, {0})
+
+
+def dfa_ones_multiple(k, alphabet=ALPHABET):
+    """The DFA counting '1's modulo ``k`` (not star-free for k >= 2)."""
+    states = list(range(k))
+    delta = {}
+    for state in states:
+        delta[(state, "0")] = state
+        delta[(state, "1")] = (state + 1) % k
+    return Dfa(states, alphabet, delta, 0, {0})
+
+
+def dfa_one_at_even_position(alphabet=ALPHABET):
+    """The DFA of finite words with a '1' at some even position
+    (0-based) — the finite-prefix language of the paper-style query
+    "p holds at some even time".  Not star-free."""
+    # States: parity of the current position, plus an accepting sink.
+    states = ["even", "odd", "found"]
+    delta = {
+        ("even", "0"): "odd",
+        ("even", "1"): "found",
+        ("odd", "0"): "even",
+        ("odd", "1"): "even",
+        ("found", "0"): "found",
+        ("found", "1"): "found",
+    }
+    return Dfa(states, alphabet, delta, "even", {"found"})
+
+
+def dfa_suffix_language(word, alphabet=ALPHABET):
+    """The star-free language ``Σ*·word`` as a DFA (via NFA
+    determinization would be overkill; build the KMP automaton)."""
+    states = list(range(len(word) + 1))
+
+    def advance(matched, symbol):
+        prefix = word[:matched] + (symbol,)
+        while prefix:
+            if word[: len(prefix)] == prefix:
+                return len(prefix)
+            prefix = prefix[1:]
+        return 0
+
+    delta = {}
+    for state in states:
+        for symbol in alphabet:
+            delta[(state, symbol)] = advance(min(state, len(word)), symbol)
+    return Dfa(states, alphabet, delta, 0, {len(word)})
+
+
+def finite_acceptance_eventually(symbol="1", alphabet=ALPHABET):
+    """Finite-acceptance automaton for "eventually p": accept any
+    prefix containing ``symbol``."""
+    transitions = {
+        ("wait", s): {"wait"} if s != symbol else {"seen"} for s in alphabet
+    }
+    for s in alphabet:
+        transitions[("seen", s)] = {"seen"}
+    from repro.omega.dfa import Nfa
+
+    nfa = Nfa({"wait", "seen"}, alphabet, transitions, {"wait"}, {"seen"})
+    return FiniteAcceptanceAutomaton(nfa)
+
+
+def buchi_eventually(symbol="1", alphabet=ALPHABET):
+    """Deterministic Büchi automaton of "eventually p" (an open, hence
+    finitely regular, language)."""
+    transitions = {}
+    for s in alphabet:
+        transitions[("wait", s)] = {"seen"} if s == symbol else {"wait"}
+        transitions[("seen", s)] = {"seen"}
+    return BuchiAutomaton(
+        {"wait", "seen"}, alphabet, transitions, {"wait"}, {"seen"}
+    )
+
+
+def buchi_infinitely_often(symbol="1", alphabet=ALPHABET):
+    """Deterministic Büchi automaton of "infinitely often p" — the
+    standard ω-regular language that is **not** finitely regular (not
+    open), witnessing the paper's claim that stratified negation adds
+    power."""
+    transitions = {}
+    for s in alphabet:
+        transitions[("idle", s)] = {"hit"} if s == symbol else {"idle"}
+        transitions[("hit", s)] = {"hit"} if s == symbol else {"idle"}
+    return BuchiAutomaton({"idle", "hit"}, alphabet, transitions, {"idle"}, {"hit"})
+
+
+def characteristic_buchi(eps, alphabet=ALPHABET):
+    """The deterministic Büchi automaton accepting exactly the single
+    ω-word that encodes an :class:`EventuallyPeriodicSet` (position t
+    reads '1' iff t is a member).
+
+    The automaton is complete: a rejecting sink absorbs every
+    deviation from the characteristic word.
+    """
+    length = eps.threshold + eps.period
+    states = list(range(length)) + ["sink"]
+    transitions = {}
+    for t in range(length):
+        expected = "1" if t in eps else "0"
+        if t + 1 < length:
+            target = t + 1
+        else:
+            target = eps.threshold  # wrap into the periodic part
+        for s in alphabet:
+            transitions[(t, s)] = {target} if s == expected else {"sink"}
+    for s in alphabet:
+        transitions[("sink", s)] = {"sink"}
+    accepting = set(range(eps.threshold, length))
+    return BuchiAutomaton(states, alphabet, transitions, {0}, accepting)
+
+
+def word_of_eps(eps, length):
+    """The first ``length`` letters of the characteristic ω-word."""
+    return tuple("1" if t in eps else "0" for t in range(length))
+
+
+def lasso_of_eps(eps):
+    """``(prefix, loop)`` such that the characteristic word of the set
+    is ``prefix·loop^ω``."""
+    prefix = word_of_eps(eps, eps.threshold)
+    loop = tuple(
+        "1" if t in eps else "0"
+        for t in range(eps.threshold, eps.threshold + eps.period)
+    )
+    return prefix, loop

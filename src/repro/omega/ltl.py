@@ -1,0 +1,198 @@
+"""Linear temporal logic over ultimately periodic words.
+
+The paper's Section 3.2 closes the circle on the [KSW90] first-order
+query language by citing [GPSS80]: its expressiveness "is also the
+expressiveness of temporal logic with the operators ○, □, ◇ and U
+(until)" — i.e. LTL.  This module provides that fourth query language
+of the paper:
+
+* an LTL AST (atoms, boolean connectives, ``X``, ``U``, and the
+  derived ``F``, ``G``, ``R``);
+* exact evaluation over ultimately periodic words ``prefix·loop^ω``
+  (every temporal database with finitely representable content is such
+  a word), by least-fixpoint iteration of the ``U`` unrolling on the
+  lasso graph;
+* evaluation directly over eventually periodic sets — an LTL query on
+  a one-predicate temporal database.
+
+Positions are letters; a letter is a frozenset of proposition names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Atom:
+    """The proposition ``name`` holds at the current position."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class TrueConst:
+    """The constant true."""
+
+    def __str__(self):
+        return "true"
+
+
+@dataclass(frozen=True)
+class Not:
+    sub: object
+
+    def __str__(self):
+        return "!(%s)" % self.sub
+
+
+@dataclass(frozen=True)
+class And:
+    left: object
+    right: object
+
+    def __str__(self):
+        return "(%s & %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Or:
+    left: object
+    right: object
+
+    def __str__(self):
+        return "(%s | %s)" % (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Next:
+    """``X φ`` — φ at the next instant."""
+
+    sub: object
+
+    def __str__(self):
+        return "X(%s)" % self.sub
+
+
+@dataclass(frozen=True)
+class Until:
+    """``φ U ψ`` — ψ eventually holds, with φ holding until then."""
+
+    left: object
+    right: object
+
+    def __str__(self):
+        return "(%s U %s)" % (self.left, self.right)
+
+
+def F(sub):
+    """``◇ φ`` (eventually) as ``true U φ``."""
+    return Until(TrueConst(), sub)
+
+
+def G(sub):
+    """``□ φ`` (always) as ``¬◇¬φ``."""
+    return Not(F(Not(sub)))
+
+
+def R(left, right):
+    """``φ R ψ`` (release) as ``¬(¬φ U ¬ψ)``."""
+    return Not(Until(Not(left), Not(right)))
+
+
+def Implies(left, right):
+    """``φ → ψ``."""
+    return Or(Not(left), right)
+
+
+def evaluate(formula, prefix, loop):
+    """Truth of ``formula`` at every position of ``prefix·loop^ω``.
+
+    ``prefix`` and ``loop`` are sequences of letters (frozensets of
+    proposition names; plain sets are accepted).  Returns a list of
+    booleans for the ``len(prefix) + len(loop)`` distinguished
+    positions (the loop positions repeat forever).
+
+    ``U`` is computed as its least fixpoint
+    ``T = ψ ∨ (φ ∧ X T)`` iterated to stability on the lasso graph —
+    exact, because on an ultimately periodic word truth values are
+    themselves ultimately periodic with the same lasso shape.
+    """
+    if not loop:
+        raise ValueError("the loop part must be non-empty")
+    letters = [frozenset(letter) for letter in list(prefix) + list(loop)]
+    total = len(letters)
+    first_loop = len(prefix)
+
+    def successor(position):
+        if position + 1 < total:
+            return position + 1
+        return first_loop
+
+    def recurse(node):
+        if isinstance(node, Atom):
+            return [node.name in letters[k] for k in range(total)]
+        if isinstance(node, TrueConst):
+            return [True] * total
+        if isinstance(node, Not):
+            return [not v for v in recurse(node.sub)]
+        if isinstance(node, And):
+            left, right = recurse(node.left), recurse(node.right)
+            return [a and b for a, b in zip(left, right)]
+        if isinstance(node, Or):
+            left, right = recurse(node.left), recurse(node.right)
+            return [a or b for a, b in zip(left, right)]
+        if isinstance(node, Next):
+            sub = recurse(node.sub)
+            return [sub[successor(k)] for k in range(total)]
+        if isinstance(node, Until):
+            left, right = recurse(node.left), recurse(node.right)
+            truth = [False] * total
+            changed = True
+            while changed:
+                changed = False
+                for k in range(total - 1, -1, -1):
+                    value = right[k] or (left[k] and truth[successor(k)])
+                    if value and not truth[k]:
+                        truth[k] = True
+                        changed = True
+            return truth
+        raise TypeError("unexpected LTL node %r" % (node,))
+
+    return recurse(formula)
+
+
+def holds_at(formula, prefix, loop, position=0):
+    """Truth at one position (positions beyond the lasso fold back
+    into the loop)."""
+    values = evaluate(formula, prefix, loop)
+    total = len(values)
+    first_loop = total - len(loop)
+    if position < total:
+        return values[position]
+    folded = first_loop + (position - first_loop) % len(loop)
+    return values[folded]
+
+
+def eps_lasso(eps, proposition="p"):
+    """The lasso word of a one-predicate temporal database given as an
+    :class:`~repro.lrp.periodic_set.EventuallyPeriodicSet`."""
+    prefix = [
+        frozenset([proposition]) if t in eps else frozenset()
+        for t in range(eps.threshold)
+    ]
+    loop = [
+        frozenset([proposition]) if t in eps else frozenset()
+        for t in range(eps.threshold, eps.threshold + eps.period)
+    ]
+    return prefix, loop
+
+
+def query_eps(formula, eps, proposition="p", position=0):
+    """An LTL query on a one-predicate temporal database: the truth of
+    ``formula`` at ``position`` of the database's characteristic word."""
+    prefix, loop = eps_lasso(eps, proposition)
+    return holds_at(formula, prefix, loop, position)

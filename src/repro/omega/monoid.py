@@ -1,0 +1,96 @@
+"""Syntactic monoids and Schützenberger's star-freeness criterion.
+
+A regular language is *star-free* (definable without Kleene star,
+equivalently first-order definable over ``<``) iff its syntactic
+monoid is **aperiodic**: some power ``m^n`` of every element satisfies
+``m^n = m^{n+1}`` (no non-trivial subgroup).  This is the decision
+procedure behind the paper's Section 3.2 claim that the [KSW90]
+first-order query language — expressively the star-free ω-regular
+languages — cannot express periodicity queries such as "p holds at
+some even time", while the deductive languages can.
+"""
+
+from __future__ import annotations
+
+
+def transition_monoid(dfa):
+    """The transition monoid of a DFA: all functions state→state
+    induced by words, as tuples over a fixed state order.
+
+    Returns ``(elements, generator_map)`` where ``elements`` is the set
+    of functions (each a tuple) closed under composition and including
+    the identity, and ``generator_map`` maps each alphabet symbol to
+    its function.
+    """
+    order = sorted(dfa.states, key=repr)
+    index = {state: i for i, state in enumerate(order)}
+
+    def function_of(symbol):
+        return tuple(index[dfa.delta[(state, symbol)]] for state in order)
+
+    identity = tuple(range(len(order)))
+    generators = {symbol: function_of(symbol) for symbol in dfa.alphabet}
+    elements = {identity}
+    queue = [identity]
+    while queue:
+        f = queue.pop()
+        for g in generators.values():
+            # first f (earlier word), then g: h(i) = g[f[i]]
+            h = tuple(g[f[i]] for i in range(len(order)))
+            if h not in elements:
+                elements.add(h)
+                queue.append(h)
+    return elements, generators
+
+
+def syntactic_monoid(dfa):
+    """The transition monoid of the *minimal* automaton of the
+    language — the syntactic monoid."""
+    elements, _ = transition_monoid(dfa.minimize())
+    return elements
+
+
+def _compose(f, g):
+    return tuple(g[f[i]] for i in range(len(f)))
+
+
+def is_aperiodic(elements):
+    """Aperiodicity: every element has ``m^n = m^{n+1}`` for some n.
+
+    Since the eventual cycle of powers of ``m`` has length dividing
+    the monoid size, it suffices to check ``m^n = m^{n+1}`` at
+    ``n = |M|``.
+    """
+    size = len(elements)
+    for m in elements:
+        power = m
+        for _ in range(size):
+            power = _compose(power, m)
+        if power != _compose(power, m):
+            return False
+    return True
+
+
+def is_star_free(dfa):
+    """Schützenberger's theorem: star-free ⟺ aperiodic syntactic
+    monoid.
+
+    >>> from repro.omega.expressiveness import dfa_position_multiple
+    >>> is_star_free(dfa_position_multiple(2))   # (ΣΣ)* is not star-free
+    False
+    """
+    return is_aperiodic(syntactic_monoid(dfa))
+
+
+def group_witness(elements):
+    """An element generating a non-trivial group inside the monoid, or
+    None when the monoid is aperiodic.  Useful for explaining *why* a
+    language fails the star-freeness test."""
+    size = len(elements)
+    for m in elements:
+        power = m
+        for _ in range(size):
+            power = _compose(power, m)
+        if power != _compose(power, m):
+            return m
+    return None

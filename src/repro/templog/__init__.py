@@ -1,0 +1,50 @@
+"""Templog: temporal logic programming (paper Section 2.3).
+
+Templog extends logic programming with the temporal operators of
+linear temporal logic over ℕ: ``○`` (next), ``□`` (always) and ``◇``
+(eventually), with the paper's syntactic discipline — ``○`` anywhere,
+``□`` only on clause heads or around whole clauses, ``◇`` only in
+bodies (possibly over a conjunction).
+
+The paper's Example 2.3::
+
+    next^5 train_leaves(liege, brussels).
+    always (next^40 train_leaves(X, Y) <- train_leaves(X, Y)).
+    always (next^60 train_arrives(X, Y) <- train_leaves(X, Y)).
+
+Modules:
+
+* :mod:`repro.templog.ast` — clause syntax and the parser;
+* :mod:`repro.templog.tl1` — the reduction to the TL1 fragment
+  (``○`` as the only operator inside clauses): every body ``◇φ``
+  becomes an auxiliary predicate with the two clauses
+  ``aux <- φ`` and ``aux <- ○aux``;
+* :mod:`repro.templog.translate` — the translation of TL1 into
+  Datalog1S (the [Bau89] equivalence the paper leans on), and minimal
+  model computation by way of :mod:`repro.datalog1s`.
+"""
+
+from repro.templog.ast import (
+    TemplogAtom,
+    TemplogClause,
+    TemplogProgram,
+    Diamond,
+    parse_templog,
+)
+from repro.templog.tl1 import to_tl1
+from repro.templog.translate import templog_minimal_model, templog_to_datalog1s
+from repro.templog.query import evaluate_goal, parse_goal, yes_no
+
+__all__ = [
+    "evaluate_goal",
+    "parse_goal",
+    "yes_no",
+    "TemplogAtom",
+    "TemplogClause",
+    "TemplogProgram",
+    "Diamond",
+    "parse_templog",
+    "to_tl1",
+    "templog_to_datalog1s",
+    "templog_minimal_model",
+]

@@ -1,0 +1,250 @@
+"""Templog abstract syntax and parser.
+
+Grammar (paper Section 2.3 restrictions built in)::
+
+    program  := clause*
+    clause   := ['always'] '(' inner ')' '.'  |  inner '.'
+    inner    := head ['<-' body]
+    head     := 'next^'k atom  |  atom
+    body     := element (',' element)*
+    element  := 'next^'k atom
+              | atom
+              | ('sometime' | '<>') '(' body ')'
+
+``next^3 p(x)`` may also be written ``next next next p(x)``; ``always``
+may be written ``[]`` and ``sometime`` as ``<>`` or ``eventually``.
+Atoms carry only data arguments (time is implicit — that is the point
+of Templog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import DataTerm
+from repro.util.errors import ParseError
+from repro.util.lexing import Lexer, TokenKind
+
+
+@dataclass(frozen=True)
+class TemplogAtom:
+    """``p(d_1, …, d_l)`` under ``next^shift``."""
+
+    predicate: str
+    data_args: tuple = ()
+    shift: int = 0
+
+    def shifted(self, k):
+        """The atom under ``k`` more applications of ○."""
+        return TemplogAtom(self.predicate, self.data_args, self.shift + k)
+
+    def __str__(self):
+        args = ", ".join(str(d) for d in self.data_args)
+        body = "%s(%s)" % (self.predicate, args) if args else self.predicate
+        if self.shift:
+            return "next^%d %s" % (self.shift, body)
+        return body
+
+
+@dataclass(frozen=True)
+class Diamond:
+    """``◇(conjunction)`` — only legal in clause bodies."""
+
+    elements: tuple  # TemplogAtom | Diamond
+    shift: int = 0
+
+    def shifted(self, k):
+        return Diamond(self.elements, self.shift + k)
+
+    def __str__(self):
+        inner = ", ".join(str(e) for e in self.elements)
+        body = "sometime(%s)" % inner
+        if self.shift:
+            return "next^%d %s" % (self.shift, body)
+        return body
+
+
+@dataclass(frozen=True)
+class TemplogClause:
+    """``[always] head <- body``.
+
+    ``boxed`` records an explicit ``always``; an unboxed clause is
+    asserted at time 0 only.
+    """
+
+    head: TemplogAtom
+    body: tuple = ()
+    boxed: bool = False
+
+    def __str__(self):
+        inner = str(self.head)
+        if self.body:
+            inner = "%s <- %s" % (inner, ", ".join(str(e) for e in self.body))
+        if self.boxed:
+            return "always (%s)." % inner
+        return "%s." % inner
+
+
+@dataclass(frozen=True)
+class TemplogProgram:
+    """A finite set of Templog clauses."""
+
+    clauses: tuple
+
+    def predicates(self):
+        """All predicate names with their data arities."""
+        shapes = {}
+
+        def visit_atom(atom):
+            arity = len(atom.data_args)
+            known = shapes.setdefault(atom.predicate, arity)
+            if known != arity:
+                raise ParseError(
+                    "predicate %r used with data arities %d and %d"
+                    % (atom.predicate, known, arity)
+                )
+
+        def visit(element):
+            if isinstance(element, Diamond):
+                for inner in element.elements:
+                    visit(inner)
+            else:
+                visit_atom(element)
+
+        for clause in self.clauses:
+            visit_atom(clause.head)
+            for element in clause.body:
+                visit(element)
+        return shapes
+
+    def __str__(self):
+        return "\n".join(str(clause) for clause in self.clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def __len__(self):
+        return len(self.clauses)
+
+
+_ALWAYS_WORDS = ("always",)
+_DIAMOND_WORDS = ("sometime", "eventually")
+
+
+def _is_data_variable(name):
+    return name[0].isupper() or name[0] == "_"
+
+
+def _parse_next_prefix(lexer):
+    shift = 0
+    while True:
+        token = lexer.peek()
+        if token.kind is TokenKind.IDENT and token.value == "next":
+            lexer.next()
+            if lexer.accept(TokenKind.CARET):
+                shift += int(lexer.expect(TokenKind.NUMBER).value)
+            else:
+                shift += 1
+        else:
+            return shift
+
+
+def _parse_data_term(lexer):
+    token = lexer.next()
+    if token.kind is TokenKind.STRING:
+        return DataTerm.constant(token.value)
+    if token.kind is TokenKind.NUMBER:
+        return DataTerm.constant(int(token.value))
+    if token.kind is TokenKind.IDENT:
+        if _is_data_variable(token.value):
+            return DataTerm.variable(token.value)
+        return DataTerm.constant(token.value)
+    raise ParseError(
+        "expected a data term, found %s" % token, token.line, token.column
+    )
+
+
+def _parse_atom(lexer, shift):
+    name = lexer.expect(TokenKind.IDENT, "a predicate name")
+    args = []
+    if lexer.accept(TokenKind.LPAREN):
+        if lexer.peek().kind is not TokenKind.RPAREN:
+            while True:
+                args.append(_parse_data_term(lexer))
+                if lexer.accept(TokenKind.COMMA):
+                    continue
+                break
+        lexer.expect(TokenKind.RPAREN)
+    return TemplogAtom(name.value, tuple(args), shift)
+
+
+def _parse_body_element(lexer):
+    shift = _parse_next_prefix(lexer)
+    token = lexer.peek()
+    if token.kind is TokenKind.LT:
+        # '<>' spelled as two tokens
+        lexer.next()
+        lexer.expect(TokenKind.GT, "'>' completing '<>'")
+        return _parse_diamond_body(lexer, shift)
+    if token.kind is TokenKind.IDENT and token.value in _DIAMOND_WORDS:
+        lexer.next()
+        return _parse_diamond_body(lexer, shift)
+    return _parse_atom(lexer, shift)
+
+
+def _parse_diamond_body(lexer, shift):
+    lexer.expect(TokenKind.LPAREN)
+    elements = [_parse_body_element(lexer)]
+    while lexer.accept(TokenKind.COMMA):
+        elements.append(_parse_body_element(lexer))
+    lexer.expect(TokenKind.RPAREN)
+    return Diamond(tuple(elements), shift)
+
+
+def _parse_inner(lexer, boxed):
+    shift = _parse_next_prefix(lexer)
+    head = _parse_atom(lexer, shift)
+    body = []
+    if lexer.accept(TokenKind.ARROW):
+        if lexer.peek().kind not in (
+            TokenKind.PERIOD,
+            TokenKind.RPAREN,
+            TokenKind.EOF,
+        ):
+            while True:
+                body.append(_parse_body_element(lexer))
+                if lexer.accept(TokenKind.COMMA):
+                    continue
+                break
+    return TemplogClause(head, tuple(body), boxed)
+
+
+def _parse_clause(lexer):
+    boxed = False
+    token = lexer.peek()
+    if token.kind is TokenKind.IDENT and token.value in _ALWAYS_WORDS:
+        lexer.next()
+        boxed = True
+    elif token.kind is TokenKind.LBRACKET:
+        lexer.next()
+        lexer.expect(TokenKind.RBRACKET, "']' completing '[]'")
+        boxed = True
+    if boxed:
+        lexer.expect(TokenKind.LPAREN)
+        clause = _parse_inner(lexer, boxed=True)
+        lexer.expect(TokenKind.RPAREN)
+    else:
+        clause = _parse_inner(lexer, boxed=False)
+    lexer.expect(TokenKind.PERIOD)
+    return clause
+
+
+def parse_templog(text):
+    """Parse Templog source text into a :class:`TemplogProgram`."""
+    lexer = Lexer(text)
+    clauses = []
+    while not lexer.at_end():
+        clauses.append(_parse_clause(lexer))
+    program = TemplogProgram(tuple(clauses))
+    program.predicates()  # arity consistency check
+    return program

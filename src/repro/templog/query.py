@@ -1,0 +1,76 @@
+"""Templog as a query language (paper Sections 1, 2.3).
+
+A Templog *goal* is what may appear in a clause body: a conjunction of
+atoms under ``○^k`` and ``◇``.  Given a closed-form minimal model, a
+goal evaluates compositionally to the eventually periodic set of time
+points at which it holds:
+
+* an atom under ``○^k`` holds at ``t`` iff the predicate holds at
+  ``t + k`` — a backward shift of its extension;
+* a conjunction is an intersection;
+* ``◇φ`` holds at ``t`` iff φ holds at some ``t' >= t`` — the
+  up-closure, which is exactly computable on eventually periodic sets.
+
+A yes/no Templog query is a goal read at time 0 — the query
+expressiveness the paper characterizes as the finitely regular
+ω-languages.
+"""
+
+from __future__ import annotations
+
+from repro.lrp.periodic_set import EventuallyPeriodicSet
+from repro.templog.ast import Diamond, TemplogAtom, parse_templog
+from repro.util.errors import EvaluationError
+
+
+def evaluate_goal(model, elements):
+    """The set of time points at which a conjunction of body elements
+    holds in a closed-form model.
+
+    ``model`` is a :class:`repro.datalog1s.evaluation.Model1S` (as
+    returned by :func:`repro.templog.translate.templog_minimal_model`);
+    ``elements`` is an iterable of :class:`TemplogAtom` / ``Diamond``.
+    Data arguments of atoms must be ground (constants).
+    """
+    result = EventuallyPeriodicSet.all()
+    for element in elements:
+        result = result & _evaluate_element(model, element)
+    return result
+
+
+def _evaluate_element(model, element):
+    if isinstance(element, Diamond):
+        inner = evaluate_goal(model, element.elements)
+        return inner.up_closure().shift_back(element.shift)
+    if isinstance(element, TemplogAtom):
+        data = []
+        for term in element.data_args:
+            if term.is_variable():
+                raise EvaluationError(
+                    "goal atoms must be ground; %s has the variable %s"
+                    % (element, term.name)
+                )
+            data.append(term.value)
+        extension = model.set_of(element.predicate, tuple(data))
+        return extension.shift_back(element.shift)
+    raise TypeError("unexpected goal element %r" % (element,))
+
+
+def holds_at(model, elements, t):
+    """Truth of a goal at one time point."""
+    return t in evaluate_goal(model, elements)
+
+
+def yes_no(model, elements):
+    """The Templog yes/no query: does the goal hold at time 0?"""
+    return holds_at(model, elements, 0)
+
+
+def parse_goal(text):
+    """Parse a goal from body syntax, e.g.
+    ``"train_leaves(liege, brussels), <>(fault)"``.
+
+    Implemented by parsing ``_goal <- <text>.`` and taking the body.
+    """
+    program = parse_templog("_goal <- %s." % text)
+    return program.clauses[0].body

@@ -1,0 +1,86 @@
+"""Reduction of Templog to the TL1 fragment.
+
+The paper (Section 2.3) cites Baudinet's result that Templog is
+equivalent to its fragment TL1, in which ``○`` is the only temporal
+operator allowed **within** clauses (``□`` still wraps whole clauses).
+The reduction replaces every body occurrence of ``◇φ`` with a fresh
+auxiliary predicate ``e_φ`` defined by the two always-clauses::
+
+    always ( e_φ <- φ̃ ).        # ◇φ holds if φ holds now
+    always ( e_φ <- next e_φ ).  # … or at some later instant
+
+where ``φ̃`` is the (recursively reduced) conjunction.  The auxiliary
+predicate carries the data variables of ``φ`` so bindings flow through.
+"""
+
+from __future__ import annotations
+
+from repro.templog.ast import Diamond, TemplogAtom, TemplogClause, TemplogProgram
+
+
+def _data_variables(element):
+    if isinstance(element, Diamond):
+        names = []
+        for inner in element.elements:
+            for name in _data_variables(inner):
+                if name not in names:
+                    names.append(name)
+        return names
+    return [term.name for term in element.data_args if term.is_variable()]
+
+
+class _Reducer:
+    def __init__(self):
+        self.counter = 0
+        self.new_clauses = []
+
+    def reduce_element(self, element):
+        if not isinstance(element, Diamond):
+            return element
+        reduced_inner = tuple(
+            self.reduce_element(inner) for inner in element.elements
+        )
+        self.counter += 1
+        name = "_ev%d" % self.counter
+        from repro.core.ast import DataTerm
+
+        variables = []
+        for inner in reduced_inner:
+            for var in _data_variables(inner):
+                if var not in variables:
+                    variables.append(var)
+        args = tuple(DataTerm.variable(v) for v in variables)
+        head = TemplogAtom(name, args, 0)
+        # e_φ <- φ̃
+        self.new_clauses.append(
+            TemplogClause(head, reduced_inner, boxed=True)
+        )
+        # e_φ <- ○ e_φ
+        self.new_clauses.append(
+            TemplogClause(head, (head.shifted(1),), boxed=True)
+        )
+        return TemplogAtom(name, args, element.shift)
+
+    def reduce_clause(self, clause):
+        body = tuple(self.reduce_element(element) for element in clause.body)
+        return TemplogClause(clause.head, body, clause.boxed)
+
+
+def to_tl1(program):
+    """Eliminate every ◇ of a Templog program, returning an equivalent
+    TL1 program (only ○ inside clauses)."""
+    reducer = _Reducer()
+    clauses = [reducer.reduce_clause(clause) for clause in program.clauses]
+    return TemplogProgram(tuple(clauses) + tuple(reducer.new_clauses))
+
+
+def is_tl1(program):
+    """True when no clause body contains a ◇."""
+
+    def flat(element):
+        return not isinstance(element, Diamond)
+
+    return all(
+        all(flat(element) for element in clause.body)
+        for clause in program.clauses
+    )

@@ -1,0 +1,62 @@
+"""Translation of TL1 Templog into Datalog1S (paper Sections 2.2–2.3).
+
+The paper treats Templog (via its TL1 fragment) and the language of
+Chomicki and Imieliński as notational variants; the translation is the
+obvious one:
+
+* every Templog predicate gains one explicit temporal argument;
+* ``○^k p`` becomes ``p(t + k; …)`` (or ``p(k; …)`` in an unboxed
+  clause, which is asserted at time 0);
+* a boxed clause becomes a rule over the clause variable ``t``; an
+  unboxed clause is instantiated at time 0 only.
+
+The minimal Templog model is then the Datalog1S minimal model of the
+translation — eventually periodic, computed in closed form by
+:mod:`repro.datalog1s.evaluation`.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import Clause, PredicateAtom, Program, TemporalTerm
+from repro.datalog1s.ast import Datalog1SProgram
+from repro.datalog1s.evaluation import minimal_model
+from repro.templog.tl1 import is_tl1, to_tl1
+
+
+def _atom_to_datalog(atom, boxed):
+    if boxed:
+        term = TemporalTerm("t", atom.shift)
+    else:
+        term = TemporalTerm(None, atom.shift)
+    return PredicateAtom(atom.predicate, (term,), atom.data_args)
+
+
+def templog_to_datalog1s(program):
+    """Translate a Templog program (any — ◇ is first reduced away via
+    TL1) into an equivalent Datalog1S program."""
+    if not is_tl1(program):
+        program = to_tl1(program)
+    clauses = []
+    for clause in program.clauses:
+        head = _atom_to_datalog(clause.head, clause.boxed)
+        body = tuple(
+            _atom_to_datalog(element, clause.boxed) for element in clause.body
+        )
+        clauses.append(Clause(head, body))
+    return Datalog1SProgram(Program(tuple(clauses)))
+
+
+def templog_minimal_model(program, edb=None, max_horizon=200_000):
+    """The minimal Templog model, as a Datalog1S closed-form model.
+
+    The auxiliary ``_ev*`` predicates introduced by the TL1 reduction
+    are stripped from the result.
+    """
+    translated = templog_to_datalog1s(program)
+    model = minimal_model(translated, edb=edb, max_horizon=max_horizon)
+    visible = {
+        predicate
+        for predicate in model.predicates()
+        if not predicate.startswith("_ev")
+    }
+    return model.restricted_to(visible)

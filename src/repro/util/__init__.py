@@ -1,0 +1,20 @@
+"""Shared infrastructure: errors, lexing, and pretty-printing helpers.
+
+The four surface languages of this library (the generalized-database
+text format, the deductive language of Section 4, Datalog1S, and
+Templog) share a single tokenizer (:mod:`repro.util.lexing`) and a
+single error hierarchy (:mod:`repro.util.errors`).
+"""
+
+from repro.util.errors import ReproError, ParseError, EvaluationError, SchemaError
+from repro.util.lexing import Lexer, Token, TokenKind
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "EvaluationError",
+    "SchemaError",
+    "Lexer",
+    "Token",
+    "TokenKind",
+]

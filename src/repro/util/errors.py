@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so applications can
+catch everything raised by this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """A surface-language text could not be parsed.
+
+    Carries the source position so front ends can point at the
+    offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line %d, column %d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """A relation, atom, or tuple does not match its declared schema."""
+
+
+class EvaluationError(ReproError):
+    """A query or program could not be evaluated.
+
+    Raised, e.g., when the bottom-up evaluation of a deductive program
+    exhausts its give-up budget without reaching constraint safety
+    (Section 4.3 of the paper), or when an FO query is not range
+    restricted.
+    """
+
+
+class GiveUpError(EvaluationError):
+    """Bottom-up evaluation reached free-extension safety but not
+    constraint safety within the configured patience budget.
+
+    The paper (Section 4.3) recommends giving up in exactly this
+    situation: Theorem 4.2 guarantees free-extension safety is always
+    reached, but constraint safety — the actual termination criterion
+    of Theorem 4.3 — may never hold.  The partially computed model is
+    attached so callers can inspect how far evaluation got.
+    """
+
+    def __init__(self, message, partial_model=None, stats=None):
+        super().__init__(message)
+        self.partial_model = partial_model
+        self.stats = stats

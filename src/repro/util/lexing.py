@@ -1,0 +1,260 @@
+"""A small hand-written tokenizer shared by all surface languages.
+
+The languages in this library are deliberately close in concrete
+syntax (identifiers, integers, quoted strings, arithmetic on temporal
+terms, clause arrows), so a single tokenizer serves all of them.  Each
+parser decides which identifiers are keywords.
+
+Example
+-------
+>>> lx = Lexer("p(t1 + 2; X) <- q(t1; X), t1 < 5.")
+>>> lx.next().value
+'p'
+>>> lx.next().kind is TokenKind.LPAREN
+True
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :class:`Lexer`."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMICOLON = ";"
+    PERIOD = "."
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    CARET = "^"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "="
+    NE = "!="
+    ARROW = "<-"
+    PIPE = "|"
+    AMP = "&"
+    COLON = ":"
+    EOF = "end of input"
+
+
+_SINGLE_CHARS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    ".": TokenKind.PERIOD,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "^": TokenKind.CARET,
+    ">": TokenKind.GT,
+    "=": TokenKind.EQ,
+    "|": TokenKind.PIPE,
+    "&": TokenKind.AMP,
+    ":": TokenKind.COLON,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def __str__(self):
+        if self.kind in (TokenKind.IDENT, TokenKind.NUMBER, TokenKind.STRING):
+            return "%s %r" % (self.kind.value, self.value)
+        return repr(self.kind.value)
+
+
+class Lexer:
+    """Tokenizer with one-token lookahead.
+
+    Comments run from ``%`` or ``#`` to end of line.  Numbers are
+    unsigned decimal integers; unary minus is handled by the parsers so
+    that expressions such as ``t - 3`` lex consistently.
+    """
+
+    def __init__(self, text):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+        self._peeked = None
+
+    def peek(self):
+        """Return the next token without consuming it."""
+        if self._peeked is None:
+            self._peeked = self._scan()
+        return self._peeked
+
+    def next(self):
+        """Consume and return the next token."""
+        token = self.peek()
+        self._peeked = None
+        return token
+
+    def expect(self, kind, description=None):
+        """Consume the next token, requiring it to be of ``kind``."""
+        token = self.next()
+        if token.kind is not kind:
+            wanted = description or kind.value
+            raise ParseError(
+                "expected %s but found %s" % (wanted, token),
+                token.line,
+                token.column,
+            )
+        return token
+
+    def expect_keyword(self, word):
+        """Consume the next token, requiring the identifier ``word``."""
+        token = self.next()
+        if token.kind is not TokenKind.IDENT or token.value != word:
+            raise ParseError(
+                "expected %r but found %s" % (word, token), token.line, token.column
+            )
+        return token
+
+    def accept(self, kind):
+        """Consume and return the next token if it has ``kind``, else None."""
+        if self.peek().kind is kind:
+            return self.next()
+        return None
+
+    def accept_keyword(self, word):
+        """Consume the identifier ``word`` if it is next, else None."""
+        token = self.peek()
+        if token.kind is TokenKind.IDENT and token.value == word:
+            return self.next()
+        return None
+
+    def at_end(self):
+        """True when all input has been consumed."""
+        return self.peek().kind is TokenKind.EOF
+
+    def error(self, message):
+        """Raise a :class:`ParseError` at the current position."""
+        token = self.peek()
+        raise ParseError(message, token.line, token.column)
+
+    # -- internals ---------------------------------------------------
+
+    def _advance(self):
+        char = self._text[self._pos]
+        self._pos += 1
+        if char == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return char
+
+    def _skip_whitespace_and_comments(self):
+        while self._pos < len(self._text):
+            char = self._text[self._pos]
+            if char in " \t\r\n":
+                self._advance()
+            elif char in "%#":
+                while self._pos < len(self._text) and self._text[self._pos] != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _scan(self):
+        self._skip_whitespace_and_comments()
+        line, column = self._line, self._column
+        if self._pos >= len(self._text):
+            return Token(TokenKind.EOF, "", line, column)
+        char = self._text[self._pos]
+        if char.isalpha() or char == "_":
+            return self._scan_ident(line, column)
+        if char.isdigit():
+            return self._scan_number(line, column)
+        if char == '"':
+            return self._scan_string(line, column)
+        if char == "<":
+            self._advance()
+            if self._pos < len(self._text) and self._text[self._pos] == "-":
+                self._advance()
+                return Token(TokenKind.ARROW, "<-", line, column)
+            if self._pos < len(self._text) and self._text[self._pos] == "=":
+                self._advance()
+                return Token(TokenKind.LE, "<=", line, column)
+            return Token(TokenKind.LT, "<", line, column)
+        if char == ">":
+            self._advance()
+            if self._pos < len(self._text) and self._text[self._pos] == "=":
+                self._advance()
+                return Token(TokenKind.GE, ">=", line, column)
+            return Token(TokenKind.GT, ">", line, column)
+        if char == "!":
+            self._advance()
+            if self._pos < len(self._text) and self._text[self._pos] == "=":
+                self._advance()
+                return Token(TokenKind.NE, "!=", line, column)
+            raise ParseError("unexpected character '!'", line, column)
+        if char == ":":
+            self._advance()
+            if self._pos < len(self._text) and self._text[self._pos] == "-":
+                self._advance()
+                return Token(TokenKind.ARROW, ":-", line, column)
+            return Token(TokenKind.COLON, ":", line, column)
+        if char in _SINGLE_CHARS:
+            self._advance()
+            return Token(_SINGLE_CHARS[char], char, line, column)
+        raise ParseError("unexpected character %r" % char, line, column)
+
+    def _scan_ident(self, line, column):
+        start = self._pos
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isalnum() or self._text[self._pos] == "_"
+        ):
+            self._advance()
+        return Token(TokenKind.IDENT, self._text[start : self._pos], line, column)
+
+    def _scan_number(self, line, column):
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos].isdigit():
+            self._advance()
+        return Token(TokenKind.NUMBER, self._text[start : self._pos], line, column)
+
+    def _scan_string(self, line, column):
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            if self._pos >= len(self._text):
+                raise ParseError("unterminated string literal", line, column)
+            char = self._advance()
+            if char == '"':
+                break
+            if char == "\\":
+                if self._pos >= len(self._text):
+                    raise ParseError("unterminated string literal", line, column)
+                chars.append(self._advance())
+            else:
+                chars.append(char)
+        return Token(TokenKind.STRING, "".join(chars), line, column)

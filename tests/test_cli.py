@@ -1,0 +1,198 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+EDB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+relation seed[1; 0] { (n) where T1 = 0; }
+"""
+
+PROGRAM = """
+problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+DIVERGING = """
+p(t) <- seed(t).
+p(t + 5) <- p(t).
+"""
+
+D1S = """
+train(5; liege).
+train(t + 40; liege) <- train(t; liege).
+"""
+
+TEMPLOG = """
+next^5 go.
+always (next^40 go <- go).
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, text in (
+        ("edb.gdb", EDB),
+        ("program.dtl", PROGRAM),
+        ("diverge.dtl", DIVERGING),
+        ("trains.d1s", D1S),
+        ("monitor.tlg", TEMPLOG),
+    ):
+        path = tmp_path / name
+        path.write_text(text)
+        paths[name] = str(path)
+    return paths
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_closed_form(self, files):
+        code, output = run_cli(
+            ["run", files["program.dtl"], "--edb", files["edb.gdb"]]
+        )
+        assert code == 0
+        assert "constraint safe: True" in output
+        assert "168n+10" in output
+
+    def test_window(self, files):
+        code, output = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--window",
+                "0",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "(10, 12, 'database')" in output
+
+    def test_predicate_filter(self, files):
+        code, output = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--predicate",
+                "problems",
+            ]
+        )
+        assert code == 0
+        assert output.count("problems [") == 1
+
+    def test_give_up_exit_code(self, files):
+        code, _ = run_cli(
+            [
+                "run",
+                files["diverge.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--patience",
+                "3",
+            ]
+        )
+        assert code == 2
+
+    def test_give_up_partial(self, files):
+        code, output = run_cli(
+            [
+                "run",
+                files["diverge.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--patience",
+                "3",
+                "--partial",
+            ]
+        )
+        assert code == 0
+        assert "gave up" in output
+
+
+class TestStatsAndVerify:
+    def test_stats_flag(self, files):
+        code, output = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "free signatures" in output
+
+    def test_verify_flag(self, files):
+        code, output = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--verify",
+                "--window",
+                "0",
+                "300",
+            ]
+        )
+        assert code == 0
+        assert "model verified" in output
+
+
+class TestOtherCommands:
+    def test_query(self, files):
+        code, output = run_cli(
+            [
+                "query",
+                files["edb.gdb"],
+                'exists t2 (course(t1, t2; "database"))',
+            ]
+        )
+        assert code == 0
+        assert "168n+8" in output
+
+    def test_query_truth_value(self, files):
+        code, output = run_cli(
+            [
+                "query",
+                files["edb.gdb"],
+                'exists t1, t2 (course(t1, t2; "database"))',
+            ]
+        )
+        assert code == 0
+        assert "truth value: True" in output
+
+    def test_datalog1s(self, files):
+        code, output = run_cli(["datalog1s", files["trains.d1s"]])
+        assert code == 0
+        assert "40n+5" in output
+
+    def test_templog(self, files):
+        code, output = run_cli(["templog", files["monitor.tlg"]])
+        assert code == 0
+        assert "40n+5" in output
+
+    def test_parse_error_exit_code(self, files, tmp_path):
+        bad = tmp_path / "bad.dtl"
+        bad.write_text("p(t <-")
+        code, _ = run_cli(["run", str(bad), "--edb", files["edb.gdb"]])
+        assert code == 1
+
+    def test_missing_file(self, files):
+        code, _ = run_cli(["run", "/no/such/file", "--edb", files["edb.gdb"]])
+        assert code == 1

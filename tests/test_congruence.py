@@ -1,0 +1,136 @@
+"""Unit tests for repro.lrp.congruence."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lrp.congruence import (
+    crt,
+    crt_all,
+    divisors,
+    egcd,
+    lcm,
+    lcm_all,
+    modular_inverse,
+    solve_congruence,
+)
+
+
+class TestEgcd:
+    def test_textbook(self):
+        assert egcd(240, 46) == (2, -9, 47)
+
+    def test_zero_cases(self):
+        assert egcd(0, 0)[0] == 0
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 7) == 7
+
+    def test_lcm_all(self):
+        assert lcm_all([]) == 1
+        assert lcm_all([2, 3, 4]) == 12
+
+    @given(st.integers(1, 1000), st.integers(1, 1000))
+    def test_divides(self, a, b):
+        m = lcm(a, b)
+        assert m % a == 0 and m % b == 0
+        assert m == a * b // math.gcd(a, b)
+
+
+class TestModularInverse:
+    def test_basic(self):
+        assert modular_inverse(3, 7) == 5
+
+    def test_not_invertible(self):
+        assert modular_inverse(2, 4) is None
+
+    @given(st.integers(1, 500), st.integers(2, 500))
+    def test_inverse_property(self, a, m):
+        inv = modular_inverse(a, m)
+        if math.gcd(a, m) == 1:
+            assert inv is not None
+            assert a * inv % m == 1
+        else:
+            assert inv is None
+
+
+class TestSolveCongruence:
+    def test_basic(self):
+        assert solve_congruence(4, 2, 6) == (2, 3)
+
+    def test_no_solution(self):
+        assert solve_congruence(2, 1, 4) is None
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(1, 100))
+    def test_solutions_verify(self, a, b, m):
+        result = solve_congruence(a, b, m)
+        brute = [x for x in range(m) if (a * x - b) % m == 0]
+        if result is None:
+            assert brute == []
+        else:
+            x0, step = result
+            assert (a * x0 - b) % m == 0
+            assert sorted(x % m for x in range(x0, x0 + m, step)) == brute
+
+
+class TestCrt:
+    def test_textbook(self):
+        assert crt(3, 5, 5, 7) == (33, 35)
+
+    def test_incompatible(self):
+        assert crt(0, 2, 1, 4) is None
+
+    def test_non_coprime_compatible(self):
+        r, m = crt(2, 4, 0, 6)
+        assert m == 12
+        assert r % 4 == 2 and r % 6 == 0
+
+    @given(
+        st.integers(0, 50), st.integers(1, 50), st.integers(0, 50), st.integers(1, 50)
+    )
+    def test_agrees_with_enumeration(self, r1, m1, r2, m2):
+        result = crt(r1, m1, r2, m2)
+        combined = lcm(m1, m2)
+        brute = [
+            x for x in range(combined) if x % m1 == r1 % m1 and x % m2 == r2 % m2
+        ]
+        if result is None:
+            assert brute == []
+        else:
+            r, m = result
+            assert m == combined
+            assert brute == [r]
+
+    def test_crt_all(self):
+        assert crt_all([]) == (0, 1)
+        r, m = crt_all([(1, 2), (2, 3), (3, 5)])
+        assert m == 30
+        assert r % 2 == 1 and r % 3 == 2 and r % 5 == 3
+
+    def test_crt_all_inconsistent(self):
+        assert crt_all([(0, 2), (1, 4)]) is None
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(13) == [1, 13]
+
+    @given(st.integers(1, 2000))
+    def test_complete(self, n):
+        ds = divisors(n)
+        assert ds == sorted(d for d in range(1, n + 1) if n % d == 0)

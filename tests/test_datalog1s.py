@@ -1,0 +1,369 @@
+"""Tests for the Chomicki–Imieliński Datalog1S implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog1s import (
+    Model1S,
+    datalog1s_model_to_relation,
+    minimal_model,
+    parse_datalog1s,
+    relation_to_datalog1s,
+)
+from repro.datalog1s.translate import (
+    eventually_periodic_to_clauses,
+    relation_extension_as_eps,
+)
+from repro.core.ast import Program
+from repro.gdb import parse_database
+from repro.lrp import EventuallyPeriodicSet
+from repro.util.errors import SchemaError
+
+TRAINS = """
+train_leaves(5; liege, brussels).
+train_leaves(t + 40; liege, brussels) <- train_leaves(t; liege, brussels).
+train_arrives(t + 60; liege, brussels) <- train_leaves(t; liege, brussels).
+"""
+
+
+def brute_force_model(program, horizon):
+    """Reference semantics: naive ground fixpoint on [0, horizon)."""
+    facts = {}
+
+    def add(key, t):
+        facts.setdefault(key, set()).add(t)
+
+    for head_offset, body, head in program.normalized_clauses():
+        if not body:
+            data = tuple(term.value for term in head.data_args)
+            add((head.predicate, data), head_offset)
+    changed = True
+    domain = sorted(program.data_constants(), key=repr)
+    while changed:
+        changed = False
+        for head_offset, body, head in program.normalized_clauses():
+            if not body:
+                continue
+            import itertools
+
+            variables = sorted(
+                {
+                    term.name
+                    for atom_data in [head.data_args]
+                    + [d for (_, __, d, ___) in body]
+                    for term in atom_data
+                    if term.is_variable()
+                }
+            )
+            for values in itertools.product(domain, repeat=len(variables)):
+                theta = dict(zip(variables, values))
+
+                def ground(terms):
+                    return tuple(
+                        theta[x.name] if x.is_variable() else x.value
+                        for x in terms
+                    )
+
+                head_key = (head.predicate, ground(head.data_args))
+                for base in range(horizon):
+                    head_time = base + head_offset
+                    if head_time >= horizon:
+                        break
+                    if head_time in facts.get(head_key, set()):
+                        continue
+                    if all(
+                        ((base + off) in facts.get((p, ground(d)), set()))
+                        != neg
+                        for (p, off, d, neg) in body
+                    ):
+                        add(head_key, head_time)
+                        changed = True
+        for head_time, body, head in program.ground_rules():
+            data = tuple(term.value for term in head.data_args)
+            key = (head.predicate, data)
+            if head_time < horizon and head_time not in facts.get(key, set()):
+                if all(
+                    (t in facts.get((p, tuple(x.value for x in d)), set()))
+                    != neg
+                    for (p, t, d, neg) in body
+                ):
+                    add(key, head_time)
+                    changed = True
+    return facts
+
+
+class TestValidation:
+    def test_accepts_paper_example(self):
+        program = parse_datalog1s(TRAINS)
+        assert len(program) == 3
+        assert program.is_forward()
+
+    def test_rejects_two_temporal_args(self):
+        with pytest.raises(SchemaError):
+            parse_datalog1s("p(t, u) <- q(t).")
+
+    def test_rejects_constraints(self):
+        with pytest.raises(SchemaError):
+            parse_datalog1s("p(t) <- q(t), t >= 0.")
+
+    def test_rejects_negative_fact_time(self):
+        with pytest.raises(SchemaError):
+            parse_datalog1s("p(-3).")
+
+    def test_rejects_predecessor(self):
+        with pytest.raises(SchemaError):
+            parse_datalog1s("p(t - 1) <- q(t).")
+
+    def test_rejects_two_temporal_variables(self):
+        with pytest.raises(SchemaError):
+            parse_datalog1s("p(t) <- q(u).")
+
+    def test_rejects_nonground_fact(self):
+        with pytest.raises(SchemaError):
+            parse_datalog1s("p(t).")
+
+    def test_backward_is_not_forward(self):
+        program = parse_datalog1s("p(t) <- q(t + 2). q(8).")
+        assert not program.is_forward()
+
+    def test_ground_rule_allowed(self):
+        program = parse_datalog1s("p(3) <- q(1). q(1).")
+        assert program.ground_rules()
+
+
+class TestMinimalModelForward:
+    def test_paper_trains(self):
+        program = parse_datalog1s(TRAINS)
+        model = minimal_model(program)
+        leaves = model.set_of("train_leaves", ("liege", "brussels"))
+        assert leaves == EventuallyPeriodicSet(
+            threshold=5, period=40, residues=[5]
+        )
+        arrives = model.set_of("train_arrives", ("liege", "brussels"))
+        assert 65 in arrives and 105 in arrives
+        assert 64 not in arrives
+        assert arrives.period == 40
+
+    def test_single_fact(self):
+        model = minimal_model(parse_datalog1s("p(7)."))
+        assert model.set_of("p") == EventuallyPeriodicSet.from_finite([7])
+
+    def test_interleaved_periods(self):
+        program = parse_datalog1s(
+            """
+            p(0).
+            p(t + 3) <- p(t).
+            q(t + 1) <- p(t).
+            """
+        )
+        model = minimal_model(program)
+        assert model.set_of("p") == EventuallyPeriodicSet(period=3, residues=[0])
+        assert model.set_of("q") == EventuallyPeriodicSet(
+            threshold=1, period=3, residues=[1]
+        )
+
+    def test_zero_delay_cycle(self):
+        program = parse_datalog1s(
+            """
+            a(0).
+            b(t) <- a(t).
+            c(t) <- b(t).
+            a(t + 2) <- c(t).
+            """
+        )
+        model = minimal_model(program)
+        evens = EventuallyPeriodicSet(period=2, residues=[0])
+        assert model.set_of("a") == evens
+        assert model.set_of("b") == evens
+        assert model.set_of("c") == evens
+
+    def test_conjunction(self):
+        program = parse_datalog1s(
+            """
+            a(0). a(t + 2) <- a(t).
+            b(0). b(t + 3) <- b(t).
+            both(t) <- a(t), b(t).
+            """
+        )
+        model = minimal_model(program)
+        assert model.set_of("both") == EventuallyPeriodicSet(
+            period=6, residues=[0]
+        )
+
+    def test_data_variables(self):
+        program = parse_datalog1s(
+            """
+            p(0; x). p(1; y).
+            p(t + 4; A) <- p(t; A).
+            """
+        )
+        model = minimal_model(program)
+        assert model.set_of("p", ("x",)) == EventuallyPeriodicSet(
+            period=4, residues=[0]
+        )
+        assert model.set_of("p", ("y",)) == EventuallyPeriodicSet(
+            period=4, residues=[1]
+        )
+
+    def test_ground_rule_fires(self):
+        program = parse_datalog1s("q(1). p(3) <- q(1).")
+        model = minimal_model(program)
+        assert model.holds("p", 3)
+
+    def test_ground_rule_blocked(self):
+        program = parse_datalog1s("q(2). p(3) <- q(1).")
+        model = minimal_model(program)
+        assert not model.holds("p", 3)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(1, 5)),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_brute_force(self, seeds):
+        text = []
+        for index, (start, step) in enumerate(seeds):
+            text.append("p%d(%d)." % (index, start))
+            text.append("p%d(t + %d) <- p%d(t)." % (index, step, index))
+        text.append(
+            "meet(t) <- %s."
+            % ", ".join("p%d(t)" % i for i in range(len(seeds)))
+        )
+        program = parse_datalog1s("\n".join(text))
+        model = minimal_model(program)
+        horizon = 120
+        brute = brute_force_model(program, horizon)
+        for key, times in brute.items():
+            pred, data = key
+            eps = model.set_of(pred, data)
+            margin = max(step for (_, step) in seeds) + 7
+            assert set(eps.window(0, horizon - margin)) == {
+                t for t in times if t < horizon - margin
+            }
+
+
+class TestMinimalModelBackward:
+    def test_pure_backward_chain(self):
+        # p(t) <- p(t+1) plus p at 40n+7: p should become the
+        # down-closure [0, inf) since p is unbounded above.
+        program = parse_datalog1s(
+            """
+            q(7).
+            q(t + 40) <- q(t).
+            p(t) <- q(t).
+            p(t) <- p(t + 1).
+            """
+        )
+        model = minimal_model(program)
+        assert model.set_of("p").is_all()
+
+    def test_backward_from_finite(self):
+        program = parse_datalog1s(
+            """
+            q(9).
+            p(t) <- q(t).
+            p(t) <- p(t + 1).
+            """
+        )
+        model = minimal_model(program)
+        assert model.set_of("p") == EventuallyPeriodicSet.from_finite(range(10))
+
+    def test_backward_shifted_copy(self):
+        program = parse_datalog1s(
+            """
+            q(4).
+            q(t + 6) <- q(t).
+            p(t) <- q(t + 2).
+            """
+        )
+        model = minimal_model(program)
+        assert model.set_of("p") == EventuallyPeriodicSet(
+            threshold=2, period=6, residues=[2]
+        )
+
+
+class TestTranslate:
+    def test_eps_to_clauses_roundtrip(self):
+        eps = EventuallyPeriodicSet(
+            threshold=6, period=5, residues=[2, 4], prefix=[0, 3]
+        )
+        clauses = eventually_periodic_to_clauses("p", eps)
+        program = parse_datalog1s(
+            "\n".join("%s" % clause for clause in clauses)
+        )
+        model = minimal_model(program)
+        assert model.set_of("p") == eps
+
+    @given(
+        st.builds(
+            EventuallyPeriodicSet,
+            st.integers(0, 8),
+            st.integers(1, 8),
+            st.sets(st.integers(0, 7), max_size=4),
+            st.sets(st.integers(0, 7), max_size=4),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_eps_roundtrip_random(self, eps):
+        clauses = eventually_periodic_to_clauses("p", eps)
+        if not clauses:
+            assert eps.is_empty()
+            return
+        program = Program(tuple(clauses))
+        from repro.datalog1s.ast import Datalog1SProgram
+
+        model = minimal_model(Datalog1SProgram(program))
+        assert model.set_of("p") == eps
+
+    def test_relation_to_datalog1s(self):
+        db = parse_database(
+            """
+            relation sched[1; 1] {
+              (40n+5; "x") where T1 >= 5;
+              (7; "x");
+            }
+            """
+        )
+        program = relation_to_datalog1s(db.relation("sched"), "sched")
+        model = minimal_model(program)
+        eps = model.set_of("sched", ("x",))
+        for t in (5, 7, 45, 85):
+            assert t in eps
+        assert 6 not in eps and 44 not in eps
+
+    def test_relation_extension_as_eps_negative_clipped(self):
+        db = parse_database("relation p[1; 0] { (10n+3); }")
+        eps = relation_extension_as_eps(db.relation("p"))
+        assert eps == EventuallyPeriodicSet(period=10, residues=[3])
+        assert -7 not in eps  # naturals only
+
+    def test_model_to_relation(self):
+        program = parse_datalog1s(TRAINS)
+        model = minimal_model(program)
+        relation = datalog1s_model_to_relation(model, "train_leaves")
+        assert relation.contains_point((45,), ("liege", "brussels"))
+        assert not relation.contains_point((46,), ("liege", "brussels"))
+        assert not relation.contains_point((-35,), ("liege", "brussels"))
+
+    def test_full_roundtrip_relation(self):
+        db = parse_database(
+            "relation p[1; 0] { (6n+1) where T1 >= 0; (9) where T1 = 9; }"
+        )
+        relation = db.relation("p")
+        program = relation_to_datalog1s(relation, "p")
+        model = minimal_model(program)
+        back = datalog1s_model_to_relation(model, "p")
+        window_original = {
+            t for (t,) in relation.extension(0, 80)
+        }
+        window_back = {t for (t,) in back.extension(0, 80)}
+        assert window_back == window_original
+
+    def test_rejects_wrong_arity(self):
+        db = parse_database("relation p[2; 0] { (n, n); }")
+        with pytest.raises(SchemaError):
+            relation_to_datalog1s(db.relation("p"))

@@ -1,0 +1,262 @@
+"""Unit and property tests for the difference-bound matrix solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.dbm import Dbm, INF
+
+
+def random_zone(size, bounds):
+    zone = Dbm.unconstrained(size)
+    for (i, j, c) in bounds:
+        zone.add_bound(i % (size + 1), j % (size + 1), c)
+    return zone
+
+
+bound_lists = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(-8, 8)),
+    max_size=6,
+)
+
+
+def brute_points(zone, low=-10, high=11):
+    return set(zone.enumerate_in_box(low, high))
+
+
+class TestBasics:
+    def test_unconstrained_satisfiable(self):
+        assert Dbm.unconstrained(3).is_satisfiable()
+
+    def test_simple_contradiction(self):
+        zone = Dbm.unconstrained(1)
+        zone.add_bound(1, 0, 3)   # x1 <= 3
+        zone.add_bound(0, 1, -4)  # x1 >= 4
+        assert not zone.is_satisfiable()
+
+    def test_strict_cycle_over_integers(self):
+        # x1 < x2 and x2 < x1 + 1 has no integer solution.
+        zone = Dbm.unconstrained(2)
+        zone.add_bound(1, 2, -1)
+        zone.add_bound(2, 1, 0)
+        assert not zone.is_satisfiable()
+
+    def test_tightening(self):
+        zone = Dbm.unconstrained(2)
+        zone.add_bound(1, 2, 5)
+        zone.add_bound(2, 0, 3)  # x2 <= 3
+        assert zone.bound(1, 0) == 8  # x1 <= x2 + 5 <= 8
+
+    def test_difference_interval(self):
+        zone = Dbm.unconstrained(2)
+        zone.add_bound(1, 2, -1)  # x1 - x2 <= -1
+        zone.add_bound(2, 1, 5)   # x2 - x1 <= 5
+        assert zone.difference_interval(2, 1) == (1, 5)
+
+    def test_unbounded_interval(self):
+        zone = Dbm.unconstrained(2)
+        lo, hi = zone.difference_interval(1, 2)
+        assert lo == -INF and hi == INF
+
+    def test_bad_index(self):
+        with pytest.raises(IndexError):
+            Dbm.unconstrained(2).add_bound(5, 0, 1)
+
+
+class TestSatisfiedByAndSample:
+    @given(bound_lists)
+    def test_sample_in_zone(self, bounds):
+        zone = random_zone(3, bounds)
+        point = zone.sample()
+        if zone.is_satisfiable():
+            assert point is not None
+            assert zone.satisfied_by(point)
+        else:
+            assert point is None
+
+    @given(bound_lists)
+    def test_satisfiability_matches_brute_force(self, bounds):
+        zone = random_zone(2, bounds)
+        brute = brute_points(zone, -20, 21)
+        assert zone.is_satisfiable() == bool(brute) or zone.is_satisfiable()
+        # If brute finds points, the zone must be satisfiable.
+        if brute:
+            assert zone.is_satisfiable()
+        # If satisfiable, sample() is a witness even outside the box.
+        if zone.is_satisfiable():
+            assert zone.satisfied_by(zone.sample())
+
+
+class TestContainmentAndEquality:
+    def test_contains(self):
+        big = Dbm.unconstrained(2)
+        big.add_bound(1, 0, 10)
+        small = big.copy()
+        small.add_bound(1, 0, 5)
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_empty_contained_everywhere(self):
+        empty = Dbm.unconstrained(2)
+        empty.add_bound(0, 0, -1)
+        anything = Dbm.unconstrained(2)
+        assert anything.contains(empty)
+        assert not empty.contains(anything)
+
+    @given(bound_lists, bound_lists)
+    def test_contains_agrees_with_enumeration(self, b1, b2):
+        a = random_zone(2, b1)
+        b = random_zone(2, b2)
+        pa, pb = brute_points(a), brute_points(b)
+        if a.contains(b):
+            assert pb <= pa
+
+    def test_equality_canonical(self):
+        a = Dbm.unconstrained(2)
+        a.add_bound(1, 2, 0)
+        a.add_bound(2, 0, 5)
+        b = Dbm.unconstrained(2)
+        b.add_bound(2, 0, 5)
+        b.add_bound(1, 2, 0)
+        b.add_bound(1, 0, 7)  # implied: x1 <= x2 <= 5 <= 7
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestProjection:
+    def test_project_shadow(self):
+        zone = Dbm.unconstrained(2)
+        zone.add_bound(1, 2, -1)  # x1 < x2
+        zone.add_bound(2, 0, 10)  # x2 <= 10
+        projected = zone.project_out(2)
+        assert projected.size == 1
+        assert projected.bound(1, 0) == 9  # x1 <= 9
+
+    @given(bound_lists, st.integers(1, 3))
+    @settings(max_examples=60)
+    def test_projection_agrees_with_enumeration(self, bounds, victim):
+        zone = random_zone(3, bounds)
+        projected = zone.project_out(victim)
+        box = brute_points(zone, -8, 9)
+        shadow = {
+            tuple(v for idx, v in enumerate(p) if idx != victim - 1) for p in box
+        }
+        projected_box = brute_points(projected, -8, 9)
+        # The enumerated shadow is a subset of the projection restricted
+        # to the box (projection can also pick witnesses outside the box).
+        assert shadow <= projected_box
+
+
+class TestDifferenceAndUnion:
+    def test_difference_basic(self):
+        whole = Dbm.unconstrained(1)
+        whole.add_bound(1, 0, 10)   # x1 <= 10
+        whole.add_bound(0, 1, 0)    # x1 >= 0
+        hole = Dbm.unconstrained(1)
+        hole.add_bound(1, 0, 7)
+        hole.add_bound(0, 1, -3)    # 3 <= x1 <= 7
+        pieces = whole.difference(hole)
+        covered = set()
+        for piece in pieces:
+            covered |= {p[0] for p in piece.enumerate_in_box(-2, 13)}
+        assert covered == {0, 1, 2, 8, 9, 10}
+
+    def test_difference_disjoint_pieces(self):
+        whole = Dbm.unconstrained(2)
+        hole = Dbm.unconstrained(2)
+        hole.add_bound(1, 2, 0)  # x1 <= x2
+        pieces = whole.difference(hole)
+        for a, b in itertools.combinations(pieces, 2):
+            merged = a.copy()
+            merged.conjoin(b)
+            assert not merged.is_satisfiable()
+
+    @given(bound_lists, bound_lists)
+    @settings(max_examples=60)
+    def test_difference_extensional(self, b1, b2):
+        a = random_zone(2, b1)
+        b = random_zone(2, b2)
+        pieces = a.difference(b)
+        expected = brute_points(a) - brute_points(b)
+        got = set()
+        for piece in pieces:
+            got |= brute_points(piece)
+        assert got == expected
+
+    @given(bound_lists, bound_lists, bound_lists)
+    @settings(max_examples=60)
+    def test_subset_of_union_sound(self, b1, b2, b3):
+        a = random_zone(2, b1)
+        u1 = random_zone(2, b2)
+        u2 = random_zone(2, b3)
+        if a.is_subset_of_union([u1, u2]):
+            assert brute_points(a) <= (brute_points(u1) | brute_points(u2))
+
+    def test_subset_of_union_needs_both(self):
+        line = Dbm.unconstrained(1)
+        line.add_bound(1, 0, 10)
+        line.add_bound(0, 1, 0)  # [0, 10]
+        left = Dbm.unconstrained(1)
+        left.add_bound(1, 0, 5)  # (-inf, 5]
+        right = Dbm.unconstrained(1)
+        right.add_bound(0, 1, -6)  # [6, inf)
+        assert line.is_subset_of_union([left, right])
+        assert not line.is_subset_of_union([left])
+        assert not line.is_subset_of_union([right])
+
+
+class TestGeneratingBounds:
+    def test_equality_clique_not_lost(self):
+        zone = Dbm.unconstrained(3)
+        for (i, j) in ((1, 2), (2, 3)):
+            zone.add_bound(i, j, 0)
+            zone.add_bound(j, i, 0)
+        rebuilt = Dbm.unconstrained(3)
+        for (i, j, c) in zone.generating_bounds():
+            rebuilt.add_bound(i, j, c)
+        assert rebuilt == zone
+
+    @given(bound_lists)
+    def test_generating_bounds_regenerate(self, bounds):
+        zone = random_zone(3, bounds)
+        rebuilt = Dbm.unconstrained(3)
+        for (i, j, c) in zone.generating_bounds():
+            rebuilt.add_bound(i, j, c)
+        if zone.is_satisfiable():
+            assert rebuilt == zone
+        else:
+            assert not rebuilt.is_satisfiable()
+
+
+class TestRenameEmbedShift:
+    def test_renamed(self):
+        zone = Dbm.unconstrained(2)
+        zone.add_bound(1, 2, -1)  # x1 < x2
+        swapped = zone.renamed({1: 2, 2: 1})
+        assert swapped.bound(2, 1) == -1
+
+    def test_embedded(self):
+        zone = Dbm.unconstrained(1)
+        zone.add_bound(1, 0, 5)
+        wide = zone.embedded(3, {1: 2})
+        assert wide.bound(2, 0) == 5
+        assert wide.bound(1, 0) == INF
+
+    def test_shift_variable(self):
+        zone = Dbm.unconstrained(2)
+        zone.add_bound(2, 1, 0)
+        zone.add_bound(1, 2, 0)  # x1 = x2
+        shifted = zone.shift_variable(2, 60)
+        # Now x2 = x1 + 60.
+        assert shifted.bound(2, 1) == 60
+        assert shifted.bound(1, 2) == -60
+
+    @given(bound_lists, st.integers(-20, 20))
+    def test_shift_variable_extensional(self, bounds, delta):
+        zone = random_zone(2, bounds)
+        shifted = zone.shift_variable(1, delta)
+        for point in zone.enumerate_in_box(-8, 9):
+            moved = (point[0] + delta, point[1])
+            assert shifted.satisfied_by(moved)

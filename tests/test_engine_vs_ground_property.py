@@ -1,0 +1,145 @@
+"""Randomized cross-validation: closed-form engine vs ground oracle.
+
+Hypothesis generates small recursive programs over periodic EDBs; the
+closed-form model (when the engine terminates by constraint safety)
+must agree with the ground tuple-at-a-time fixpoint on the interior of
+a generous window.  This is the strongest end-to-end property in the
+suite: it exercises lrps, CRT refinement, the DBM algebra, the
+generalized-program transformation, T_GP, and both safety criteria at
+once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeductiveEngine, GroundEvaluator, parse_program
+from repro.gdb import parse_database
+from repro.util.errors import GiveUpError
+
+WINDOW = 260
+INTERIOR = 140
+
+
+@st.composite
+def periodic_program(draw):
+    """A one-predicate recursive program over 1-2 periodic seeds."""
+    seeds = draw(st.integers(1, 2))
+    relations = []
+    body_atoms = []
+    for index in range(seeds):
+        period = draw(st.integers(2, 12))
+        offset = draw(st.integers(0, period - 1))
+        low = draw(st.integers(0, 10))
+        relations.append(
+            "relation s%d[1; 0] { (%dn+%d) where T1 >= %d; }"
+            % (index, period, offset, low)
+        )
+        body_atoms.append("s%d(t)" % index)
+    shift = draw(st.integers(1, 10))
+    clauses = ["p(t) <- %s." % ", ".join(body_atoms)]
+    clauses.append("p(t + %d) <- p(t)." % shift)
+    if draw(st.booleans()):
+        bound = draw(st.integers(0, 30))
+        clauses.append("q(t) <- p(t), t >= %d." % bound)
+    return "\n".join(relations), "\n".join(clauses)
+
+
+@given(periodic_program())
+@settings(max_examples=25, deadline=None)
+def test_engine_matches_ground_oracle(case):
+    edb_text, program_text = case
+    edb = parse_database(edb_text)
+    program = parse_program(program_text)
+    engine = DeductiveEngine(program, edb, max_rounds=400, patience=None)
+    model = engine.run()
+    assert model.stats.constraint_safe
+
+    ground = GroundEvaluator(program, edb, -WINDOW, WINDOW)
+    ground.run()
+    for predicate in model.predicates():
+        closed = {
+            flat
+            for flat in model.extension(predicate, -WINDOW, WINDOW)
+            if -INTERIOR <= flat[0] < INTERIOR
+        }
+        oracle = {
+            flat
+            for flat in ground.extension(predicate)
+            if -INTERIOR <= flat[0] < INTERIOR
+        }
+        assert closed == oracle, predicate
+
+
+@st.composite
+def two_argument_program(draw):
+    """A program joining two temporal arguments with a gap constraint."""
+    period = draw(st.integers(3, 10))
+    ride = draw(st.integers(1, period))
+    gap = draw(st.integers(0, 6))
+    edb = (
+        "relation hop[2; 0] { (%dn, %dn+%d) where T1 >= 0 & T2 = T1 + %d; }"
+        % (period, period, ride % period, ride)
+    )
+    program = """
+    go(t1, t2) <- hop(t1, t2).
+    go(t1, t3) <- go(t1, t2), hop(u, t3), t2 <= u, u <= t2 + %d.
+    """ % gap
+    return edb, program
+
+
+@given(two_argument_program())
+@settings(max_examples=15, deadline=None)
+def test_two_argument_recursion_matches_oracle(case):
+    edb_text, program_text = case
+    edb = parse_database(edb_text)
+    program = parse_program(program_text)
+    engine = DeductiveEngine(program, edb, max_rounds=300, patience=20)
+    try:
+        model = engine.run()
+    except GiveUpError:
+        # Give-up is a legal outcome; nothing to cross-check.
+        return
+    ground = GroundEvaluator(program, edb, -60, 160)
+    ground.run()
+    closed = {
+        flat
+        for flat in model.extension("go", -60, 160)
+        if 0 <= flat[0] and flat[1] < 80
+    }
+    oracle = {
+        flat
+        for flat in ground.extension("go")
+        if 0 <= flat[0] and flat[1] < 80
+    }
+    assert closed == oracle
+
+
+@st.composite
+def negation_program(draw):
+    period_a = draw(st.integers(2, 8))
+    period_b = draw(st.integers(2, 8))
+    hi = draw(st.integers(10, 40))
+    edb = (
+        "relation a[1; 0] { (%dn) where T1 >= 0; }\n"
+        "relation b[1; 0] { (%dn) where T1 >= 0; }" % (period_a, period_b)
+    )
+    program = """
+    both(t) <- a(t).
+    both(t + %d) <- both(t).
+    only(t) <- not both(t), b(t), t >= 0, t < %d.
+    """ % (draw(st.integers(1, 6)), hi)
+    return edb, program, hi
+
+
+@given(negation_program())
+@settings(max_examples=15, deadline=None)
+def test_stratified_negation_matches_hand_semantics(case):
+    edb_text, program_text, hi = case
+    edb = parse_database(edb_text)
+    program = parse_program(program_text)
+    model = DeductiveEngine(program, edb, max_rounds=300, patience=None).run()
+    both = {t for (t,) in model.extension("both", -10, hi + 50)}
+    b_rel = edb.relation("b")
+    for t in range(0, hi):
+        expected = b_rel.contains_point((t,)) and t not in both
+        assert model.relation("only").contains_point((t,)) == expected

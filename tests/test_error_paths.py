@@ -1,0 +1,133 @@
+"""Failure-injection tests: every front end must fail loudly and
+precisely, never silently."""
+
+import pytest
+
+from repro.core import DeductiveEngine, parse_program
+from repro.datalog1s import minimal_model, parse_datalog1s
+from repro.datalog1s.ast import Datalog1SProgram
+from repro.fo import evaluate_query, parse_formula
+from repro.gdb import parse_database
+from repro.util.errors import (
+    EvaluationError,
+    ParseError,
+    SchemaError,
+)
+
+
+class TestFoErrors:
+    def test_unknown_relation(self):
+        db = parse_database("relation p[1; 0] { (2n); }")
+        with pytest.raises(SchemaError):
+            evaluate_query(db, "q(t)")
+
+    def test_arity_mismatch(self):
+        db = parse_database("relation p[1; 0] { (2n); }")
+        with pytest.raises(EvaluationError):
+            evaluate_query(db, "p(t, u)")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse_formula("p(t) and")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_formula("exists t (p(t)")
+
+    def test_missing_comparison_operand(self):
+        with pytest.raises(ParseError):
+            parse_formula("t <")
+
+
+class TestEngineErrors:
+    def test_missing_edb_relation(self):
+        program = parse_program("p(t) <- nothere(t).")
+        edb = parse_database("relation q[1; 0] {}")
+        with pytest.raises(SchemaError):
+            DeductiveEngine(program, edb)
+
+    def test_edb_arity_conflict(self):
+        program = parse_program("p(t) <- q(t, u).")
+        edb = parse_database("relation q[1; 0] {}")
+        with pytest.raises(SchemaError):
+            DeductiveEngine(program, edb)
+
+    def test_unstratifiable_program(self):
+        program = parse_program("p(t) <- not p(t).")
+        edb = parse_database("relation q[1; 0] {}")
+        with pytest.raises(SchemaError):
+            DeductiveEngine(program, edb)
+
+
+class TestDatalog1SErrors:
+    def test_horizon_exhaustion(self):
+        # A legitimate program whose period exceeds a tiny horizon cap.
+        program = parse_datalog1s("p(0). p(t + 7) <- p(t). q(0). q(t + 11) <- q(t). r(t) <- p(t), q(t).")
+        with pytest.raises(EvaluationError):
+            minimal_model(program, max_horizon=10)
+
+    def test_negated_atom_all_checks_apply(self):
+        with pytest.raises(SchemaError):
+            parse_datalog1s("p(t) <- q(t), not r(u).")
+
+    def test_program_wrapper_validates(self):
+        from repro.core.parser import parse_program as core_parse
+
+        core = core_parse("p(t, u) <- q(t).")
+        with pytest.raises(SchemaError):
+            Datalog1SProgram(core)
+
+
+class TestGdbErrors:
+    def test_relation_schema_mismatch_ops(self):
+        a = parse_database("relation p[1; 0] { (2n); }").relation("p")
+        b = parse_database("relation p[2; 0] { (2n, 2n); }").relation("p")
+        with pytest.raises(SchemaError):
+            a.union(b)
+        with pytest.raises(SchemaError):
+            a.difference(b)
+        with pytest.raises(SchemaError):
+            a.contains(b)
+
+    def test_constraint_arity_mismatch(self):
+        from repro.constraints import ConstraintSystem
+
+        a = ConstraintSystem.top(1)
+        b = ConstraintSystem.top(2)
+        with pytest.raises(ValueError):
+            a.conjoin(b)
+        with pytest.raises(ValueError):
+            a.implies(b)
+
+    def test_dbm_dimension_mismatch(self):
+        from repro.constraints.dbm import Dbm
+
+        with pytest.raises(ValueError):
+            Dbm.unconstrained(1).conjoin(Dbm.unconstrained(2))
+        with pytest.raises(ValueError):
+            Dbm.unconstrained(1).difference(Dbm.unconstrained(2))
+        with pytest.raises(ValueError):
+            Dbm.unconstrained(1).contains(Dbm.unconstrained(2))
+
+
+class TestOmegaErrors:
+    def test_buchi_lasso_needs_loop(self):
+        from repro.omega import buchi_eventually
+
+        with pytest.raises(ValueError):
+            buchi_eventually().accepts_lasso(("0",), ())
+
+    def test_finite_acceptance_lasso_needs_loop(self):
+        from repro.omega.expressiveness import finite_acceptance_eventually
+
+        with pytest.raises(ValueError):
+            finite_acceptance_eventually().accepts_lasso((), ())
+
+    def test_alphabet_mismatch(self):
+        from repro.omega import BuchiAutomaton, buchi_eventually
+
+        other = BuchiAutomaton({0}, ("a",), {(0, "a"): {0}}, {0}, {0})
+        with pytest.raises(ValueError):
+            buchi_eventually().union(other)
+        with pytest.raises(ValueError):
+            buchi_eventually().intersection(other)

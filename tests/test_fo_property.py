@@ -1,0 +1,143 @@
+"""Randomized cross-validation of the FO evaluator.
+
+Hypothesis generates guarded formulas (every temporal variable is
+fenced into ``[0, BOUND)``), which makes brute-force evaluation over
+the window exact; the algebraic evaluator must agree on every
+assignment.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fo import evaluate_query
+from repro.fo.ast import free_variables, parse_formula
+from repro.gdb import parse_database
+
+BOUND = 12
+
+DB_TEXT = """
+relation p[1; 0] { (3n) where T1 >= 0; }
+relation q[1; 0] { (4n+1) where T1 >= 0; }
+relation r[2; 0] { (2n, 2n) where T1 >= 0 & T2 = T1 + 2; }
+"""
+
+
+def database():
+    return parse_database(DB_TEXT)
+
+
+def guard(var):
+    return "%s >= 0 and %s < %d" % (var, var, BOUND)
+
+
+@st.composite
+def guarded_formula(draw, variables=("t", "u")):
+    """A formula whose every variable is guarded into [0, BOUND)."""
+
+    def atom(depth):
+        choice = draw(st.integers(0, 5 if depth > 0 else 3))
+        v = draw(st.sampled_from(variables))
+        w = draw(st.sampled_from(variables))
+        if choice == 0:
+            return "p(%s)" % v
+        if choice == 1:
+            return "q(%s)" % v
+        if choice == 2:
+            return "r(%s, %s)" % (v, w)
+        if choice == 3:
+            c = draw(st.integers(-3, 3))
+            op = draw(st.sampled_from(["<", "<=", "=", ">="]))
+            sign = "+" if c >= 0 else "-"
+            return "%s %s %s %s %d" % (v, op, w, sign, abs(c))
+        if choice == 4:
+            return "not (%s)" % formula(depth - 1)
+        sub = formula(depth - 1)
+        bound_var = draw(st.sampled_from(variables))
+        return "exists %s ((%s) and %s)" % (bound_var, sub, guard(bound_var))
+
+    def formula(depth):
+        parts = [atom(depth) for _ in range(draw(st.integers(1, 2)))]
+        connective = draw(st.sampled_from([" and ", " or "]))
+        return connective.join("(%s)" % part for part in parts)
+
+    body = formula(2)
+    # Guard every free variable.
+    parsed = parse_formula(body)
+    temporal, _ = free_variables(parsed)
+    guards = [guard(v) for v in temporal]
+    if guards:
+        body = "(%s) and %s" % (body, " and ".join(guards))
+    return body
+
+
+def brute_truth(db, node, assignment):
+    from repro.fo.ast import (
+        FoAnd,
+        FoAtom,
+        FoComparison,
+        FoExists,
+        FoForAll,
+        FoNot,
+        FoOr,
+    )
+
+    if isinstance(node, FoAtom):
+        times = tuple(
+            assignment[t.var] + t.offset if t.var else t.offset
+            for t in node.atom.temporal_args
+        )
+        return db.relation(node.atom.predicate).contains_point(times)
+    if isinstance(node, FoComparison):
+        def value(term):
+            return (assignment[term.var] if term.var else 0) + term.offset
+
+        left, right = value(node.atom.left), value(node.atom.right)
+        return {
+            "<": left < right,
+            "<=": left <= right,
+            "=": left == right,
+            ">=": left >= right,
+            ">": left > right,
+        }[node.atom.op]
+    if isinstance(node, FoAnd):
+        return all(brute_truth(db, part, assignment) for part in node.parts)
+    if isinstance(node, FoOr):
+        return any(brute_truth(db, part, assignment) for part in node.parts)
+    if isinstance(node, FoNot):
+        return not brute_truth(db, node.sub, assignment)
+    if isinstance(node, FoExists):
+        values = range(-2, BOUND + 2)
+        for combo in itertools.product(values, repeat=len(node.variables)):
+            extended = dict(assignment)
+            extended.update(zip(node.variables, combo))
+            if brute_truth(db, node.sub, extended):
+                return True
+        return False
+    if isinstance(node, FoForAll):
+        values = range(-2, BOUND + 2)
+        for combo in itertools.product(values, repeat=len(node.variables)):
+            extended = dict(assignment)
+            extended.update(zip(node.variables, combo))
+            if not brute_truth(db, node.sub, extended):
+                return False
+        return True
+    raise TypeError(node)
+
+
+@given(guarded_formula())
+@settings(max_examples=40, deadline=None)
+def test_fo_evaluator_matches_brute_force(text):
+    db = database()
+    formula = parse_formula(text)
+    temporal, data = free_variables(formula)
+    assert not data
+    answers = evaluate_query(db, formula)
+    for combo in itertools.product(range(-2, BOUND + 2), repeat=len(temporal)):
+        assignment = dict(zip(temporal, combo))
+        expected = brute_truth(db, formula, assignment)
+        got = answers.relation.contains_point(
+            tuple(assignment[v] for v in answers.temporal_vars)
+        )
+        assert got == expected, (text, assignment)

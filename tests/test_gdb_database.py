@@ -1,0 +1,147 @@
+"""Tests for the database container and the text format parser."""
+
+import pytest
+
+from repro.gdb import (
+    GeneralizedDatabase,
+    GeneralizedTuple,
+    parse_database,
+    parse_generalized_tuple,
+)
+from repro.lrp import Lrp
+from repro.util.errors import ParseError, SchemaError
+
+TRAIN_DB = """
+% Example 2.1 of the paper: Liege -> Brussels trains.
+relation train[2; 2] {
+  (40n+5, 40n+65; "Liege", "Brussels") where T1 >= 0 & T2 = T1 + 60;
+}
+"""
+
+COURSE_DB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+"""
+
+
+class TestDatabase:
+    def test_declare_and_add(self):
+        db = GeneralizedDatabase()
+        db.declare("p", 1, 0)
+        db.add_tuple("p", GeneralizedTuple((Lrp(2, 0),)))
+        assert len(db.relation("p")) == 1
+        assert "p" in db
+
+    def test_declare_idempotent(self):
+        db = GeneralizedDatabase()
+        db.declare("p", 1, 0)
+        db.declare("p", 1, 0)
+        assert db.names() == ["p"]
+
+    def test_redeclare_conflict(self):
+        db = GeneralizedDatabase()
+        db.declare("p", 1, 0)
+        with pytest.raises(SchemaError):
+            db.declare("p", 2, 0)
+
+    def test_unknown_relation(self):
+        db = GeneralizedDatabase()
+        with pytest.raises(SchemaError):
+            db.relation("nope")
+
+    def test_set_relation_schema_check(self):
+        from repro.gdb import GeneralizedRelation
+
+        db = GeneralizedDatabase()
+        db.declare("p", 1, 0)
+        with pytest.raises(SchemaError):
+            db.set_relation("p", GeneralizedRelation.empty(2, 0))
+
+    def test_copy_is_independent(self):
+        db = GeneralizedDatabase()
+        db.declare("p", 1, 0)
+        clone = db.copy()
+        clone.add_tuple("p", GeneralizedTuple((Lrp(2, 0),)))
+        assert len(db.relation("p")) == 0
+        assert len(clone.relation("p")) == 1
+
+
+class TestParser:
+    def test_train_example(self):
+        db = parse_database(TRAIN_DB)
+        train = db.relation("train")
+        assert len(train) == 1
+        assert train.contains_point((5, 65), ("Liege", "Brussels"))
+        assert train.contains_point((45, 105), ("Liege", "Brussels"))
+        assert not train.contains_point((-35, 25), ("Liege", "Brussels"))
+
+    def test_course_example(self):
+        db = parse_database(COURSE_DB)
+        course = db.relation("course")
+        assert course.contains_point((176, 178), ("database",))
+
+    def test_constant_entries(self):
+        gt = parse_generalized_tuple("(5, 65)", 2)
+        assert gt.contains_point((5, 65))
+        assert not gt.contains_point((5, 66))
+        assert not gt.contains_point((45, 105))
+
+    def test_negative_constant(self):
+        gt = parse_generalized_tuple("(-7)", 1)
+        assert gt.contains_point((-7,))
+        assert not gt.contains_point((7,))
+
+    def test_bare_n(self):
+        gt = parse_generalized_tuple("(n)", 1)
+        assert gt.contains_point((123,))
+
+    def test_n_with_offset(self):
+        gt = parse_generalized_tuple("(5n-2)", 1)
+        assert gt.lrps == (Lrp(5, 3),)
+
+    def test_data_kinds(self):
+        gt = parse_generalized_tuple('(n; "quoted", bare, 42)', 1, 3)
+        assert gt.data == ("quoted", "bare", 42)
+
+    def test_where_with_and(self):
+        gt = parse_generalized_tuple("(n, n) where T1 >= 0 and T2 = T1 + 1", 2)
+        assert gt.contains_point((3, 4))
+        assert not gt.contains_point((3, 5))
+
+    def test_multiple_relations(self):
+        db = parse_database(TRAIN_DB + COURSE_DB)
+        assert set(db.names()) == {"train", "course"}
+
+    def test_empty_relation(self):
+        db = parse_database("relation p[1; 0] {}")
+        assert db.relation("p").is_empty()
+
+    def test_multiple_tuples(self):
+        db = parse_database(
+            """
+            relation p[1; 0] {
+              (2n);
+              (2n+1) where T1 >= 0;
+            }
+            """
+        )
+        assert len(db.relation("p")) == 2
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_generalized_tuple("(n) nonsense", 1)
+
+    def test_missing_brace(self):
+        with pytest.raises(ParseError):
+            parse_database("relation p[1; 0] { (n);")
+
+    def test_bad_constraint_variable(self):
+        with pytest.raises(ParseError):
+            parse_generalized_tuple("(n) where T5 = 0", 1)
+
+    def test_roundtrip_through_str(self):
+        db = parse_database(TRAIN_DB)
+        text = str(db)
+        again = parse_database(text)
+        assert again.relation("train").equivalent(db.relation("train"))

@@ -1,0 +1,203 @@
+"""Tests for LTL over ultimately periodic words (paper Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lrp import EventuallyPeriodicSet
+from repro.omega.ltl import (
+    And,
+    Atom,
+    F,
+    G,
+    Implies,
+    Next,
+    Not,
+    Or,
+    R,
+    TrueConst,
+    Until,
+    eps_lasso,
+    evaluate,
+    holds_at,
+    query_eps,
+)
+
+P = Atom("p")
+Q = Atom("q")
+
+
+def word(*flags):
+    """Letters from 'p'/'q'/'pq'/'' strings."""
+    return [frozenset(c for c in flag) for flag in flags]
+
+
+class TestBasics:
+    def test_atom(self):
+        values = evaluate(P, word("p", ""), word("p"))
+        assert values == [True, False, True]
+
+    def test_boolean(self):
+        prefix, loop = word("pq"), word("p", "")
+        assert evaluate(And(P, Q), prefix, loop) == [True, False, False]
+        assert evaluate(Or(P, Q), prefix, loop) == [True, True, False]
+        assert evaluate(Not(P), prefix, loop) == [False, False, True]
+        assert evaluate(TrueConst(), prefix, loop) == [True, True, True]
+
+    def test_next_wraps_into_loop(self):
+        # Word: p, then loop (q, empty): successors 0->1, 1->2, 2->1.
+        prefix, loop = word("p"), word("q", "")
+        assert evaluate(Next(Q), prefix, loop) == [True, False, True]
+
+    def test_until(self):
+        # p U q on word (p, p, q-loop).
+        prefix, loop = word("p", "p"), word("q")
+        assert evaluate(Until(P, Q), prefix, loop) == [True, True, True]
+
+    def test_until_fails_without_witness(self):
+        prefix, loop = word("p"), word("p")
+        assert evaluate(Until(P, Q), prefix, loop) == [False, False]
+
+    def test_eventually_and_always(self):
+        prefix, loop = word("", ""), word("p")
+        assert evaluate(F(P), prefix, loop) == [True, True, True]
+        assert evaluate(G(P), prefix, loop) == [False, False, True]
+
+    def test_release(self):
+        # q R p: p must hold up to and including the first q (or forever).
+        prefix, loop = word("p", "pq"), word("")
+        values = evaluate(R(Q, P), prefix, loop)
+        assert values[0] is True
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate(P, word("p"), [])
+
+    def test_holds_at_folds_positions(self):
+        prefix, loop = word("p"), word("q", "")
+        # Positions 1, 3, 5, … are 'q'.
+        assert holds_at(Q, prefix, loop, 1)
+        assert holds_at(Q, prefix, loop, 3)
+        assert not holds_at(Q, prefix, loop, 4)
+
+
+letters = st.sampled_from([frozenset(), frozenset("p"), frozenset("q"), frozenset("pq")])
+lassos = st.tuples(
+    st.lists(letters, max_size=4), st.lists(letters, min_size=1, max_size=4)
+)
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from([P, Q, TrueConst()]))
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return draw(st.sampled_from([P, Q]))
+    if kind == 1:
+        return Not(draw(formulas(depth=depth - 1)))
+    if kind == 2:
+        return And(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    if kind == 3:
+        return Or(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    if kind == 4:
+        return Next(draw(formulas(depth=depth - 1)))
+    if kind == 5:
+        return Until(draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1)))
+    return F(draw(formulas(depth=depth - 1)))
+
+
+class TestLaws:
+    @given(formulas(), lassos)
+    @settings(max_examples=60, deadline=None)
+    def test_g_is_not_f_not(self, phi, lasso):
+        prefix, loop = lasso
+        assert evaluate(G(phi), prefix, loop) == evaluate(
+            Not(F(Not(phi))), prefix, loop
+        )
+
+    @given(formulas(), formulas(), lassos)
+    @settings(max_examples=60, deadline=None)
+    def test_until_unrolling(self, phi, psi, lasso):
+        prefix, loop = lasso
+        lhs = evaluate(Until(phi, psi), prefix, loop)
+        rhs = evaluate(
+            Or(psi, And(phi, Next(Until(phi, psi)))), prefix, loop
+        )
+        assert lhs == rhs
+
+    @given(formulas(), formulas(), lassos)
+    @settings(max_examples=60, deadline=None)
+    def test_f_distributes_over_or(self, phi, psi, lasso):
+        prefix, loop = lasso
+        assert evaluate(F(Or(phi, psi)), prefix, loop) == [
+            a or b
+            for a, b in zip(
+                evaluate(F(phi), prefix, loop), evaluate(F(psi), prefix, loop)
+            )
+        ]
+
+    @given(formulas(), lassos)
+    @settings(max_examples=60, deadline=None)
+    def test_truth_against_unrolled_semantics(self, phi, lasso):
+        # Reference semantics: evaluate by brute force on a long
+        # unrolled finite word with periodic lookups.
+        prefix, loop = lasso
+        total = len(prefix) + len(loop)
+        horizon = total + 4 * len(loop) + 8
+
+        def letter(k):
+            if k < len(prefix):
+                return prefix[k]
+            return loop[(k - len(prefix)) % len(loop)]
+
+        def brute(node, k):
+            if k >= horizon:  # deep positions are periodic; fold back
+                k = len(prefix) + (k - len(prefix)) % len(loop)
+            if isinstance(node, Atom):
+                return node.name in letter(k)
+            if isinstance(node, TrueConst):
+                return True
+            if isinstance(node, Not):
+                return not brute(node.sub, k)
+            if isinstance(node, And):
+                return brute(node.left, k) and brute(node.right, k)
+            if isinstance(node, Or):
+                return brute(node.left, k) or brute(node.right, k)
+            if isinstance(node, Next):
+                return brute(node.sub, k + 1)
+            if isinstance(node, Until):
+                # On an ultimately periodic word a witness, if any,
+                # appears within one extra loop beyond the horizon.
+                for j in range(k, horizon + len(loop)):
+                    if brute(node.right, j):
+                        return all(brute(node.left, i) for i in range(k, j))
+                return False
+            raise TypeError(node)
+
+        values = evaluate(phi, prefix, loop)
+        for k in range(total):
+            assert values[k] == brute(phi, k), (str(phi), k)
+
+
+class TestDatabaseQueries:
+    def test_query_on_eps(self):
+        eps = EventuallyPeriodicSet(threshold=2, period=3, residues=[2], prefix=[0])
+        # p at 0, 2, 5, 8, …
+        assert query_eps(P, eps)
+        assert not query_eps(P, eps, position=1)
+        assert query_eps(F(P), eps, position=1)
+        assert query_eps(G(F(P)), eps)          # infinitely often p
+        assert not query_eps(F(G(P)), eps)      # eventually always p
+
+    def test_eps_lasso_shape(self):
+        eps = EventuallyPeriodicSet(threshold=1, period=2, residues=[1], prefix=[0])
+        prefix, loop = eps_lasso(eps)
+        assert prefix == [frozenset("p")]
+        assert loop == [frozenset("p"), frozenset()]
+
+    def test_implies(self):
+        eps = EventuallyPeriodicSet(period=2, residues=[0])
+        # Always (p implies X not p): p at evens only.
+        formula = G(Implies(P, Next(Not(P))))
+        assert query_eps(formula, eps)

@@ -1,0 +1,196 @@
+"""Focused tests for corners not covered elsewhere."""
+
+import pytest
+
+from repro.core import DeductiveEngine, GroundEvaluator, parse_clause, parse_program
+from repro.core.transform import normalize_clause
+from repro.datalog1s import parse_datalog1s
+from repro.gdb import (
+    GeneralizedRelation,
+    GeneralizedTuple,
+    parse_database,
+    parse_generalized_tuple,
+)
+from repro.lrp import Lrp, ZPeriodicSet
+from repro.util.errors import ParseError, SchemaError
+
+
+class TestTransformCorners:
+    def test_negated_atoms_normalized(self):
+        clause = parse_clause("p(t) <- q(t), not r(t + 3).")
+        normalized = normalize_clause(clause)
+        assert len(normalized.negated_atoms) == 1
+        inner = normalized.negated_atoms[0]
+        assert inner.temporal_args[0].offset == 0  # bare fresh var
+        assert "not r" in str(normalized)
+
+    def test_negated_var_shared_with_positive(self):
+        clause = parse_clause("p(t) <- q(t), not r(t).")
+        normalized = normalize_clause(clause)
+        # The negated atom's column is linked to t by a constraint.
+        negated_var = normalized.negated_atoms[0].temporal_args[0].var
+        assert negated_var != "t"
+        assert any(
+            negated_var in str(c) and "t" in str(c)
+            for c in normalized.constraints
+        )
+
+    def test_all_temporal_variables_includes_negated(self):
+        clause = parse_clause("p(t) <- not r(u), t < u.")
+        normalized = normalize_clause(clause)
+        names = normalized.all_temporal_variables()
+        assert "t" in names and "u" in names
+
+    def test_fact_normalization(self):
+        normalized = normalize_clause(parse_clause("p(3, 7)."))
+        assert len(normalized.head_vars) == 2
+        assert len(normalized.constraints) == 2
+        assert str(normalized).endswith(".")
+
+
+class TestGroundEvaluatorCorners:
+    def test_stats_fields(self):
+        edb = parse_database("relation q[1; 0] { (2n) where T1 >= 0; }")
+        program = parse_program("p(t) <- q(t). p(t + 2) <- p(t).")
+        evaluator = GroundEvaluator(program, edb, 0, 20)
+        stats = evaluator.run()
+        assert stats.rounds >= 1
+        assert stats.derivations > 0
+        assert stats.atoms == len(evaluator.extension("p")) + len(
+            evaluator.extension("q")
+        )
+        assert stats.atoms_per_round[-1] == stats.atoms
+
+    def test_constant_body_argument(self):
+        edb = parse_database("relation q[1; 0] { (2n) where T1 >= 0; }")
+        program = parse_program("p(t) <- q(t), q(0).")
+        evaluator = GroundEvaluator(program, edb, 0, 10)
+        evaluator.run()
+        assert (0,) in evaluator.extension("p")
+
+    def test_data_constant_mismatch(self):
+        edb = parse_database('relation q[1; 1] { (2n; "x") where T1 >= 0; }')
+        program = parse_program('p(t) <- q(t; "y").')
+        evaluator = GroundEvaluator(program, edb, 0, 10)
+        evaluator.run()
+        assert evaluator.extension("p") == set()
+
+
+class TestDatalog1SStrata:
+    def test_strata_partition_clauses(self):
+        program = parse_datalog1s(
+            """
+            a(0). a(t + 2) <- a(t).
+            b(t) <- not a(t).
+            """
+        )
+        strata = program.strata()
+        assert len(strata) == 2
+        assert {c.head.predicate for c in strata[0].clauses} == {"a"}
+        assert {c.head.predicate for c in strata[1].clauses} == {"b"}
+
+    def test_single_stratum_is_whole_program(self):
+        program = parse_datalog1s("a(0). a(t + 1) <- a(t).")
+        strata = program.strata()
+        assert len(strata) == 1
+        assert len(strata[0]) == 2
+
+
+class TestGdbParserErrors:
+    def test_missing_bracket(self):
+        with pytest.raises(ParseError):
+            parse_database("relation p[1 0] {}")
+
+    def test_wrong_entry_count(self):
+        with pytest.raises(ParseError):
+            parse_generalized_tuple("(n, n)", 1)
+
+    def test_data_without_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_generalized_tuple('(n "x")', 1, 1)
+
+    def test_zero_period_literal_rejected(self):
+        with pytest.raises(ValueError):
+            parse_generalized_tuple("(0n+3)", 1)
+
+    def test_schema_error_on_str_relation(self):
+        rel = GeneralizedRelation.empty(1, 0)
+        with pytest.raises(SchemaError):
+            rel.with_tuple(GeneralizedTuple((Lrp(1, 0), Lrp(1, 0))))
+
+
+class TestEngineCorners:
+    def test_max_rounds_is_per_stratum(self):
+        edb = parse_database(
+            """
+            relation seed[1; 0] { (6n) where T1 >= 0; }
+            """
+        )
+        program = parse_program(
+            """
+            a(t) <- seed(t).
+            a(t + 2) <- a(t).
+            b(t) <- not a(t), t >= 0, t < 10.
+            """
+        )
+        model = DeductiveEngine(program, edb, max_rounds=50).run()
+        assert model.stats.constraint_safe
+        assert model.stats.strata == 2
+
+    def test_trace_with_negation(self):
+        edb = parse_database("relation s[1; 0] { (4n) where T1 >= 0; }")
+        program = parse_program(
+            "a(t) <- s(t). b(t) <- not a(t), t >= 0, t < 6."
+        )
+        engine = DeductiveEngine(program, edb)
+        rounds = list(engine.trace())
+        heads = {pred for (_, fresh) in rounds for pred in fresh}
+        assert heads == {"a", "b"}
+
+    def test_empty_program(self):
+        edb = parse_database("relation q[1; 0] { (2n); }")
+        program = parse_program("p(t) <- q(t), t < 0, t > 0.")
+        model = DeductiveEngine(program, edb).run()
+        assert model.relation("p").is_empty()
+        assert model.stats.constraint_safe
+
+    def test_edb_only_predicate_queryable(self):
+        edb = parse_database("relation q[1; 0] { (2n); }")
+        program = parse_program("p(t) <- q(t).")
+        model = DeductiveEngine(program, edb).run()
+        answers = model.query("p(t) and q(t) and t >= 0 and t < 5")
+        assert answers.extension(0, 5) == {(0,), (2,), (4,)}
+
+
+class TestZPeriodicSetCorners:
+    def test_xor(self):
+        evens = ZPeriodicSet(2, [0])
+        threes = ZPeriodicSet(3, [0])
+        sym = evens ^ threes
+        for t in range(-12, 12):
+            assert (t in sym) == ((t % 2 == 0) != (t % 3 == 0))
+
+    def test_str_of_full_set(self):
+        assert str(ZPeriodicSet.all()) == "n"
+
+    def test_is_subset_reflexive(self):
+        s = ZPeriodicSet(6, [1, 4])
+        assert s.is_subset(s)
+
+    def test_density_bounds(self):
+        assert ZPeriodicSet.empty().density() == 0.0
+        assert ZPeriodicSet.all().density() == 1.0
+
+
+class TestDatabaseDisplay:
+    def test_empty_relation_str(self):
+        db = parse_database("relation p[1; 0] {}")
+        assert "relation p[1; 0] {}" in str(db)
+
+    def test_negative_data_constant(self):
+        gt = parse_generalized_tuple("(n; -5)", 1, 1)
+        assert gt.data == (-5,)
+
+    def test_tuple_str_integer_data(self):
+        gt = parse_generalized_tuple("(n; 7)", 1, 1)
+        assert "; 7)" in str(gt)

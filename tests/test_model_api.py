@@ -1,0 +1,119 @@
+"""Tests for the Model convenience API and stats bookkeeping."""
+
+import pytest
+
+from repro.core import DeductiveEngine, parse_program
+from repro.gdb import parse_database
+from repro.lrp import EventuallyPeriodicSet, ZPeriodicSet
+
+
+def build_model():
+    edb = parse_database(
+        """
+        relation course[2; 1] {
+          (168n+8, 168n+10; "database") where T2 = T1 + 2;
+        }
+        """
+    )
+    program = parse_program(
+        """
+        problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+        problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+        """
+    )
+    return DeductiveEngine(program, edb).run()
+
+
+class TestModel:
+    def test_predicates_and_contains(self):
+        model = build_model()
+        assert model.predicates() == ["problems"]
+        assert "problems" in model
+        assert "course" not in model
+
+    def test_getitem(self):
+        model = build_model()
+        assert model["problems"].temporal_arity == 2
+
+    def test_unknown_predicate(self):
+        model = build_model()
+        with pytest.raises(KeyError):
+            model.relation("nope")
+
+    def test_str_mentions_relations(self):
+        model = build_model()
+        assert "problems" in str(model)
+        assert "168n" in str(model)
+
+    def test_query_joins_edb_and_idb(self):
+        model = build_model()
+        answers = model.query(
+            'problems(t, u; "database") and course(v, w; "database") '
+            "and t >= 0 and t < 60 and v >= 0 and v < 60"
+        )
+        # problems at 10, 34, 58 within [0, 60); course at 8.
+        starts = {flat[0] for flat in answers.extension(0, 100)}
+        assert starts == {10, 34, 58}
+
+    def test_query_yes_no(self):
+        model = build_model()
+        yes = model.query('exists t, u (problems(t, u; "database"))')
+        assert yes.is_true()
+
+    def test_as_database_schemas(self):
+        model = build_model()
+        db = model.as_database()
+        schema = db.schema("problems")
+        assert (schema.temporal_arity, schema.data_arity) == (2, 1)
+
+
+class TestStats:
+    def test_stats_fields(self):
+        model = build_model()
+        stats = model.stats
+        assert stats.strategy == "semi-naive"
+        assert stats.safety_mode == "paper"
+        assert stats.strata == 1
+        assert stats.rounds == 8
+        assert stats.total_new_tuples() == 7
+        assert stats.elapsed_seconds > 0
+        assert len(stats.new_tuples_per_round) == stats.rounds
+        assert len(stats.derived_tuples_per_round) == stats.rounds
+
+    def test_signature_stable_round(self):
+        model = build_model()
+        # New free signatures appear through round 7 (seven classes).
+        assert model.stats.signature_stable_round == 7
+
+
+class TestPeriodicConversions:
+    def test_restrict_to_naturals(self):
+        zset = ZPeriodicSet(6, [1, 3])
+        eps = zset.restrict_to_naturals()
+        assert eps == EventuallyPeriodicSet(period=6, residues=[1, 3])
+        assert -5 not in eps and 1 in eps
+
+    def test_restrict_with_start(self):
+        eps = ZPeriodicSet(4, [0]).restrict_to_naturals(start=9)
+        assert 8 not in eps and 12 in eps
+
+    def test_restrict_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ZPeriodicSet(2, [0]).restrict_to_naturals(start=-1)
+
+    def test_tail_as_zset(self):
+        eps = EventuallyPeriodicSet(
+            threshold=7, period=4, residues=[2], prefix=[0, 1]
+        )
+        assert eps.tail_as_zset() == ZPeriodicSet(4, [2])
+
+    def test_eventually_agrees_with(self):
+        eps = EventuallyPeriodicSet(
+            threshold=3, period=2, residues=[0], prefix=[1]
+        )
+        assert eps.eventually_agrees_with(ZPeriodicSet(2, [0]))
+        assert not eps.eventually_agrees_with(ZPeriodicSet(2, [1]))
+
+    def test_round_trip(self):
+        zset = ZPeriodicSet(12, [2, 7, 11])
+        assert zset.restrict_to_naturals().tail_as_zset() == zset

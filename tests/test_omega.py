@@ -1,0 +1,297 @@
+"""Tests for the ω-automata machinery and the expressiveness checks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lrp import EventuallyPeriodicSet
+from repro.omega import (
+    BuchiAutomaton,
+    Dfa,
+    FiniteAcceptanceAutomaton,
+    Nfa,
+    buchi_eventually,
+    buchi_infinitely_often,
+    characteristic_buchi,
+    dfa_position_multiple,
+    dfa_suffix_language,
+    is_deterministic_buchi_open,
+    is_star_free,
+)
+from repro.omega.expressiveness import (
+    dfa_one_at_even_position,
+    dfa_ones_multiple,
+    finite_acceptance_eventually,
+    lasso_of_eps,
+)
+from repro.omega.monoid import group_witness, is_aperiodic, syntactic_monoid
+
+ALPHABET = ("0", "1")
+
+
+def all_words(max_length, alphabet=ALPHABET):
+    for length in range(max_length + 1):
+        yield from itertools.product(alphabet, repeat=length)
+
+
+class TestDfaBasics:
+    def test_position_multiple(self):
+        dfa = dfa_position_multiple(3)
+        assert dfa.accepts(())
+        assert dfa.accepts(("0", "1", "0"))
+        assert not dfa.accepts(("0", "1"))
+
+    def test_suffix_language(self):
+        dfa = dfa_suffix_language(("1", "0", "1"))
+        assert dfa.accepts(("1", "0", "1"))
+        assert dfa.accepts(("0", "0", "1", "0", "1"))
+        assert dfa.accepts(("1", "0", "1", "0", "1"))  # overlap
+        assert not dfa.accepts(("1", "0", "0"))
+        assert not dfa.accepts(())
+
+    def test_complement(self):
+        dfa = dfa_position_multiple(2)
+        comp = dfa.complement()
+        for word in all_words(5):
+            assert dfa.accepts(word) != comp.accepts(word)
+
+    def test_boolean_ops(self):
+        evens = dfa_position_multiple(2)
+        threes = dfa_position_multiple(3)
+        meet = evens.intersection(threes)
+        join = evens.union(threes)
+        diff = evens.difference(threes)
+        for word in all_words(7):
+            a, b = evens.accepts(word), threes.accepts(word)
+            assert meet.accepts(word) == (a and b)
+            assert join.accepts(word) == (a or b)
+            assert diff.accepts(word) == (a and not b)
+
+    def test_minimize_preserves_language(self):
+        dfa = dfa_suffix_language(("1", "1"))
+        small = dfa.minimize()
+        for word in all_words(6):
+            assert dfa.accepts(word) == small.accepts(word)
+        assert len(small.states) <= len(dfa.states)
+
+    def test_minimize_canonical_size(self):
+        # |w| ≡ 0 mod 6 needs exactly 6 states.
+        assert len(dfa_position_multiple(6).minimize().states) == 6
+
+    def test_incomplete_dfa_rejected(self):
+        with pytest.raises(ValueError):
+            Dfa({0}, ALPHABET, {(0, "0"): 0}, 0, set())
+
+    def test_is_empty_and_some_word(self):
+        dfa = dfa_suffix_language(("1",))
+        assert not dfa.is_empty()
+        word = dfa.some_word()
+        assert dfa.accepts(word)
+        nothing = dfa.intersection(dfa.complement())
+        assert nothing.is_empty()
+        assert nothing.some_word() is None
+
+    def test_equivalent(self):
+        a = dfa_position_multiple(2)
+        b = dfa_position_multiple(2).minimize()
+        assert a.equivalent(b)
+        assert not a.equivalent(dfa_position_multiple(3))
+
+
+class TestNfa:
+    def test_determinize(self):
+        # Words with a '1' three letters from the end.
+        transitions = {
+            ("q0", "0"): {"q0"},
+            ("q0", "1"): {"q0", "q1"},
+            ("q1", "0"): {"q2"},
+            ("q1", "1"): {"q2"},
+            ("q2", "0"): {"q3"},
+            ("q2", "1"): {"q3"},
+        }
+        nfa = Nfa({"q0", "q1", "q2", "q3"}, ALPHABET, transitions, {"q0"}, {"q3"})
+        dfa = nfa.determinize()
+        for word in all_words(7):
+            expected = len(word) >= 3 and word[-3] == "1"
+            assert nfa.accepts(word) == expected
+            assert dfa.accepts(word) == expected
+
+
+class TestStarFreeness:
+    def test_position_multiple_not_star_free(self):
+        # (ΣΣ)* contains the group Z/2: the classic non-aperiodic case.
+        assert not is_star_free(dfa_position_multiple(2))
+        assert not is_star_free(dfa_position_multiple(3))
+
+    def test_suffix_language_star_free(self):
+        assert is_star_free(dfa_suffix_language(("1", "0")))
+        assert is_star_free(dfa_suffix_language(("1", "1", "0")))
+
+    def test_even_position_query_not_star_free(self):
+        # "p holds at some even time": the separation the paper draws
+        # between the deductive languages and the FO language of KSW90.
+        assert not is_star_free(dfa_one_at_even_position())
+
+    def test_ones_multiple_not_star_free(self):
+        assert not is_star_free(dfa_ones_multiple(2))
+
+    def test_trivial_languages_star_free(self):
+        sigma_star = Dfa(
+            {0}, ALPHABET, {(0, "0"): 0, (0, "1"): 0}, 0, {0}
+        )
+        assert is_star_free(sigma_star)
+        assert is_star_free(sigma_star.complement())
+
+    def test_group_witness(self):
+        monoid = syntactic_monoid(dfa_position_multiple(2))
+        assert not is_aperiodic(monoid)
+        assert group_witness(monoid) is not None
+        aperiodic = syntactic_monoid(dfa_suffix_language(("1",)))
+        assert group_witness(aperiodic) is None
+
+
+class TestBuchi:
+    def test_eventually_accepts(self):
+        buchi = buchi_eventually()
+        assert buchi.accepts_lasso(("0", "0", "1"), ("0",))
+        assert buchi.accepts_lasso((), ("0", "1"))
+        assert not buchi.accepts_lasso((), ("0",))
+
+    def test_infinitely_often(self):
+        buchi = buchi_infinitely_often()
+        assert buchi.accepts_lasso((), ("0", "1"))
+        assert buchi.accepts_lasso(("1", "1"), ("1",))
+        assert not buchi.accepts_lasso(("1", "1", "1"), ("0",))
+
+    def test_emptiness(self):
+        buchi = buchi_infinitely_often()
+        assert not buchi.is_empty()
+        nothing = BuchiAutomaton(
+            {0}, ALPHABET, {(0, "0"): {0}, (0, "1"): {0}}, {0}, set()
+        )
+        assert nothing.is_empty()
+
+    def test_union(self):
+        union = buchi_eventually().union(buchi_infinitely_often())
+        assert union.accepts_lasso(("1",), ("0",))  # eventually-1 side
+        assert union.accepts_lasso((), ("0", "1"))  # both
+        assert not union.accepts_lasso((), ("0",))
+
+    def test_intersection(self):
+        # infinitely many 1s AND infinitely many 0s
+        ones = buchi_infinitely_often("1")
+        zeros = buchi_infinitely_often("0")
+        both = ones.intersection(zeros)
+        assert both.accepts_lasso((), ("0", "1"))
+        assert not both.accepts_lasso((), ("1",))
+        assert not both.accepts_lasso((), ("0",))
+        assert not both.is_empty()
+
+    def test_intersection_empty(self):
+        ones = buchi_infinitely_often("1")
+        # "eventually always 0" as det Büchi is not expressible; use
+        # intersection with "never 1" (safety) instead.
+        never_one = BuchiAutomaton(
+            {"ok"}, ALPHABET, {("ok", "0"): {"ok"}}, {"ok"}, {"ok"}
+        )
+        assert ones.intersection(never_one).is_empty()
+
+    def test_deterministic_check(self):
+        assert buchi_eventually().is_deterministic()
+        nondet = BuchiAutomaton(
+            {0, 1},
+            ALPHABET,
+            {(0, "0"): {0, 1}, (0, "1"): {0}, (1, "0"): {1}, (1, "1"): {1}},
+            {0},
+            {1},
+        )
+        assert not nondet.is_deterministic()
+
+
+class TestFinitelyRegular:
+    def test_eventually_is_open(self):
+        assert is_deterministic_buchi_open(buchi_eventually())
+
+    def test_infinitely_often_not_open(self):
+        # The paper's hierarchy: "infinitely often p" needs the full
+        # ω-regular class (stratified negation), beyond finitely
+        # regular.
+        assert not is_deterministic_buchi_open(buchi_infinitely_often())
+
+    def test_sigma_omega_open(self):
+        everything = BuchiAutomaton(
+            {0}, ALPHABET, {(0, "0"): {0}, (0, "1"): {0}}, {0}, {0}
+        )
+        assert is_deterministic_buchi_open(everything)
+
+    def test_requires_deterministic(self):
+        nondet = BuchiAutomaton(
+            {0, 1},
+            ALPHABET,
+            {(0, "0"): {0, 1}, (0, "1"): {0}, (1, "0"): {1}, (1, "1"): {1}},
+            {0},
+            {1},
+        )
+        with pytest.raises(ValueError):
+            is_deterministic_buchi_open(nondet)
+
+    def test_requires_complete(self):
+        partial = BuchiAutomaton(
+            {0}, ALPHABET, {(0, "0"): {0}}, {0}, {0}
+        )
+        with pytest.raises(ValueError):
+            is_deterministic_buchi_open(partial)
+
+    def test_finite_acceptance_eventually(self):
+        fa = finite_acceptance_eventually()
+        assert fa.accepts_lasso(("0", "1"), ("0",))
+        assert fa.accepts_lasso((), ("0", "0", "1"))
+        assert not fa.accepts_lasso((), ("0",))
+        assert not fa.is_empty()
+
+    def test_finite_acceptance_to_buchi(self):
+        fa = finite_acceptance_eventually()
+        buchi = fa.to_buchi()
+        for prefix, loop in (
+            (("1",), ("0",)),
+            ((), ("0", "1")),
+            ((), ("0",)),
+            (("0", "0"), ("1", "0")),
+        ):
+            assert fa.accepts_lasso(prefix, loop) == buchi.accepts_lasso(
+                prefix, loop
+            )
+
+
+class TestCharacteristicAutomata:
+    @given(
+        st.builds(
+            EventuallyPeriodicSet,
+            st.integers(0, 5),
+            st.integers(1, 6),
+            st.sets(st.integers(0, 5), max_size=4),
+            st.sets(st.integers(0, 4), max_size=4),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accepts_own_word(self, eps):
+        buchi = characteristic_buchi(eps)
+        prefix, loop = lasso_of_eps(eps)
+        assert buchi.accepts_lasso(prefix, loop)
+
+    def test_rejects_other_words(self):
+        eps = EventuallyPeriodicSet(period=2, residues=[0])
+        buchi = characteristic_buchi(eps)
+        assert buchi.accepts_lasso((), ("1", "0"))
+        assert not buchi.accepts_lasso((), ("0", "1"))
+        assert not buchi.accepts_lasso((), ("1",))
+        assert not buchi.accepts_lasso(("0",), ("1", "0"))
+
+    def test_distinct_sets_distinct_languages(self):
+        a = EventuallyPeriodicSet(period=2, residues=[0])
+        b = EventuallyPeriodicSet(period=3, residues=[0])
+        automaton_a = characteristic_buchi(a)
+        _, loop_b = lasso_of_eps(b)
+        assert not automaton_a.accepts_lasso((), loop_b)

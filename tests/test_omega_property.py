@@ -1,0 +1,113 @@
+"""Property tests for the ω-automata layer."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lrp import EventuallyPeriodicSet
+from repro.omega import Dfa, Nfa
+from repro.omega.expressiveness import characteristic_buchi, lasso_of_eps
+from repro.omega.monoid import is_star_free
+
+ALPHABET = ("0", "1")
+
+
+@st.composite
+def random_dfa(draw, max_states=4):
+    n = draw(st.integers(1, max_states))
+    states = list(range(n))
+    delta = {
+        (state, symbol): draw(st.integers(0, n - 1))
+        for state in states
+        for symbol in ALPHABET
+    }
+    accepting = {
+        state for state in states if draw(st.booleans())
+    }
+    return Dfa(states, ALPHABET, delta, 0, accepting)
+
+
+def words(limit):
+    for length in range(limit + 1):
+        yield from itertools.product(ALPHABET, repeat=length)
+
+
+class TestDfaProperties:
+    @given(random_dfa(), random_dfa())
+    @settings(max_examples=40, deadline=None)
+    def test_boolean_ops_extensional(self, a, b):
+        meet = a.intersection(b)
+        join = a.union(b)
+        diff = a.difference(b)
+        for word in words(5):
+            fa, fb = a.accepts(word), b.accepts(word)
+            assert meet.accepts(word) == (fa and fb)
+            assert join.accepts(word) == (fa or fb)
+            assert diff.accepts(word) == (fa and not fb)
+
+    @given(random_dfa())
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_preserves_language(self, dfa):
+        small = dfa.minimize()
+        assert len(small.states) <= len(dfa.states)
+        for word in words(6):
+            assert dfa.accepts(word) == small.accepts(word)
+
+    @given(random_dfa())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_involution(self, dfa):
+        twice = dfa.complement().complement()
+        assert dfa.equivalent(twice)
+
+    @given(random_dfa())
+    @settings(max_examples=40, deadline=None)
+    def test_empty_iff_no_short_word(self, dfa):
+        # A DFA with n states accepting anything accepts a word
+        # shorter than n.
+        has_short = any(dfa.accepts(word) for word in words(len(dfa.states)))
+        assert dfa.is_empty() == (not has_short)
+
+    @given(random_dfa())
+    @settings(max_examples=30, deadline=None)
+    def test_star_freeness_invariant_under_minimization(self, dfa):
+        assert is_star_free(dfa) == is_star_free(dfa.minimize())
+
+    @given(random_dfa())
+    @settings(max_examples=30, deadline=None)
+    def test_star_freeness_closed_under_complement(self, dfa):
+        # Star-free languages are closed under complement; the
+        # syntactic monoid of L and ~L coincide.
+        assert is_star_free(dfa) == is_star_free(dfa.complement())
+
+
+class TestNfaProperties:
+    @given(random_dfa())
+    @settings(max_examples=30, deadline=None)
+    def test_determinize_of_dfa_as_nfa(self, dfa):
+        transitions = {
+            key: {target} for key, target in dfa.delta.items()
+        }
+        nfa = Nfa(dfa.states, ALPHABET, transitions, {dfa.initial}, dfa.accepting)
+        det = nfa.determinize()
+        for word in words(5):
+            assert det.accepts(word) == dfa.accepts(word)
+
+
+eps_values = st.builds(
+    EventuallyPeriodicSet,
+    st.integers(0, 4),
+    st.integers(1, 5),
+    st.sets(st.integers(0, 4), max_size=3),
+    st.sets(st.integers(0, 3), max_size=3),
+)
+
+
+class TestCharacteristicAutomata:
+    @given(eps_values, eps_values)
+    @settings(max_examples=40, deadline=None)
+    def test_characteristic_language_is_singleton(self, a, b):
+        automaton = characteristic_buchi(a)
+        prefix_b, loop_b = lasso_of_eps(b)
+        accepted = automaton.accepts_lasso(prefix_b, loop_b)
+        assert accepted == (a == b)

@@ -1,0 +1,256 @@
+"""Unit and property tests for repro.lrp.periodic_set."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lrp import EventuallyPeriodicSet, Lrp, ZPeriodicSet
+
+z_sets = st.builds(
+    ZPeriodicSet,
+    st.integers(1, 24),
+    st.sets(st.integers(0, 23), max_size=12),
+)
+
+
+def eps_strategy():
+    return st.builds(
+        EventuallyPeriodicSet,
+        st.integers(0, 12),  # threshold
+        st.integers(1, 12),  # period
+        st.sets(st.integers(0, 11), max_size=6),  # residues
+        st.sets(st.integers(0, 11), max_size=8),  # prefix
+    )
+
+
+eps_sets = eps_strategy()
+
+WINDOW = 180
+
+
+class TestZPeriodicSetBasics:
+    def test_canonical_minimal_period(self):
+        assert ZPeriodicSet(4, [1, 3]) == ZPeriodicSet(2, [1])
+        assert ZPeriodicSet(4, [1, 3]).period == 2
+
+    def test_empty_and_all(self):
+        assert ZPeriodicSet.empty().is_empty()
+        assert ZPeriodicSet.all().is_all()
+        assert not ZPeriodicSet.all().is_empty()
+        assert 7 in ZPeriodicSet.all()
+        assert 7 not in ZPeriodicSet.empty()
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            ZPeriodicSet(0, [])
+
+    def test_from_to_lrps(self):
+        s = ZPeriodicSet.from_lrps([Lrp(4, 1), Lrp(4, 3)])
+        assert s.to_lrps() == [Lrp(2, 1)]
+
+    def test_membership_negative(self):
+        evens = ZPeriodicSet(2, [0])
+        assert -4 in evens and -3 not in evens
+
+    def test_density(self):
+        assert ZPeriodicSet(4, [0, 2]).density() == 0.5
+
+    def test_str(self):
+        assert str(ZPeriodicSet.empty()) == "{}"
+        assert "2n" in str(ZPeriodicSet(2, [0]))
+
+
+class TestZPeriodicSetAlgebra:
+    @given(z_sets, z_sets)
+    def test_union_membership(self, a, b):
+        u = a | b
+        for t in range(-WINDOW, WINDOW):
+            assert (t in u) == (t in a or t in b)
+
+    @given(z_sets, z_sets)
+    def test_intersection_membership(self, a, b):
+        m = a & b
+        for t in range(-WINDOW, WINDOW):
+            assert (t in m) == (t in a and t in b)
+
+    @given(z_sets, z_sets)
+    def test_difference_membership(self, a, b):
+        d = a - b
+        for t in range(-WINDOW, WINDOW):
+            assert (t in d) == (t in a and t not in b)
+
+    @given(z_sets)
+    def test_complement(self, a):
+        c = ~a
+        for t in range(-WINDOW, WINDOW):
+            assert (t in c) == (t not in a)
+        assert ~c == a
+
+    @given(z_sets, z_sets)
+    def test_de_morgan(self, a, b):
+        assert ~(a | b) == (~a) & (~b)
+        assert ~(a & b) == (~a) | (~b)
+
+    @given(z_sets, z_sets)
+    def test_subset_consistent(self, a, b):
+        assert a.is_subset(b) == (a | b == b)
+
+    @given(z_sets, st.integers(-30, 30))
+    def test_shift(self, a, c):
+        shifted = a.shift(c)
+        for t in range(-60, 60):
+            assert (t in shifted) == ((t - c) in a)
+
+    @given(z_sets)
+    def test_canonical_equality(self, a):
+        # Rebuilding from a widened representation must compare equal.
+        widened = ZPeriodicSet(
+            a.period * 3,
+            [r + k * a.period for r in a.residues for k in range(3)],
+        )
+        assert widened == a
+        assert hash(widened) == hash(a)
+
+
+class TestEventuallyPeriodicBasics:
+    def test_from_finite(self):
+        s = EventuallyPeriodicSet.from_finite([3, 1, 4])
+        assert sorted(s.window(0, 10)) == [1, 3, 4]
+        assert s.is_finite()
+        assert s.max_element() == 4
+
+    def test_from_finite_empty(self):
+        s = EventuallyPeriodicSet.from_finite([])
+        assert s.is_empty()
+        assert s.min_element() is None
+        assert s.max_element() is None
+
+    def test_from_finite_rejects_negatives(self):
+        with pytest.raises(ValueError):
+            EventuallyPeriodicSet.from_finite([-1])
+
+    def test_negative_not_member(self):
+        assert -3 not in EventuallyPeriodicSet.all()
+
+    def test_canonical_threshold_pullback(self):
+        # The prefix {0, 5} with tail 5n from 10 is really just 5n.
+        s = EventuallyPeriodicSet(threshold=10, period=5, residues=[0], prefix=[0, 5])
+        assert s.threshold == 0
+        assert s == EventuallyPeriodicSet(period=5, residues=[0])
+
+    def test_max_element_infinite_raises(self):
+        with pytest.raises(ValueError):
+            EventuallyPeriodicSet.all().max_element()
+
+    def test_min_element(self):
+        s = EventuallyPeriodicSet(threshold=7, period=5, residues=[1])
+        assert s.min_element() == 11
+        s2 = EventuallyPeriodicSet(threshold=7, period=5, residues=[1], prefix=[2])
+        assert s2.min_element() == 2
+
+    def test_finite_set_normalizes_period(self):
+        s = EventuallyPeriodicSet(threshold=4, period=6, residues=[], prefix=[1])
+        assert s.period == 1
+        assert s.is_finite()
+
+
+class TestEventuallyPeriodicAlgebra:
+    @given(eps_sets, eps_sets)
+    def test_boolean_ops(self, a, b):
+        for t in range(0, 80):
+            assert (t in (a | b)) == (t in a or t in b)
+            assert (t in (a & b)) == (t in a and t in b)
+            assert (t in (a - b)) == (t in a and t not in b)
+            assert (t in (a ^ b)) == ((t in a) != (t in b))
+
+    @given(eps_sets)
+    def test_complement_involution(self, a):
+        assert ~~a == a
+        for t in range(0, 60):
+            assert (t in ~a) == (t not in a)
+
+    @given(eps_sets, eps_sets)
+    def test_equality_is_extensional(self, a, b):
+        horizon = max(a.threshold, b.threshold) + a.period * b.period + 1
+        same = all((t in a) == (t in b) for t in range(horizon * 2))
+        assert (a == b) == same
+
+    @given(eps_sets, st.integers(0, 20))
+    def test_shift_roundtrip(self, a, k):
+        assert a.shift(k).shift_back(k) == a
+
+    @given(eps_sets, st.integers(0, 20))
+    def test_shift_membership(self, a, k):
+        shifted = a.shift(k)
+        for t in range(0, 80):
+            assert (t in shifted) == (t - k >= 0 and (t - k) in a)
+
+    @given(eps_sets, st.integers(0, 20))
+    def test_shift_back_membership(self, a, k):
+        back = a.shift_back(k)
+        for t in range(0, 80):
+            assert (t in back) == ((t + k) in a)
+
+    def test_shift_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EventuallyPeriodicSet.all().shift(-1)
+        with pytest.raises(ValueError):
+            EventuallyPeriodicSet.all().shift_back(-1)
+
+
+class TestClosures:
+    def test_up_closure_finite(self):
+        s = EventuallyPeriodicSet.from_finite([2, 7])
+        assert s.up_closure() == EventuallyPeriodicSet.from_finite(range(8))
+
+    def test_up_closure_infinite(self):
+        s = EventuallyPeriodicSet(period=5, residues=[3])
+        assert s.up_closure().is_all()
+
+    def test_up_closure_empty(self):
+        assert EventuallyPeriodicSet.empty().up_closure().is_empty()
+
+    def test_down_closure(self):
+        s = EventuallyPeriodicSet(threshold=6, period=5, residues=[2])
+        down = s.down_closure()
+        assert down.min_element() == 7
+        assert 6 not in down and 100 in down
+
+    @given(eps_sets)
+    def test_up_closure_property(self, a):
+        up = a.up_closure()
+        if not a.is_finite():
+            assert up.is_all()
+        elif a.is_empty():
+            assert up.is_empty()
+        else:
+            top = a.max_element()
+            assert up == EventuallyPeriodicSet.from_finite(range(top + 1))
+
+    def test_plus_closure_single_point(self):
+        s = EventuallyPeriodicSet.from_finite([3])
+        closed = s.plus_closure(5)
+        assert closed == EventuallyPeriodicSet(threshold=3, period=5, residues=[3])
+
+    def test_plus_closure_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            EventuallyPeriodicSet.all().plus_closure(0)
+
+    @given(eps_sets, st.integers(1, 9))
+    @settings(max_examples=60)
+    def test_plus_closure_extensional(self, a, k):
+        closed = a.plus_closure(k)
+        horizon = a.threshold + a.period * k + 3 * k + 10
+        members = [t for t in range(horizon) if t in a]
+        expected = set()
+        for t in members:
+            expected.update(range(t, horizon, k))
+        for t in range(horizon):
+            assert (t in closed) == (t in expected)
+
+    @given(eps_sets, st.integers(1, 9))
+    def test_plus_closure_is_closure(self, a, k):
+        closed = a.plus_closure(k)
+        assert a.is_subset(closed)
+        assert closed.shift(k).is_subset(closed)
+        assert closed.plus_closure(k) == closed

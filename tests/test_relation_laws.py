@@ -1,0 +1,96 @@
+"""Algebraic laws of the generalized-relation algebra, property-tested.
+
+The closure of the representation under the boolean operations is the
+backbone of both the FO layer and stratified negation; these tests
+check the laws *semantically* (by exact equivalence, which is itself
+implemented via difference + congruence-aware emptiness)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import Comparison, ConstraintSystem, TemporalTerm
+from repro.gdb import GeneralizedRelation, GeneralizedTuple
+from repro.lrp import Lrp
+
+small_lrps = st.builds(Lrp, st.integers(1, 4), st.integers(0, 3))
+
+
+@st.composite
+def relations(draw):
+    n = draw(st.integers(0, 2))
+    tuples = []
+    for _ in range(n):
+        lrp = draw(small_lrps)
+        atoms = []
+        if draw(st.booleans()):
+            op = draw(st.sampled_from(["<", ">="]))
+            c = draw(st.integers(-6, 6))
+            atoms.append(
+                Comparison(op, TemporalTerm(0), TemporalTerm(None, c))
+            )
+        tuples.append(
+            GeneralizedTuple((lrp,), (), ConstraintSystem.from_atoms(1, atoms))
+        )
+    return GeneralizedRelation(1, 0, tuples)
+
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+class TestBooleanLaws:
+    @given(relations(), relations())
+    @settings(**SETTINGS)
+    def test_union_commutes(self, a, b):
+        assert a.union(b).equivalent(b.union(a))
+
+    @given(relations(), relations(), relations())
+    @settings(**SETTINGS)
+    def test_union_associates(self, a, b, c):
+        assert a.union(b).union(c).equivalent(a.union(b.union(c)))
+
+    @given(relations(), relations())
+    @settings(**SETTINGS)
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b).equivalent(b.intersect(a))
+
+    @given(relations(), relations(), relations())
+    @settings(**SETTINGS)
+    def test_distributivity(self, a, b, c):
+        left = a.intersect(b.union(c))
+        right = a.intersect(b).union(a.intersect(c))
+        assert left.equivalent(right)
+
+    @given(relations())
+    @settings(**SETTINGS)
+    def test_excluded_middle(self, a):
+        everything = a.union(a.complement())
+        assert everything.equivalent(GeneralizedRelation.universe(1))
+
+    @given(relations())
+    @settings(**SETTINGS)
+    def test_non_contradiction(self, a):
+        assert a.intersect(a.complement()).is_empty()
+
+    @given(relations(), relations())
+    @settings(**SETTINGS)
+    def test_de_morgan(self, a, b):
+        lhs = a.union(b).complement()
+        rhs = a.complement().intersect(b.complement())
+        assert lhs.equivalent(rhs)
+
+    @given(relations(), relations())
+    @settings(**SETTINGS)
+    def test_difference_is_intersection_with_complement(self, a, b):
+        assert a.difference(b).equivalent(a.intersect(b.complement()))
+
+    @given(relations())
+    @settings(**SETTINGS)
+    def test_idempotence(self, a):
+        assert a.union(a).equivalent(a)
+        assert a.intersect(a).equivalent(a)
+
+    @given(relations(), relations())
+    @settings(**SETTINGS)
+    def test_containment_antisymmetry(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a.equivalent(b)

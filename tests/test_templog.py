@@ -1,0 +1,209 @@
+"""Tests for Templog: parsing, TL1 reduction, translation, models."""
+
+import pytest
+
+from repro.lrp import EventuallyPeriodicSet
+from repro.templog import (
+    Diamond,
+    TemplogAtom,
+    parse_templog,
+    templog_minimal_model,
+    templog_to_datalog1s,
+    to_tl1,
+)
+from repro.templog.tl1 import is_tl1
+from repro.util.errors import ParseError
+
+EXAMPLE_23 = """
+next^5 train_leaves(liege, brussels).
+always (next^40 train_leaves(X, Y) <- train_leaves(X, Y)).
+always (next^60 train_arrives(X, Y) <- train_leaves(X, Y)).
+"""
+
+
+class TestParsing:
+    def test_example_23(self):
+        program = parse_templog(EXAMPLE_23)
+        assert len(program) == 3
+        first = program.clauses[0]
+        assert first.head == TemplogAtom(
+            "train_leaves",
+            first.head.data_args,
+            5,
+        )
+        assert not first.boxed
+        assert program.clauses[1].boxed
+
+    def test_next_chains(self):
+        program = parse_templog("next next next p.")
+        assert program.clauses[0].head.shift == 3
+
+    def test_box_symbol(self):
+        program = parse_templog("[] (next p <- p).")
+        assert program.clauses[0].boxed
+
+    def test_diamond_keyword_and_symbol(self):
+        for text in (
+            "always (p <- sometime(q)).",
+            "always (p <- eventually(q)).",
+            "always (p <- <>(q)).",
+        ):
+            program = parse_templog(text)
+            body = program.clauses[0].body
+            assert isinstance(body[0], Diamond)
+
+    def test_nested_diamond(self):
+        program = parse_templog("always (p <- <>(q, <>(r))).")
+        outer = program.clauses[0].body[0]
+        assert isinstance(outer.elements[1], Diamond)
+
+    def test_propositional_atom(self):
+        program = parse_templog("p. always (q <- p).")
+        assert program.clauses[0].head.data_args == ()
+
+    def test_arity_consistency(self):
+        with pytest.raises(ParseError):
+            parse_templog("p(a). always (p <- p(a)).")
+
+    def test_str_roundtrip(self):
+        program = parse_templog(EXAMPLE_23)
+        again = parse_templog(str(program))
+        assert str(again) == str(program)
+
+
+class TestTL1:
+    def test_already_tl1(self):
+        program = parse_templog(EXAMPLE_23)
+        assert is_tl1(program)
+        assert to_tl1(program) is not program  # new object, same content
+        assert len(to_tl1(program)) == len(program)
+
+    def test_diamond_elimination(self):
+        program = parse_templog("always (p <- <>(q)).")
+        reduced = to_tl1(program)
+        assert is_tl1(reduced)
+        # Two auxiliary clauses are introduced.
+        assert len(reduced) == 3
+        aux_preds = {
+            clause.head.predicate
+            for clause in reduced.clauses
+            if clause.head.predicate.startswith("_ev")
+        }
+        assert len(aux_preds) == 1
+
+    def test_nested_diamond_elimination(self):
+        program = parse_templog("always (p <- <>(q, <>(r))).")
+        reduced = to_tl1(program)
+        assert is_tl1(reduced)
+        aux_preds = {
+            clause.head.predicate
+            for clause in reduced.clauses
+            if clause.head.predicate.startswith("_ev")
+        }
+        assert len(aux_preds) == 2
+
+    def test_data_variables_flow_through_diamond(self):
+        program = parse_templog("always (p(X) <- <>(q(X))).")
+        reduced = to_tl1(program)
+        aux_clause = next(
+            clause
+            for clause in reduced.clauses
+            if clause.head.predicate.startswith("_ev")
+            and not isinstance(clause.body[0], Diamond)
+            and clause.body[0].predicate == "q"
+        )
+        assert len(aux_clause.head.data_args) == 1
+
+
+class TestTranslation:
+    def test_example_23_matches_example_22(self):
+        # The Templog translation must equal the hand-written CI
+        # program of Example 2.2.
+        program = parse_templog(EXAMPLE_23)
+        translated = templog_to_datalog1s(program)
+        model = templog_minimal_model(program)
+        leaves = model.set_of("train_leaves", ("liege", "brussels"))
+        assert leaves == EventuallyPeriodicSet(
+            threshold=5, period=40, residues=[5]
+        )
+        arrives = model.set_of("train_arrives", ("liege", "brussels"))
+        assert 65 in arrives and 105 in arrives and 64 not in arrives
+        assert translated.is_forward()
+
+    def test_unboxed_clause_at_time_zero_only(self):
+        program = parse_templog(
+            """
+            q.
+            next^3 q.
+            p <- q.
+            """
+        )
+        model = templog_minimal_model(program)
+        # The unboxed rule p <- q fires at time 0 only.
+        assert model.holds("p", 0)
+        assert not model.holds("p", 3)
+        assert model.holds("q", 3)
+
+    def test_boxed_rule_everywhere(self):
+        program = parse_templog(
+            """
+            q.
+            next^3 q.
+            always (p <- q).
+            """
+        )
+        model = templog_minimal_model(program)
+        assert model.holds("p", 0) and model.holds("p", 3)
+        assert not model.holds("p", 1)
+
+    def test_diamond_semantics_finite(self):
+        # ◇q with q only at 7: p holds exactly on [0, 7].
+        program = parse_templog(
+            """
+            next^7 q.
+            always (p <- <>(q)).
+            """
+        )
+        model = templog_minimal_model(program)
+        assert model.set_of("p") == EventuallyPeriodicSet.from_finite(range(8))
+
+    def test_diamond_semantics_infinite(self):
+        program = parse_templog(
+            """
+            next^7 q.
+            always (next^40 q <- q).
+            always (p <- <>(q)).
+            """
+        )
+        model = templog_minimal_model(program)
+        assert model.set_of("p").is_all()
+
+    def test_diamond_conjunction(self):
+        # ◇(a, b): some future instant where both hold.
+        program = parse_templog(
+            """
+            next^4 a.
+            next^4 b.
+            next^9 a.
+            always (p <- <>(a, b)).
+            """
+        )
+        model = templog_minimal_model(program)
+        # a∧b only at 4; so p on [0,4].
+        assert model.set_of("p") == EventuallyPeriodicSet.from_finite(range(5))
+
+    def test_aux_predicates_hidden(self):
+        program = parse_templog("always (p <- <>(q)). next^2 q.")
+        model = templog_minimal_model(program)
+        assert all(not name.startswith("_ev") for name in model.predicates())
+
+    def test_next_in_body(self):
+        # p holds now if q holds at the next instant: backward rule.
+        program = parse_templog(
+            """
+            next^6 q.
+            always (p <- next q).
+            """
+        )
+        model = templog_minimal_model(program)
+        assert model.set_of("p") == EventuallyPeriodicSet.from_finite([5])

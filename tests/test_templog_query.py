@@ -1,0 +1,123 @@
+"""Tests for the Templog goal/query layer."""
+
+import pytest
+
+from repro.lrp import EventuallyPeriodicSet
+from repro.templog import (
+    evaluate_goal,
+    parse_goal,
+    parse_templog,
+    templog_minimal_model,
+    yes_no,
+)
+from repro.templog.query import holds_at
+from repro.util.errors import EvaluationError
+
+MODEL_PROGRAM = """
+next^5 go.
+always (next^40 go <- go).
+next^7 alarm.
+"""
+
+
+def model():
+    return templog_minimal_model(parse_templog(MODEL_PROGRAM))
+
+
+class TestGoals:
+    def test_atom_goal(self):
+        goal = parse_goal("go")
+        answers = evaluate_goal(model(), goal)
+        assert answers == EventuallyPeriodicSet(
+            threshold=5, period=40, residues=[5]
+        )
+
+    def test_next_shifts_back(self):
+        # ○^5 go holds at t iff go holds at t+5: at 0, 40, 80, …
+        goal = parse_goal("next^5 go")
+        answers = evaluate_goal(model(), goal)
+        assert 0 in answers and 40 in answers
+        assert 5 not in answers
+
+    def test_conjunction(self):
+        goal = parse_goal("go, next^2 alarm")
+        answers = evaluate_goal(model(), goal)
+        assert answers == EventuallyPeriodicSet.from_finite([5])
+
+    def test_diamond_goal(self):
+        goal = parse_goal("<>(alarm)")
+        answers = evaluate_goal(model(), goal)
+        # alarm only at 7: ◇alarm on [0, 7].
+        assert answers == EventuallyPeriodicSet.from_finite(range(8))
+
+    def test_diamond_of_conjunction(self):
+        goal = parse_goal("<>(go, next^2 alarm)")
+        answers = evaluate_goal(model(), goal)
+        assert answers == EventuallyPeriodicSet.from_finite(range(6))
+
+    def test_nested_diamond(self):
+        goal = parse_goal("<>(<>(alarm))")
+        assert evaluate_goal(model(), goal) == EventuallyPeriodicSet.from_finite(
+            range(8)
+        )
+
+    def test_shifted_diamond(self):
+        # next^6 <>(alarm): ◇alarm at t+6, so t <= 1.
+        goal = parse_goal("next^6 <>(alarm)")
+        answers = evaluate_goal(model(), goal)
+        assert answers == EventuallyPeriodicSet.from_finite(range(2))
+
+    def test_yes_no(self):
+        assert yes_no(model(), parse_goal("<>(go)"))
+        assert not yes_no(model(), parse_goal("go"))
+        assert holds_at(model(), parse_goal("go"), 45)
+
+    def test_empty_predicate(self):
+        goal = parse_goal("nothing")
+        assert evaluate_goal(model(), goal).is_empty()
+
+    def test_variables_rejected(self):
+        goal = parse_goal("go_to(X)")
+        with pytest.raises(EvaluationError):
+            evaluate_goal(model(), goal)
+
+    def test_infinite_diamond_is_all(self):
+        goal = parse_goal("<>(go)")
+        assert evaluate_goal(model(), goal).is_all()
+
+
+class TestModelAsDatabase:
+    def test_round_trip_through_text(self):
+        from repro.core import DeductiveEngine, parse_program
+        from repro.gdb import parse_database
+
+        edb = parse_database(
+            """
+            relation course[2; 1] {
+              (168n+8, 168n+10; "database") where T2 = T1 + 2;
+            }
+            """
+        )
+        program = parse_program(
+            """
+            problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+            problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+            """
+        )
+        model = DeductiveEngine(program, edb).run()
+        saved = model.as_database()
+        reloaded = parse_database(str(saved))
+        assert reloaded.relation("problems").equivalent(
+            model.relation("problems")
+        )
+
+    def test_queryable_without_rerun(self):
+        from repro.core import DeductiveEngine, parse_program
+        from repro.fo import evaluate_query
+        from repro.gdb import parse_database
+
+        edb = parse_database("relation tick[1; 0] { (12n) where T1 >= 0; }")
+        program = parse_program("beat(t + 6) <- tick(t).")
+        db = DeductiveEngine(program, edb).run().as_database()
+        answers = evaluate_query(db, "beat(t) and t >= 0 and t < 40")
+        assert answers.extension(0, 60) == {(6,), (18,), (30,)}

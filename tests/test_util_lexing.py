@@ -1,0 +1,164 @@
+"""Tests for the shared tokenizer and error machinery."""
+
+import pytest
+
+from repro.util import Lexer, ParseError, ReproError, TokenKind
+from repro.util.errors import EvaluationError, GiveUpError, SchemaError
+
+
+class TestTokenKinds:
+    def test_identifiers_and_numbers(self):
+        lx = Lexer("abc _x9 42")
+        assert lx.next().kind is TokenKind.IDENT
+        assert lx.next().value == "_x9"
+        token = lx.next()
+        assert token.kind is TokenKind.NUMBER and token.value == "42"
+        assert lx.at_end()
+
+    def test_strings(self):
+        lx = Lexer('"hello world" "esc\\"aped"')
+        assert lx.next().value == "hello world"
+        assert lx.next().value == 'esc"aped'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            Lexer('"oops').next()
+
+    def test_arrow_variants(self):
+        lx = Lexer("<- :- <= < >= > = !=")
+        kinds = [lx.next().kind for _ in range(8)]
+        assert kinds == [
+            TokenKind.ARROW,
+            TokenKind.ARROW,
+            TokenKind.LE,
+            TokenKind.LT,
+            TokenKind.GE,
+            TokenKind.GT,
+            TokenKind.EQ,
+            TokenKind.NE,
+        ]
+
+    def test_punctuation(self):
+        lx = Lexer("( ) [ ] { } , ; . + - * ^ | & :")
+        kinds = [lx.next().kind for _ in range(16)]
+        assert kinds == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.COMMA,
+            TokenKind.SEMICOLON,
+            TokenKind.PERIOD,
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.CARET,
+            TokenKind.PIPE,
+            TokenKind.AMP,
+            TokenKind.COLON,
+        ]
+
+    def test_bang_alone_is_error(self):
+        with pytest.raises(ParseError):
+            Lexer("!x").next()
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            Lexer("@").next()
+
+
+class TestComments:
+    def test_percent_comment(self):
+        lx = Lexer("a % this is ignored\nb")
+        assert lx.next().value == "a"
+        assert lx.next().value == "b"
+
+    def test_hash_comment(self):
+        lx = Lexer("# whole line\nx")
+        assert lx.next().value == "x"
+
+    def test_comment_to_eof(self):
+        lx = Lexer("x % trailing")
+        assert lx.next().value == "x"
+        assert lx.at_end()
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        lx = Lexer("a\n  b")
+        a = lx.next()
+        b = lx.next()
+        assert (a.line, a.column) == (1, 1)
+        assert (b.line, b.column) == (2, 3)
+
+    def test_error_carries_position(self):
+        lx = Lexer("a\n  @")
+        lx.next()
+        with pytest.raises(ParseError) as excinfo:
+            lx.next()
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 3
+        assert "line 2, column 3" in str(excinfo.value)
+
+
+class TestHelpers:
+    def test_peek_is_idempotent(self):
+        lx = Lexer("x y")
+        assert lx.peek() is lx.peek()
+        assert lx.next().value == "x"
+
+    def test_expect_success_and_failure(self):
+        lx = Lexer("( x")
+        lx.expect(TokenKind.LPAREN)
+        with pytest.raises(ParseError):
+            lx.expect(TokenKind.NUMBER)
+
+    def test_expect_keyword(self):
+        lx = Lexer("where T")
+        lx.expect_keyword("where")
+        with pytest.raises(ParseError):
+            lx.expect_keyword("where")
+
+    def test_accept(self):
+        lx = Lexer(", x")
+        assert lx.accept(TokenKind.COMMA) is not None
+        assert lx.accept(TokenKind.COMMA) is None
+        assert lx.accept_keyword("x") is not None
+
+    def test_eof_token(self):
+        lx = Lexer("")
+        assert lx.peek().kind is TokenKind.EOF
+        assert lx.at_end()
+
+    def test_error_helper(self):
+        lx = Lexer("x")
+        with pytest.raises(ParseError):
+            lx.error("boom")
+
+    def test_token_str(self):
+        lx = Lexer('name 12 "s" <')
+        assert "identifier" in str(lx.next())
+        assert "number" in str(lx.next())
+        assert "string" in str(lx.next())
+        assert "<" in str(lx.next())
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (ParseError, SchemaError, EvaluationError, GiveUpError):
+            assert issubclass(cls, ReproError)
+
+    def test_giveup_is_evaluation_error(self):
+        assert issubclass(GiveUpError, EvaluationError)
+
+    def test_giveup_payload(self):
+        error = GiveUpError("stopped", partial_model="model", stats="stats")
+        assert error.partial_model == "model"
+        assert error.stats == "stats"
+
+    def test_parse_error_without_position(self):
+        error = ParseError("plain message")
+        assert error.line is None
+        assert "plain message" in str(error)
