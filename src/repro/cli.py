@@ -18,9 +18,28 @@ Four subcommands mirror the library's four front ends:
     Reduce a Templog program to TL1, translate it to Datalog1S, and
     print its minimal model.
 
+Exit codes are stable for machine consumers:
+
+====  =====================================================
+0     success (complete model / answers)
+1     other library or internal error
+2     usage error: bad arguments, unreadable file, parse error
+3     gave up / partial model (paper's Section-4.3 policy)
+4     resource budget exceeded
+====  =====================================================
+
+``--json`` dumps a machine-readable run report instead of the human
+output; budget (``--deadline``, ``--max-rounds``, ``--max-tuples``,
+``--max-derived``) and checkpoint (``--checkpoint``,
+``--checkpoint-every``, ``--resume-from``) flags govern the evaluation
+runtime (see :mod:`repro.runtime`).
+
 Examples::
 
     python -m repro run program.dtl --edb schedule.gdb --window 0 200
+    python -m repro run program.dtl --edb schedule.gdb --deadline 5 --json
+    python -m repro run program.dtl --edb s.gdb --checkpoint ck.json \\
+        --checkpoint-every 10
     python -m repro query schedule.gdb 'exists u (train(t, u; "Liege", C))'
     python -m repro datalog1s trains.d1s
     python -m repro templog monitor.tlg
@@ -29,19 +48,42 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core import DeductiveEngine, parse_program
 from repro.datalog1s import minimal_model, parse_datalog1s
 from repro.fo import evaluate_query
 from repro.gdb import parse_database
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.report import run_report
 from repro.templog import parse_templog, templog_minimal_model
-from repro.util.errors import GiveUpError, ReproError
+from repro.util.errors import (
+    BudgetExceededError,
+    EvaluationAbortedError,
+    GiveUpError,
+    ParseError,
+    ReproError,
+)
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+EXIT_BUDGET = 4
+
+
+class _UsageError(Exception):
+    """A user-input problem reported as one line with exit code 2."""
 
 
 def _read(path):
-    with open(path) as handle:
-        return handle.read()
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as error:
+        reason = error.strerror or str(error)
+        raise _UsageError("cannot read %s: %s" % (path, reason)) from error
 
 
 def _add_window(parser):
@@ -54,6 +96,60 @@ def _add_window(parser):
     )
 
 
+def _add_json(parser):
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable run report instead of human output",
+    )
+
+
+def _add_budget(parser, full=True):
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the evaluation",
+    )
+    parser.add_argument(
+        "--max-rounds",
+        type=int,
+        metavar="N",
+        help="budget on fixpoint rounds",
+    )
+    if full:
+        parser.add_argument(
+            "--max-tuples",
+            type=int,
+            metavar="N",
+            help="budget on tuples accepted into the model",
+        )
+        parser.add_argument(
+            "--max-derived",
+            type=int,
+            metavar="N",
+            help="budget on total derived-tuple work",
+        )
+
+
+def _budget_from_args(args):
+    try:
+        budget = EvaluationBudget(
+            deadline_seconds=args.deadline,
+            max_rounds=args.max_rounds,
+            max_tuples=getattr(args, "max_tuples", None),
+            max_derived=getattr(args, "max_derived", None),
+        )
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+    return budget if budget.limited() else None
+
+
+def _emit_json(report, out):
+    json.dump(report, out, indent=2, sort_keys=False)
+    print(file=out)
+
+
 def _cmd_run(args, out):
     program = parse_program(_read(args.program))
     edb = parse_database(_read(args.edb))
@@ -64,7 +160,54 @@ def _cmd_run(args, out):
         patience=args.patience,
         on_give_up="partial" if args.partial else "raise",
     )
-    model = engine.run()
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            raise _UsageError("--checkpoint-every must be a positive round count")
+        if args.checkpoint is None:
+            raise _UsageError("--checkpoint-every requires --checkpoint PATH")
+    outcome, code, model, error = "ok", EXIT_OK, None, None
+    try:
+        model = engine.run(
+            budget=_budget_from_args(args),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume_from,
+        )
+        if model.stats.gave_up:
+            outcome, code = "gave-up", EXIT_PARTIAL
+    except GiveUpError as err:
+        outcome, code, model, error = "gave-up", EXIT_PARTIAL, err.partial_model, err
+    except BudgetExceededError as err:
+        outcome, code, model, error = (
+            "budget-exceeded",
+            EXIT_BUDGET,
+            err.partial_model,
+            err,
+        )
+    except EvaluationAbortedError as err:
+        outcome, code, model, error = "aborted", EXIT_ERROR, err.partial_model, err
+
+    window = tuple(args.window) if args.window else None
+    if args.json:
+        _emit_json(
+            run_report(
+                "run",
+                outcome,
+                code,
+                stats=model.stats if model is not None else None,
+                model=model,
+                error=error,
+                window=window,
+            ),
+            out,
+        )
+        return code
+
+    if error is not None:
+        print("%s: %s" % (outcome, error), file=sys.stderr)
+    if model is None:
+        return code
+
     stats = model.stats
     print(
         "%% %d strata, %d rounds, constraint safe: %s%s"
@@ -84,25 +227,45 @@ def _cmd_run(args, out):
             from repro.gdb.analysis import analyze
 
             print("%% stats: %s" % analyze(model.relation(name)), file=out)
-        if args.window:
-            low, high = args.window
+        if window:
+            low, high = window
             for flat in sorted(model.extension(name, low, high), key=repr):
                 print("  %s" % (flat,), file=out)
-    if args.verify:
+    if args.verify and outcome == "ok":
         from repro.core.verify import verify_model
 
-        window = tuple(args.window) if args.window else (0, 200)
-        report = verify_model(program, edb, model, window=window)
+        report = verify_model(program, edb, model, window=window or (0, 200))
         print("%% %s" % report, file=out)
         if not report.ok():
-            return 3
-    return 0
+            return EXIT_ERROR
+    return code
 
 
 def _cmd_query(args, out):
     edb = parse_database(_read(args.database))
     answers = evaluate_query(edb, args.formula)
     header = ", ".join(answers.temporal_vars + answers.data_vars) or "(closed)"
+    if args.json:
+        report = {
+            "command": "query",
+            "outcome": "ok",
+            "exit_code": EXIT_OK,
+            "answers_over": header,
+            "relation": str(answers.relation),
+        }
+        if not answers.temporal_vars and not answers.data_vars:
+            report["truth_value"] = answers.is_true()
+        if args.window:
+            low, high = args.window
+            report["window"] = {
+                "low": low,
+                "high": high,
+                "tuples": sorted(
+                    [list(flat) for flat in answers.extension(low, high)], key=repr
+                ),
+            }
+        _emit_json(report, out)
+        return EXIT_OK
     print("%% answers over: %s" % header, file=out)
     print(str(answers.relation), file=out)
     if not answers.temporal_vars and not answers.data_vars:
@@ -111,21 +274,56 @@ def _cmd_query(args, out):
         low, high = args.window
         for flat in sorted(answers.extension(low, high), key=repr):
             print("  %s" % (flat,), file=out)
-    return 0
+    return EXIT_OK
 
 
-def _cmd_datalog1s(args, out):
-    program = parse_datalog1s(_read(args.program))
-    model = minimal_model(program)
-    print(str(model), file=out)
-    return 0
+def _periodic_model_command(command, parse, evaluate):
+    """Shared handler shape of the ``datalog1s``/``templog`` commands."""
+
+    def handler(args, out):
+        program = parse(_read(args.program))
+        outcome, code, model, error = "ok", EXIT_OK, None, None
+        try:
+            model = evaluate(program, budget=_budget_from_args(args))
+        except BudgetExceededError as err:
+            outcome, code, model, error = (
+                "budget-exceeded",
+                EXIT_BUDGET,
+                err.partial_model,
+                err,
+            )
+        if args.json:
+            _emit_json(
+                {
+                    "command": command,
+                    "outcome": outcome,
+                    "exit_code": code,
+                    "error": None if error is None else str(error),
+                    "model": None if model is None else str(model),
+                },
+                out,
+            )
+            return code
+        if error is not None:
+            print("%s: %s" % (outcome, error), file=sys.stderr)
+        if model is not None:
+            print(str(model), file=out)
+        return code
+
+    return handler
 
 
-def _cmd_templog(args, out):
-    program = parse_templog(_read(args.program))
-    model = templog_minimal_model(program)
-    print(str(model), file=out)
-    return 0
+_cmd_datalog1s = _periodic_model_command(
+    "datalog1s",
+    parse_datalog1s,
+    lambda program, budget: minimal_model(program, budget=budget),
+)
+
+_cmd_templog = _periodic_model_command(
+    "templog",
+    parse_templog,
+    lambda program, budget: templog_minimal_model(program, budget=budget),
+)
 
 
 def build_parser():
@@ -148,7 +346,8 @@ def build_parser():
     run.add_argument(
         "--partial",
         action="store_true",
-        help="return the partial model instead of failing on give-up",
+        help="print the partial model instead of failing on give-up "
+        "(the exit code still reports 3)",
     )
     run.add_argument(
         "--stats",
@@ -160,12 +359,31 @@ def build_parser():
         action="store_true",
         help="independently verify the model (stability + ground window)",
     )
+    run.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="checkpoint file to write (with --checkpoint-every)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="write a resumable checkpoint every N rounds",
+    )
+    run.add_argument(
+        "--resume-from",
+        metavar="PATH",
+        help="resume evaluation from a checkpoint file",
+    )
+    _add_budget(run)
+    _add_json(run)
     _add_window(run)
     run.set_defaults(handler=_cmd_run)
 
     query = commands.add_parser("query", help="evaluate an FO query")
     query.add_argument("database", help="generalized database file")
     query.add_argument("formula", help="first-order query text")
+    _add_json(query)
     _add_window(query)
     query.set_defaults(handler=_cmd_query)
 
@@ -173,10 +391,14 @@ def build_parser():
         "datalog1s", help="closed-form Datalog1S minimal model"
     )
     d1s.add_argument("program", help="Datalog1S program file")
+    _add_budget(d1s, full=False)
+    _add_json(d1s)
     d1s.set_defaults(handler=_cmd_datalog1s)
 
     tlg = commands.add_parser("templog", help="Templog minimal model")
     tlg.add_argument("program", help="Templog program file")
+    _add_budget(tlg, full=False)
+    _add_json(tlg)
     tlg.set_defaults(handler=_cmd_templog)
 
     return parser
@@ -189,12 +411,21 @@ def main(argv=None, out=None):
     args = parser.parse_args(argv)
     try:
         return args.handler(args, out)
+    except _UsageError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_USAGE
+    except ParseError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return EXIT_USAGE
+    except BudgetExceededError as error:
+        print("budget exceeded: %s" % error, file=sys.stderr)
+        return EXIT_BUDGET
     except GiveUpError as error:
         print("give-up: %s" % error, file=sys.stderr)
-        return 2
+        return EXIT_PARTIAL
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     except OSError as error:
         print("error: %s" % error, file=sys.stderr)
-        return 1
+        return EXIT_USAGE

@@ -14,6 +14,8 @@ paper's Section 4.3 rely on.
 
 from __future__ import annotations
 
+from repro.util.hooks import fault_point
+
 INF = float("inf")
 
 
@@ -86,6 +88,7 @@ class Dbm:
         """
         if self._closed:
             return self._m[0][0] == 0
+        fault_point("dbm_canonicalize")
         m = self._m
         n = self.size + 1
         for k in range(n):

@@ -198,6 +198,29 @@ class ConstraintSystem:
                 atoms.append(Comparison("<=", left, right))
         return atoms
 
+    # -- serialization -------------------------------------------------------
+
+    def to_json_dict(self):
+        """A JSON-safe dict round-tripping through :meth:`from_json_dict`.
+
+        A generating set of bounds is stored (including the canonical
+        contradictory bound for unsatisfiable zones); re-closing it
+        reproduces the identical canonical matrix, so the round trip is
+        bit-exact on :meth:`canonical_key`.
+        """
+        return {
+            "arity": self.arity,
+            "bounds": [list(b) for b in self._zone.generating_bounds()],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload):
+        """Rebuild a system serialized by :meth:`to_json_dict`."""
+        zone = Dbm.unconstrained(payload["arity"])
+        for i, j, c in payload["bounds"]:
+            zone.add_bound(i, j, c)
+        return cls(payload["arity"], zone)
+
     def canonical_key(self):
         """Hashable canonical form."""
         return (self.arity, self._zone.canonical_key())

@@ -10,16 +10,41 @@ stable for ``patience`` rounds while tuples still keep arriving, the
 engine gives up — exactly the policy the paper recommends ("it is
 reasonable to give up on the computation if the interpretation does
 not become constraint safe after a few iterations").
+
+Beyond the paper's give-up policy the engine is resource-governed
+(:mod:`repro.runtime`): a run can carry a hard
+:class:`~repro.runtime.budget.EvaluationBudget` (wall-clock deadline,
+round / accepted-tuple / derived-work caps, checked cooperatively every
+round and every clause firing), write round-granular checkpoints that
+:meth:`DeductiveEngine.run` can resume bit-identically, and degrade
+gracefully: every early exit — give-up, budget, or an unexpected crash
+mid-fixpoint — surfaces as a typed
+:class:`~repro.util.errors.PartialResultError` carrying the queryable
+partial model and the statistics accumulated so far.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.core.evaluation import ProgramEvaluator
 from repro.core.safety import coverage_test, free_signatures, is_free_extension_safe
-from repro.util.errors import GiveUpError
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    engine_fingerprint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.util.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    EvaluationAbortedError,
+    GiveUpError,
+    PartialResultError,
+)
+from repro.util.hooks import fault_point
 
 
 @dataclass
@@ -31,24 +56,64 @@ class EvaluationStats:
     is the first round after which no new free signature appeared
     (1-based; 0 when the EDB signatures already cover everything);
     ``constraint_safe`` reports successful Theorem-4.3 termination;
-    ``gave_up`` the paper's give-up exit.
+    ``gave_up`` the paper's give-up exit; ``budget_exceeded`` a
+    resource-budget exit.  ``resumed_from_round`` is the global round
+    count restored from a checkpoint (``None`` for fresh runs) and
+    ``checkpoints_written`` the number of snapshots this run persisted.
     """
 
     strategy: str = "semi-naive"
     safety_mode: str = "paper"
     strata: int = 1
     rounds: int = 0
-    new_tuples_per_round: list = field(default_factory=list)
-    derived_tuples_per_round: list = field(default_factory=list)
-    signature_stable_round: int = None
+    new_tuples_per_round: List[int] = field(default_factory=list)
+    derived_tuples_per_round: List[int] = field(default_factory=list)
+    signature_stable_round: Optional[int] = None
     constraint_safe: bool = False
     gave_up: bool = False
-    free_extension_safe_checked: bool = None
+    budget_exceeded: bool = False
+    free_extension_safe_checked: Optional[bool] = None
     elapsed_seconds: float = 0.0
+    resumed_from_round: Optional[int] = None
+    checkpoints_written: int = 0
 
     def total_new_tuples(self):
         """Tuples accepted into the model across all rounds."""
         return sum(self.new_tuples_per_round)
+
+    def to_dict(self):
+        """A JSON-safe dict of every field (powers the CLI ``--json``
+        report and the checkpoint format)."""
+        return {
+            "strategy": self.strategy,
+            "safety_mode": self.safety_mode,
+            "strata": self.strata,
+            "rounds": self.rounds,
+            "new_tuples_per_round": list(self.new_tuples_per_round),
+            "derived_tuples_per_round": list(self.derived_tuples_per_round),
+            "total_new_tuples": self.total_new_tuples(),
+            "signature_stable_round": self.signature_stable_round,
+            "constraint_safe": self.constraint_safe,
+            "gave_up": self.gave_up,
+            "budget_exceeded": self.budget_exceeded,
+            "free_extension_safe_checked": self.free_extension_safe_checked,
+            "elapsed_seconds": self.elapsed_seconds,
+            "resumed_from_round": self.resumed_from_round,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    def restore_progress(self, payload):
+        """Adopt the *progress* fields of a checkpointed stats dict.
+
+        Outcome flags (``constraint_safe``, ``gave_up``, …) and timing
+        fields restart with the resumed run; only the monotone progress
+        counters carry over, so a resumed run's final stats match an
+        uninterrupted run's modulo timings.
+        """
+        self.rounds = payload["rounds"]
+        self.new_tuples_per_round = list(payload["new_tuples_per_round"])
+        self.derived_tuples_per_round = list(payload["derived_tuples_per_round"])
+        self.signature_stable_round = payload["signature_stable_round"]
 
 
 class Model:
@@ -179,37 +244,128 @@ class DeductiveEngine:
 
     # -- public API -------------------------------------------------------
 
-    def run(self, check_free_extension_safety=False):
-        """Run to constraint safety, give-up, or the round cap.
+    def fingerprint(self):
+        """The digest checkpoints are stamped with: program text, EDB
+        text, strategy, and safety mode must all match for a resume."""
+        return engine_fingerprint(
+            str(self.program), str(self.edb), self.strategy, self.safety
+        )
+
+    def run(
+        self,
+        check_free_extension_safety=False,
+        budget=None,
+        checkpoint_every=None,
+        checkpoint_path=None,
+        resume_from=None,
+    ):
+        """Run to constraint safety, give-up, budget, or the round cap.
 
         With ``check_free_extension_safety`` the paper-literal
         Theorem-4.2 test is evaluated on the final interpretation and
         recorded in the stats (it costs one extra T_GP round).
+
+        ``budget`` is an optional
+        :class:`~repro.runtime.budget.EvaluationBudget`; when a limit
+        trips, :class:`~repro.util.errors.BudgetExceededError` is raised
+        with the partial model attached.  ``checkpoint_every=N`` with
+        ``checkpoint_path`` writes a resumable snapshot after every Nth
+        round of each stratum; ``resume_from`` restores such a snapshot
+        (same program, EDB, strategy, and safety mode required) and
+        continues mid-stratum, replaying bit-identically to an
+        uninterrupted run.  Any other exception escaping the fixpoint is
+        wrapped in :class:`~repro.util.errors.EvaluationAbortedError`,
+        again with the partial model attached.
         """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be a positive round count")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
         stats = EvaluationStats(strategy=self.strategy, safety_mode=self.safety)
         started = time.perf_counter()
+        meter = budget.start() if budget is not None else None
         env = self.evaluator.initial_environment()
         known_signatures = {
             name: free_signatures(env[name]) for name in self.evaluator.intensional
         }
         stats.strata = self.evaluator.stratum_count()
-        last_signature_growth = 0
+        start_stratum = 0
+        resume = None
 
-        for evaluators in self.evaluator.stratum_evaluators:
-            complements = self.evaluator.complements_for(evaluators, env)
-            stratum_closed = self._run_stratum(
-                evaluators,
-                complements,
-                env,
-                known_signatures,
-                stats,
-            )
-            last_signature_growth = stats.signature_stable_round
-            if not stratum_closed:
-                stats.gave_up = True
-                break
-        else:
-            stats.constraint_safe = True
+        if resume_from is not None:
+            resume = load_checkpoint(resume_from)
+            if resume.fingerprint != self.fingerprint():
+                raise CheckpointError(
+                    "checkpoint was written by a different program/EDB/"
+                    "configuration (fingerprint mismatch)"
+                )
+            for name, relation in resume.env.items():
+                if name not in self.evaluator.intensional:
+                    raise CheckpointError(
+                        "checkpoint carries unknown intensional predicate %r" % name
+                    )
+                env[name] = relation
+            for name, signatures in resume.known_signatures.items():
+                known_signatures[name] = set(signatures)
+            stats.restore_progress(resume.stats)
+            stats.resumed_from_round = stats.rounds
+            start_stratum = resume.stratum_index
+
+        last_signature_growth = 0
+        strata = self.evaluator.stratum_evaluators
+        try:
+            stratum_index = start_stratum
+            while stratum_index < len(strata):
+                evaluators = strata[stratum_index]
+                if resume is not None and stratum_index == start_stratum:
+                    complements = dict(resume.complements)
+                    delta = None if resume.delta is None else dict(resume.delta)
+                    rounds_done = resume.rounds_in_stratum
+                    last_growth = resume.last_growth
+                else:
+                    complements = self.evaluator.complements_for(evaluators, env)
+                    delta = None
+                    rounds_done = 0
+                    last_growth = stats.rounds
+                stratum_closed = self._run_stratum(
+                    evaluators,
+                    complements,
+                    env,
+                    known_signatures,
+                    stats,
+                    stratum_index=stratum_index,
+                    delta=delta,
+                    rounds_done=rounds_done,
+                    last_growth=last_growth,
+                    meter=meter,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_path=checkpoint_path,
+                )
+                last_signature_growth = stats.signature_stable_round
+                if not stratum_closed:
+                    stats.gave_up = True
+                    break
+                stratum_index += 1
+            else:
+                stats.constraint_safe = True
+        except BudgetExceededError as error:
+            stats.budget_exceeded = True
+            stats.elapsed_seconds = time.perf_counter() - started
+            error.partial_model = self._partial_model(env, stats)
+            error.stats = stats
+            raise
+        except PartialResultError:
+            raise
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            stats.elapsed_seconds = time.perf_counter() - started
+            raise EvaluationAbortedError(
+                "evaluation aborted during round %d: %s" % (stats.rounds, error),
+                partial_model=self._partial_model(env, stats),
+                stats=stats,
+            ) from error
 
         stats.elapsed_seconds = time.perf_counter() - started
 
@@ -218,10 +374,7 @@ class DeductiveEngine:
                 self.evaluator, env
             )
 
-        relations = {
-            name: env[name].normalize() for name in self.evaluator.intensional
-        }
-        model = Model(relations, stats, edb=self.edb)
+        model = self._partial_model(env, stats)
         if stats.gave_up and self.on_give_up == "raise":
             raise GiveUpError(
                 "bottom-up evaluation did not reach constraint safety "
@@ -232,20 +385,49 @@ class DeductiveEngine:
             )
         return model
 
-    def _run_stratum(self, evaluators, complements, env, known_signatures, stats):
+    def _partial_model(self, env, stats):
+        """The (possibly partial) model for the current environment."""
+        relations = {
+            name: env[name].normalize() for name in self.evaluator.intensional
+        }
+        return Model(relations, stats, edb=self.edb)
+
+    def _run_stratum(
+        self,
+        evaluators,
+        complements,
+        env,
+        known_signatures,
+        stats,
+        stratum_index=0,
+        delta=None,
+        rounds_done=0,
+        last_growth=None,
+        meter=None,
+        checkpoint_every=None,
+        checkpoint_path=None,
+    ):
         """Fixpoint over one stratum's clauses; returns True when the
-        stratum reached constraint safety, False on give-up/cap."""
-        delta = None
-        last_growth = stats.rounds
-        for _ in range(self.max_rounds):
+        stratum reached constraint safety, False on give-up/cap.
+
+        ``rounds_done``/``delta``/``last_growth`` seed the loop when
+        resuming from a mid-stratum checkpoint."""
+        if last_growth is None:
+            last_growth = stats.rounds
+        while rounds_done < self.max_rounds:
+            rounds_done += 1
             stats.rounds += 1
+            fault_point("round")
+            if meter is not None:
+                meter.charge_round()
             if self.strategy == "naive" or delta is None:
                 derived = self.evaluator.naive_round(
-                    env, evaluators=evaluators, complements=complements
+                    env, evaluators=evaluators, complements=complements, meter=meter
                 )
             else:
                 derived = self.evaluator.seminaive_round(
-                    env, delta, evaluators=evaluators, complements=complements
+                    env, delta, evaluators=evaluators, complements=complements,
+                    meter=meter,
                 )
             stats.derived_tuples_per_round.append(
                 sum(len(ts) for ts in derived.values())
@@ -263,9 +445,8 @@ class DeductiveEngine:
                         continue
                     fresh.setdefault(predicate, []).append(gt)
 
-            stats.new_tuples_per_round.append(
-                sum(len(ts) for ts in fresh.values())
-            )
+            accepted = sum(len(ts) for ts in fresh.values())
+            stats.new_tuples_per_round.append(accepted)
 
             if not fresh:
                 stats.signature_stable_round = last_growth
@@ -282,6 +463,29 @@ class DeductiveEngine:
                 last_growth = stats.rounds
             delta = fresh
 
+            if meter is not None:
+                meter.charge_accepted(accepted)
+
+            if checkpoint_every is not None and rounds_done % checkpoint_every == 0:
+                write_checkpoint(
+                    checkpoint_path,
+                    Checkpoint(
+                        fingerprint=self.fingerprint(),
+                        stratum_index=stratum_index,
+                        rounds_in_stratum=rounds_done,
+                        last_growth=last_growth,
+                        env={
+                            name: env[name]
+                            for name in self.evaluator.intensional
+                        },
+                        known_signatures=known_signatures,
+                        stats=stats.to_dict(),
+                        delta=delta,
+                        complements=complements,
+                    ),
+                )
+                stats.checkpoints_written += 1
+
             if (
                 self.patience is not None
                 and stats.rounds - last_growth >= self.patience
@@ -290,20 +494,27 @@ class DeductiveEngine:
         stats.signature_stable_round = last_growth
         return False
 
-    def trace(self, max_rounds=None):
+    def trace(self, max_rounds=None, budget=None):
         """Yield ``(round_number, {predicate: [accepted tuples]})`` for
         each round, naive strategy — the form in which the paper prints
         the Example 4.1 computation.  Stops at constraint safety or the
-        round cap (no give-up error)."""
+        round cap per stratum (no give-up error).  An optional
+        ``budget`` is charged per round and clause firing, raising
+        :class:`~repro.util.errors.BudgetExceededError` (without a
+        partial model — the tuples already yielded are the partial
+        result)."""
         limit = max_rounds or self.max_rounds
+        meter = budget.start() if budget is not None else None
         env = self.evaluator.initial_environment()
         round_number = 0
         for evaluators in self.evaluator.stratum_evaluators:
             complements = self.evaluator.complements_for(evaluators, env)
             for _ in range(limit):
                 round_number += 1
+                if meter is not None:
+                    meter.charge_round()
                 derived = self.evaluator.naive_round(
-                    env, evaluators=evaluators, complements=complements
+                    env, evaluators=evaluators, complements=complements, meter=meter
                 )
                 fresh = {}
                 seen_keys = set()

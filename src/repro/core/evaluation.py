@@ -22,6 +22,7 @@ from repro.gdb.relation import GeneralizedRelation
 from repro.gdb.tuple import GeneralizedTuple
 from repro.lrp.point import Lrp
 from repro.util.errors import SchemaError
+from repro.util.hooks import fault_point
 
 
 class ClauseEvaluator:
@@ -65,6 +66,7 @@ class ClauseEvaluator:
         (semi-naive firing).  ``complements`` supplies, for each
         negated predicate, its exact complement relation — negated
         atoms then join like positive ones (stratified negation)."""
+        fault_point("clause")
         normalized = self.normalized
         if self.negated_predicates and complements is None:
             raise SchemaError(
@@ -288,23 +290,31 @@ class ProgramEvaluator:
             env[name] = GeneralizedRelation.empty(temporal_arity, data_arity)
         return env
 
-    def naive_round(self, env, evaluators=None, complements=None):
+    def naive_round(self, env, evaluators=None, complements=None, meter=None):
         """One naive T_GP application: every clause against the full
-        environment.  Returns ``{predicate: [derived tuples]}``."""
+        environment.  Returns ``{predicate: [derived tuples]}``.
+
+        An optional :class:`~repro.runtime.budget.BudgetMeter` is
+        ticked before each clause firing (deadline check) and charged
+        with the derived-tuple work after it."""
         derived = {}
         for evaluator in evaluators if evaluators is not None else self.evaluators:
+            if meter is not None:
+                meter.tick_clause()
             relation = evaluator.evaluate(env, complements=complements)
+            if meter is not None and relation.tuples:
+                meter.charge_derived(len(relation.tuples))
             if relation.tuples:
                 derived.setdefault(evaluator.head_predicate, []).extend(
                     relation.tuples
                 )
         return derived
 
-    def seminaive_round(self, env, delta, evaluators=None, complements=None):
+    def seminaive_round(self, env, delta, evaluators=None, complements=None, meter=None):
         """One semi-naive round: each clause fires once per intensional
         body position, reading the last-round delta there.  Clauses
         without intensional body atoms do not fire (they are exhausted
-        by the first naive round)."""
+        by the first naive round).  ``meter`` as in :meth:`naive_round`."""
         derived = {}
         delta_env = {
             name: GeneralizedRelation(
@@ -317,12 +327,16 @@ class ProgramEvaluator:
                 atom = evaluator.normalized.body_atoms[position]
                 if atom.predicate not in delta_env:
                     continue
+                if meter is not None:
+                    meter.tick_clause()
                 relation = evaluator.evaluate(
                     env,
                     delta=delta_env,
                     delta_position=position,
                     complements=complements,
                 )
+                if meter is not None and relation.tuples:
+                    meter.charge_derived(len(relation.tuples))
                 if relation.tuples:
                     derived.setdefault(evaluator.head_predicate, []).extend(
                         relation.tuples

@@ -22,6 +22,8 @@ union of all same-data tuples, regardless of free-extension matching.
 
 from __future__ import annotations
 
+from repro.util.hooks import fault_point
+
 
 def free_signatures(relation):
     """The set of free-extension signatures of a relation's tuples."""
@@ -33,6 +35,7 @@ def covered_paper(gt, relation):
     is ``constraints(gt)`` implied by the disjunction of the
     constraints of the tuples of ``relation`` with the same free
     extension?"""
+    fault_point("coverage")
     same_signature = [
         existing.constraints
         for existing in relation.tuples
@@ -47,6 +50,7 @@ def covered_semantic(gt, relation):
     """Exact extension coverage: ``gt ⊆ relation`` (same data tuples
     may have different lrps).  Strictly stronger than
     :func:`covered_paper`; used as an ablation (experiment E8)."""
+    fault_point("coverage")
     remaining = gt.subtract(list(relation.tuples))
     return all(piece.is_empty() for piece in remaining)
 

@@ -29,7 +29,7 @@ import itertools
 
 from repro.lrp.congruence import lcm_all
 from repro.lrp.periodic_set import EventuallyPeriodicSet
-from repro.util.errors import EvaluationError
+from repro.util.errors import BudgetExceededError, EvaluationError
 
 
 class Model1S:
@@ -168,7 +168,7 @@ def _ground_data(terms, theta):
     )
 
 
-def minimal_model(program, edb=None, max_horizon=200_000):
+def minimal_model(program, edb=None, max_horizon=200_000, budget=None):
     """The closed-form minimal model of a Datalog1S program.
 
     ``edb`` optionally maps ``(predicate, data_tuple)`` to
@@ -179,29 +179,46 @@ def minimal_model(program, edb=None, max_horizon=200_000):
     extension of the deductive languages).  Raises
     :class:`EvaluationError` if closure cannot be detected within
     ``max_horizon`` time points.
+
+    ``budget`` is an optional
+    :class:`~repro.runtime.budget.EvaluationBudget`, charged one round
+    per time slice (forward programs) or fixpoint pass (horizon
+    doubling); when a limit trips,
+    :class:`~repro.util.errors.BudgetExceededError` carries a
+    prefix-only partial :class:`Model1S` covering the slices computed
+    so far plus any completed lower strata.
     """
+    meter = budget.start() if budget is not None else None
     strata = program.strata()
-    if len(strata) == 1:
-        return _stratum_model(strata[0], dict(edb or {}), max_horizon)
     accumulated = dict(edb or {})
-    for stratum in strata:
-        model = _stratum_model(stratum, accumulated, max_horizon)
-        for key in model.keys():
-            accumulated[key] = model.set_of(*key)
-    return Model1S(accumulated)
+    try:
+        if len(strata) == 1:
+            return _stratum_model(strata[0], accumulated, max_horizon, meter)
+        for stratum in strata:
+            model = _stratum_model(stratum, accumulated, max_horizon, meter)
+            for key in model.keys():
+                accumulated[key] = model.set_of(*key)
+        return Model1S(accumulated)
+    except BudgetExceededError as error:
+        partial = dict(accumulated)
+        if error.partial_model is not None:
+            for key in error.partial_model.keys():
+                partial[key] = error.partial_model.set_of(*key)
+        error.partial_model = Model1S(partial)
+        raise
 
 
-def _stratum_model(program, edb, max_horizon):
+def _stratum_model(program, edb, max_horizon, meter=None):
     ground = _GroundRules(program, edb)
     if program.is_forward():
-        return _forward_model(ground, max_horizon)
-    return _doubling_model(ground, max_horizon)
+        return _forward_model(ground, max_horizon, meter)
+    return _doubling_model(ground, max_horizon, meter)
 
 
 # -- exact frontier automaton for forward programs ------------------------
 
 
-def _forward_model(ground, max_horizon):
+def _forward_model(ground, max_horizon, meter=None):
     delay = max(ground.max_delay(), 1)
     facts_by_time = {}
     for (pred, data, t) in ground.facts:
@@ -218,23 +235,45 @@ def _forward_model(ground, max_horizon):
     slices = []
     seen_states = {}
     cycle = None
-    for t in range(max_horizon):
-        slices.append(_compute_slice(ground, slices, facts_by_time, t))
-        if t >= stable_from + delay - 1:
-            window = tuple(
-                frozenset(slices[t - k]) for k in range(delay)
-            )
-            state = (window, t % edb_period)
-            if state in seen_states:
-                cycle = (seen_states[state], t)
-                break
-            seen_states[state] = t
+    try:
+        for t in range(max_horizon):
+            if meter is not None:
+                meter.charge_round()
+            slices.append(_compute_slice(ground, slices, facts_by_time, t))
+            if meter is not None and slices[-1]:
+                meter.charge_accepted(len(slices[-1]))
+            if t >= stable_from + delay - 1:
+                window = tuple(
+                    frozenset(slices[t - k]) for k in range(delay)
+                )
+                state = (window, t % edb_period)
+                if state in seen_states:
+                    cycle = (seen_states[state], t)
+                    break
+                seen_states[state] = t
+    except BudgetExceededError as error:
+        error.partial_model = _prefix_model(ground, slices)
+        raise
     if cycle is None:
         raise EvaluationError(
             "no frontier cycle within %d time points" % max_horizon
         )
     t1, t2 = cycle
     return _model_from_slices(ground, slices, t1, t2 - t1)
+
+
+def _prefix_model(ground, slices):
+    """A prefix-only partial model from the slices computed so far —
+    sound (bottom-up computation only adds atoms) but silent beyond
+    the last computed time point."""
+    horizon = len(slices)
+    sets = {}
+    for key in ground.keys:
+        times = {t for t in range(horizon) if key in slices[t]}
+        sets[key] = EventuallyPeriodicSet(
+            threshold=max(horizon, 1), period=1, residues=frozenset(), prefix=times
+        )
+    return Model1S(sets)
 
 
 def _compute_slice(ground, slices, facts_by_time, t):
@@ -300,7 +339,7 @@ def _model_from_slices(ground, slices, threshold, period):
 # -- horizon doubling for non-forward programs -----------------------------
 
 
-def _window_fixpoint(ground, horizon):
+def _window_fixpoint(ground, horizon, meter=None):
     facts = {key: set() for key in ground.keys}
     for (pred, data, t) in ground.facts:
         if 0 <= t < horizon:
@@ -309,6 +348,8 @@ def _window_fixpoint(ground, horizon):
         facts[key].update(extension.window(0, horizon))
     changed = True
     while changed:
+        if meter is not None:
+            meter.charge_round()
         changed = False
         for (head_pred, head_data, head_offset, body) in ground.rules:
             head_key = (head_pred, head_data)
@@ -363,7 +404,7 @@ def _fit_eventually_periodic(times, horizon, guard):
     return None
 
 
-def _doubling_model(ground, max_horizon):
+def _doubling_model(ground, max_horizon, meter=None):
     delay = max(ground.max_delay(), 1)
     backward_reach = max(
         (
@@ -382,7 +423,11 @@ def _doubling_model(ground, max_horizon):
         # period of their support; a guard proportional to the horizon
         # eventually dominates any fixed period.
         guard = max(base_guard, horizon // 4)
-        facts = _window_fixpoint(ground, horizon)
+        try:
+            facts = _window_fixpoint(ground, horizon, meter)
+        except BudgetExceededError as error:
+            error.partial_model = Model1S(previous_fit or {})
+            raise
         fit = {}
         failed = False
         for key, times in facts.items():

@@ -294,6 +294,30 @@ class GeneralizedRelation:
         """Exact extension equality."""
         return self.contains(other) and other.contains(self)
 
+    # -- serialization ------------------------------------------------------------------
+
+    def to_json_dict(self):
+        """A JSON-safe dict round-tripping through :meth:`from_json_dict`.
+
+        Tuple order is preserved, so a relation restored from a
+        checkpoint iterates identically to the original — the property
+        the resume machinery relies on for bit-identical replay.
+        """
+        return {
+            "temporal_arity": self.temporal_arity,
+            "data_arity": self.data_arity,
+            "tuples": [gt.to_json_dict() for gt in self.tuples],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload):
+        """Rebuild a relation serialized by :meth:`to_json_dict`."""
+        return cls(
+            payload["temporal_arity"],
+            payload["data_arity"],
+            [GeneralizedTuple.from_json_dict(t) for t in payload["tuples"]],
+        )
+
     # -- normalization ------------------------------------------------------------------
 
     def normalize(self, prune_empty=True, prune_subsumed=False):

@@ -481,6 +481,33 @@ class GeneralizedTuple:
                 results.append(aligned.to_generalized())
         return results
 
+    # -- serialization ------------------------------------------------------------
+
+    def to_json_dict(self):
+        """A JSON-safe dict round-tripping through :meth:`from_json_dict`.
+
+        Data constants must be JSON scalars (the surface languages only
+        produce strings and integers).  The constraint system is stored
+        canonically, so the round trip preserves :meth:`canonical_key`
+        bit-exactly.
+        """
+        payload = {
+            "lrps": [[lrp.period, lrp.offset] for lrp in self.lrps],
+            "data": list(self.data),
+        }
+        if not self.constraints.is_trivial():
+            payload["constraints"] = self.constraints.to_json_dict()
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload):
+        """Rebuild a tuple serialized by :meth:`to_json_dict`."""
+        lrps = tuple(Lrp(period, offset) for period, offset in payload["lrps"])
+        constraints = None
+        if "constraints" in payload:
+            constraints = ConstraintSystem.from_json_dict(payload["constraints"])
+        return cls(lrps, tuple(payload["data"]), constraints)
+
     # -- identity -----------------------------------------------------------------
 
     def canonical_key(self):

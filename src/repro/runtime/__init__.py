@@ -1,0 +1,39 @@
+"""The resource-governed evaluation runtime.
+
+Everything that stands between a pathological temporal program and an
+unbounded, unrecoverable run:
+
+* :mod:`repro.runtime.budget` — hard resource budgets
+  (:class:`EvaluationBudget`) checked cooperatively by every fixpoint
+  loop, raising :class:`~repro.util.errors.BudgetExceededError` with
+  the partial model attached;
+* :mod:`repro.runtime.checkpoint` — round-granular JSON snapshots of
+  the fixpoint environment, resumable bit-identically mid-stratum;
+* :mod:`repro.runtime.faults` — deterministic fault and delay
+  injection (:class:`FaultPlan`) at the instrumented sites, proving
+  the recovery paths under test;
+* :mod:`repro.runtime.report` — machine-readable run reports backing
+  the CLI's ``--json`` mode.
+"""
+
+from repro.runtime.budget import BudgetMeter, EvaluationBudget
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    engine_fingerprint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.faults import SITES, FaultPlan, FaultSpec, InjectedFaultError
+
+__all__ = [
+    "BudgetMeter",
+    "EvaluationBudget",
+    "Checkpoint",
+    "engine_fingerprint",
+    "load_checkpoint",
+    "write_checkpoint",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "SITES",
+]

@@ -1,0 +1,172 @@
+"""Round-granular checkpoints of the bottom-up fixpoint.
+
+A checkpoint freezes everything :class:`~repro.core.engine.DeductiveEngine`
+needs to continue a run mid-stratum: the intensional relations, the
+last semi-naive delta, the stratum's negation complements, the known
+free-signature sets, the round counters, and the statistics so far —
+all serialized to JSON through the canonical ``to_json_dict`` forms of
+the gdb layer, so a resumed run replays bit-identically (same canonical
+relations, same stats modulo timings) to an uninterrupted one.
+
+A fingerprint of the program text, the EDB text, and the evaluation
+configuration is stored; resuming against anything else raises
+:class:`~repro.util.errors.CheckpointError` instead of silently
+computing garbage.  Writes are atomic (temp file + rename) so a crash
+during a write — the ``checkpoint_write`` fault site injects exactly
+that — can never leave a truncated checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gdb.relation import GeneralizedRelation
+from repro.gdb.tuple import GeneralizedTuple
+from repro.lrp.point import Lrp
+from repro.util.errors import CheckpointError
+from repro.util.hooks import fault_point
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def engine_fingerprint(program_text, edb_text, strategy, safety):
+    """A stable digest of everything that must match for a resume."""
+    digest = hashlib.sha256()
+    for chunk in (program_text, edb_text, strategy, safety):
+        digest.update(chunk.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One resumable snapshot of the fixpoint state."""
+
+    fingerprint: str
+    stratum_index: int
+    rounds_in_stratum: int
+    last_growth: int
+    env: dict                       # predicate -> GeneralizedRelation (IDB only)
+    known_signatures: dict          # predicate -> set of (lrps, data)
+    stats: dict                     # EvaluationStats.to_dict()
+    delta: Optional[dict] = None    # predicate -> [GeneralizedTuple]
+    complements: dict = field(default_factory=dict)
+
+    def to_json_dict(self):
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "stratum_index": self.stratum_index,
+            "rounds_in_stratum": self.rounds_in_stratum,
+            "last_growth": self.last_growth,
+            "env": {
+                name: relation.to_json_dict() for name, relation in self.env.items()
+            },
+            "known_signatures": {
+                name: [_signature_to_json(s) for s in sorted(signatures, key=repr)]
+                for name, signatures in self.known_signatures.items()
+            },
+            "stats": self.stats,
+            "delta": None
+            if self.delta is None
+            else {
+                name: [gt.to_json_dict() for gt in tuples]
+                for name, tuples in self.delta.items()
+            },
+            "complements": {
+                name: relation.to_json_dict()
+                for name, relation in self.complements.items()
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload):
+        try:
+            if payload.get("format") != CHECKPOINT_FORMAT:
+                raise CheckpointError(
+                    "not a repro checkpoint (format=%r)" % payload.get("format")
+                )
+            if payload.get("version") != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    "unsupported checkpoint version %r" % payload.get("version")
+                )
+            delta = payload["delta"]
+            return cls(
+                fingerprint=payload["fingerprint"],
+                stratum_index=payload["stratum_index"],
+                rounds_in_stratum=payload["rounds_in_stratum"],
+                last_growth=payload["last_growth"],
+                env={
+                    name: GeneralizedRelation.from_json_dict(relation)
+                    for name, relation in payload["env"].items()
+                },
+                known_signatures={
+                    name: {_signature_from_json(s) for s in signatures}
+                    for name, signatures in payload["known_signatures"].items()
+                },
+                stats=payload["stats"],
+                delta=None
+                if delta is None
+                else {
+                    name: [GeneralizedTuple.from_json_dict(t) for t in tuples]
+                    for name, tuples in delta.items()
+                },
+                complements={
+                    name: GeneralizedRelation.from_json_dict(relation)
+                    for name, relation in payload["complements"].items()
+                },
+            )
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise CheckpointError("malformed checkpoint: %s" % error) from error
+
+
+def _signature_to_json(signature):
+    lrps, data = signature
+    return {"lrps": [[lrp.period, lrp.offset] for lrp in lrps], "data": list(data)}
+
+
+def _signature_from_json(payload):
+    return (
+        tuple(Lrp(period, offset) for period, offset in payload["lrps"]),
+        tuple(payload["data"]),
+    )
+
+
+def write_checkpoint(path, checkpoint):
+    """Atomically persist a checkpoint to ``path`` as JSON."""
+    fault_point("checkpoint_write")
+    payload = json.dumps(checkpoint.to_json_dict(), indent=None, sort_keys=False)
+    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp_path, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
+def load_checkpoint(path):
+    """Load and validate a checkpoint written by :func:`write_checkpoint`."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise CheckpointError(
+            "cannot read checkpoint %s: %s" % (path, error)
+        ) from error
+    except ValueError as error:
+        raise CheckpointError(
+            "checkpoint %s is not valid JSON: %s" % (path, error)
+        ) from error
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint %s is not a JSON object" % path)
+    return Checkpoint.from_json_dict(payload)

@@ -1,0 +1,168 @@
+"""Deterministic fault injection for the evaluation runtime.
+
+A :class:`FaultPlan` installs itself as the process-wide hook behind
+:func:`repro.util.hooks.fault_point` and triggers configured behaviors
+— raising an exception or sleeping — at exact hit counts of named
+sites.  Determinism is the point: tests can crash the engine at "the
+third clause firing" or "the second checkpoint write" and prove that
+every such failure surfaces as a typed
+:class:`~repro.util.errors.ReproError` carrying a usable partial model,
+and that resuming from a checkpoint written before the fault converges
+to the same model as an uninterrupted run.
+
+Instrumented sites
+------------------
+``clause``
+    Entry of :meth:`repro.core.evaluation.ClauseEvaluator.evaluate` —
+    one hit per clause firing.
+``dbm_canonicalize``
+    :meth:`repro.constraints.dbm.Dbm.close` actually recomputing a
+    shortest-path closure (already-closed matrices do not hit).
+``coverage``
+    Each tuple-level constraint-safety coverage test
+    (:func:`repro.core.safety.covered_paper` / ``covered_semantic``).
+``checkpoint_write``
+    Entry of :func:`repro.runtime.checkpoint.write_checkpoint`.
+``round``
+    Each T_GP round boundary in :class:`~repro.core.engine.DeductiveEngine`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.util import hooks
+from repro.util.errors import ReproError
+
+#: The site names the library instruments.
+SITES = ("clause", "dbm_canonicalize", "coverage", "checkpoint_write", "round")
+
+
+class InjectedFaultError(ReproError):
+    """The exception a :class:`FaultSpec` raises by default."""
+
+    def __init__(self, site, hit):
+        self.site = site
+        self.hit = hit
+        super().__init__("injected fault at site %r (hit %d)" % (site, hit))
+
+
+@dataclass
+class FaultSpec:
+    """One behavior at one site: at hit number ``at`` (1-based) of
+    ``site``, sleep ``delay_seconds`` and/or raise.
+
+    ``error`` may be an exception instance, an exception class, or
+    ``None``; with ``raises=True`` and ``error=None`` an
+    :class:`InjectedFaultError` is raised.  ``repeat`` triggers on
+    every hit at or after ``at`` instead of only once.
+    """
+
+    site: str
+    at: int = 1
+    raises: bool = True
+    error: Optional[BaseException] = None
+    delay_seconds: float = 0.0
+    repeat: bool = False
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(
+                "unknown fault site %r (expected one of %s)"
+                % (self.site, ", ".join(SITES))
+            )
+        if self.at < 1:
+            raise ValueError("hit counts are 1-based; got at=%d" % self.at)
+
+    def triggers_on(self, hit):
+        """True when the spec fires on the given 1-based hit count."""
+        return hit == self.at or (self.repeat and hit > self.at)
+
+    def fire(self, hit):
+        """Execute the behavior (sleep, then raise if configured)."""
+        if self.delay_seconds > 0:
+            time.sleep(self.delay_seconds)
+        if self.raises:
+            error = self.error
+            if error is None:
+                raise InjectedFaultError(self.site, hit)
+            if isinstance(error, type):
+                raise error("injected fault at site %r (hit %d)" % (self.site, hit))
+            raise error
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults and delays over named sites.
+
+    >>> plan = FaultPlan.inject("coverage", at=2)
+    >>> with plan.installed():
+    ...     pass  # evaluation under the plan
+    >>> plan.hits
+    {}
+    """
+
+    specs: list = field(default_factory=list)
+
+    @classmethod
+    def inject(cls, site, at=1, error=None, repeat=False):
+        """A plan raising at the ``at``-th hit of ``site``."""
+        return cls([FaultSpec(site, at=at, error=error, repeat=repeat)])
+
+    @classmethod
+    def delay(cls, site, at=1, seconds=0.0, repeat=False):
+        """A plan sleeping ``seconds`` at the ``at``-th hit of ``site``
+        without raising."""
+        return cls(
+            [FaultSpec(site, at=at, raises=False, delay_seconds=seconds, repeat=repeat)]
+        )
+
+    def __post_init__(self):
+        self.hits = {}
+
+    def and_inject(self, site, at=1, error=None, repeat=False):
+        """This plan plus one more fault spec (builder style)."""
+        self.specs.append(FaultSpec(site, at=at, error=error, repeat=repeat))
+        return self
+
+    def and_delay(self, site, at=1, seconds=0.0, repeat=False):
+        """This plan plus one more delay spec (builder style)."""
+        self.specs.append(
+            FaultSpec(site, at=at, raises=False, delay_seconds=seconds, repeat=repeat)
+        )
+        return self
+
+    # -- the hook ---------------------------------------------------------
+
+    def __call__(self, site):
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        for spec in self.specs:
+            if spec.site == site and spec.triggers_on(hit):
+                spec.fire(hit)
+
+    def installed(self):
+        """Context manager installing this plan as the process hook.
+
+        Counters reset on entry so a plan can be reused; nesting is
+        rejected to keep determinism simple.
+        """
+        return _Installed(self)
+
+
+class _Installed:
+    def __init__(self, plan):
+        self.plan = plan
+
+    def __enter__(self):
+        if hooks.FAULT_HOOK is not None:
+            raise RuntimeError("another fault plan is already installed")
+        self.plan.hits = {}
+        hooks.FAULT_HOOK = self.plan
+        return self.plan
+
+    def __exit__(self, *exc_info):
+        hooks.FAULT_HOOK = None
+        return False

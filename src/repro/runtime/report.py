@@ -1,0 +1,67 @@
+"""Machine-readable run reports for the CLI's ``--json`` mode.
+
+A report is a plain dict (JSON-safe) describing one CLI invocation:
+the outcome class, the process exit code, the evaluation statistics,
+and a summary of the computed (possibly partial) model.  Monitoring
+and batch consumers parse this instead of scraping the human output.
+"""
+
+from __future__ import annotations
+
+OUTCOME_OK = "ok"
+OUTCOME_GAVE_UP = "gave-up"
+OUTCOME_BUDGET_EXCEEDED = "budget-exceeded"
+OUTCOME_ABORTED = "aborted"
+OUTCOME_ERROR = "error"
+
+
+def model_summary(model, window=None):
+    """A JSON-safe summary of a deductive :class:`~repro.core.engine.Model`."""
+    if model is None:
+        return None
+    predicates = {}
+    for name in model.predicates():
+        relation = model.relation(name)
+        entry = {
+            "generalized_tuples": len(relation),
+            "text": str(relation.coalesce()),
+        }
+        if window is not None:
+            low, high = window
+            entry["window"] = {
+                "low": low,
+                "high": high,
+                "tuples": sorted(
+                    [list(flat) for flat in model.extension(name, low, high)],
+                    key=repr,
+                ),
+            }
+        predicates[name] = entry
+    return {"predicates": predicates}
+
+
+def error_summary(error):
+    """A JSON-safe description of an exception: its type, message, and
+    (for budget errors) the limit that tripped."""
+    if error is None:
+        return None
+    summary = {"type": type(error).__name__, "message": str(error)}
+    limit = getattr(error, "limit", None)
+    if limit is not None:
+        summary["limit"] = limit
+    cause = error.__cause__
+    if cause is not None:
+        summary["cause"] = {"type": type(cause).__name__, "message": str(cause)}
+    return summary
+
+
+def run_report(command, outcome, exit_code, stats=None, model=None, error=None, window=None):
+    """Assemble the full report dict for one CLI invocation."""
+    return {
+        "command": command,
+        "outcome": outcome,
+        "exit_code": exit_code,
+        "error": error_summary(error),
+        "stats": None if stats is None else stats.to_dict(),
+        "model": model_summary(model, window=window),
+    }

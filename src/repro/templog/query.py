@@ -23,7 +23,7 @@ from repro.templog.ast import Diamond, TemplogAtom, parse_templog
 from repro.util.errors import EvaluationError
 
 
-def evaluate_goal(model, elements):
+def evaluate_goal(model, elements, budget=None):
     """The set of time points at which a conjunction of body elements
     holds in a closed-form model.
 
@@ -31,16 +31,28 @@ def evaluate_goal(model, elements):
     returned by :func:`repro.templog.translate.templog_minimal_model`);
     ``elements`` is an iterable of :class:`TemplogAtom` / ``Diamond``.
     Data arguments of atoms must be ground (constants).
+
+    ``budget`` is an optional
+    :class:`~repro.runtime.budget.EvaluationBudget` whose wall-clock
+    deadline is checked between elements, raising
+    :class:`~repro.util.errors.BudgetExceededError`.
     """
+    meter = budget.start() if budget is not None else None
+    return _evaluate_conjunction(model, elements, meter)
+
+
+def _evaluate_conjunction(model, elements, meter):
     result = EventuallyPeriodicSet.all()
     for element in elements:
-        result = result & _evaluate_element(model, element)
+        if meter is not None:
+            meter.check_deadline("goal element")
+        result = result & _evaluate_element(model, element, meter)
     return result
 
 
-def _evaluate_element(model, element):
+def _evaluate_element(model, element, meter=None):
     if isinstance(element, Diamond):
-        inner = evaluate_goal(model, element.elements)
+        inner = _evaluate_conjunction(model, element.elements, meter)
         return inner.up_closure().shift_back(element.shift)
     if isinstance(element, TemplogAtom):
         data = []
@@ -56,14 +68,14 @@ def _evaluate_element(model, element):
     raise TypeError("unexpected goal element %r" % (element,))
 
 
-def holds_at(model, elements, t):
+def holds_at(model, elements, t, budget=None):
     """Truth of a goal at one time point."""
-    return t in evaluate_goal(model, elements)
+    return t in evaluate_goal(model, elements, budget=budget)
 
 
-def yes_no(model, elements):
+def yes_no(model, elements, budget=None):
     """The Templog yes/no query: does the goal hold at time 0?"""
-    return holds_at(model, elements, 0)
+    return holds_at(model, elements, 0, budget=budget)
 
 
 def parse_goal(text):

@@ -21,6 +21,7 @@ from repro.core.ast import Clause, PredicateAtom, Program, TemporalTerm
 from repro.datalog1s.ast import Datalog1SProgram
 from repro.datalog1s.evaluation import minimal_model
 from repro.templog.tl1 import is_tl1, to_tl1
+from repro.util.errors import BudgetExceededError
 
 
 def _atom_to_datalog(atom, boxed):
@@ -46,14 +47,28 @@ def templog_to_datalog1s(program):
     return Datalog1SProgram(Program(tuple(clauses)))
 
 
-def templog_minimal_model(program, edb=None, max_horizon=200_000):
+def templog_minimal_model(program, edb=None, max_horizon=200_000, budget=None):
     """The minimal Templog model, as a Datalog1S closed-form model.
 
     The auxiliary ``_ev*`` predicates introduced by the TL1 reduction
-    are stripped from the result.
+    are stripped from the result.  ``budget`` is forwarded to the
+    Datalog1S fixpoint; on
+    :class:`~repro.util.errors.BudgetExceededError` the attached
+    partial model is likewise stripped of the auxiliaries.
     """
     translated = templog_to_datalog1s(program)
-    model = minimal_model(translated, edb=edb, max_horizon=max_horizon)
+    try:
+        model = minimal_model(
+            translated, edb=edb, max_horizon=max_horizon, budget=budget
+        )
+    except BudgetExceededError as error:
+        if error.partial_model is not None:
+            error.partial_model = _visible_part(error.partial_model)
+        raise
+    return _visible_part(model)
+
+
+def _visible_part(model):
     visible = {
         predicate
         for predicate in model.predicates()

@@ -2,6 +2,14 @@
 
 All library errors derive from :class:`ReproError` so applications can
 catch everything raised by this package with a single ``except``.
+
+Errors raised *during* a bottom-up evaluation additionally derive from
+:class:`PartialResultError`: they carry the partially computed model
+and the evaluation statistics so callers can degrade gracefully — the
+paper's Section 4.3 give-up argument (:class:`GiveUpError`), a resource
+budget running out (:class:`BudgetExceededError`), or an unexpected
+crash mid-fixpoint (:class:`EvaluationAbortedError`) all leave the
+caller with a usable, queryable partial interpretation.
 """
 
 from __future__ import annotations
@@ -40,7 +48,24 @@ class EvaluationError(ReproError):
     """
 
 
-class GiveUpError(EvaluationError):
+class PartialResultError(EvaluationError):
+    """An evaluation stopped early but produced a usable partial result.
+
+    ``partial_model`` is the interpretation computed up to the stop
+    (``None`` only when evaluation stopped before anything could be
+    built); ``stats`` the bookkeeping accumulated so far.  The partial
+    model is monotonically below the intended model (bottom-up
+    evaluation only ever adds tuples), so every answer it gives is
+    sound — it may merely be incomplete.
+    """
+
+    def __init__(self, message, partial_model=None, stats=None):
+        super().__init__(message)
+        self.partial_model = partial_model
+        self.stats = stats
+
+
+class GiveUpError(PartialResultError):
     """Bottom-up evaluation reached free-extension safety but not
     constraint safety within the configured patience budget.
 
@@ -51,7 +76,32 @@ class GiveUpError(EvaluationError):
     attached so callers can inspect how far evaluation got.
     """
 
-    def __init__(self, message, partial_model=None, stats=None):
-        super().__init__(message)
-        self.partial_model = partial_model
-        self.stats = stats
+
+class BudgetExceededError(PartialResultError):
+    """A hard resource budget ran out before evaluation finished.
+
+    Raised cooperatively by the fixpoint loops when an
+    :class:`~repro.runtime.budget.EvaluationBudget` limit (wall-clock
+    deadline, round cap, accepted-tuple cap, derived-tuple work cap)
+    trips.  ``limit`` names the budget dimension that was exceeded.
+    """
+
+    def __init__(self, message, partial_model=None, stats=None, limit=None):
+        super().__init__(message, partial_model=partial_model, stats=stats)
+        self.limit = limit
+
+
+class EvaluationAbortedError(PartialResultError):
+    """An unexpected failure interrupted the fixpoint mid-flight.
+
+    The engine wraps any exception escaping a T_GP round (an injected
+    fault, an I/O failure while writing a checkpoint, a genuine bug) so
+    that the caller still receives a typed error carrying the partial
+    model computed before the crash.  The original exception is
+    available as ``__cause__``.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or belongs to a
+    different program/configuration than the resuming engine."""

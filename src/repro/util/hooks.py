@@ -1,0 +1,28 @@
+"""Process-wide instrumentation hooks.
+
+The evaluation hot paths call :func:`fault_point` at a handful of named
+sites (clause evaluation, DBM canonicalization, coverage testing,
+checkpoint writing, round boundaries).  By default the call is a single
+global read plus a ``None`` check — effectively free.  Installing a
+hook (see :class:`repro.runtime.faults.FaultPlan`) lets tests inject
+deterministic exceptions and delays at exactly those sites to prove the
+engine's recovery paths work.
+"""
+
+from __future__ import annotations
+
+#: The currently installed fault hook, or None.  Managed by
+#: :meth:`repro.runtime.faults.FaultPlan.installed`; not intended to be
+#: assigned directly.
+FAULT_HOOK = None
+
+
+def fault_point(site):
+    """Announce that execution reached the named instrumentation site.
+
+    A no-op unless a fault hook is installed; the hook may sleep (delay
+    injection) or raise (fault injection).
+    """
+    hook = FAULT_HOOK
+    if hook is not None:
+        hook(site)

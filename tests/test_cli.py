@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import io
+import json
+import os
 
 import pytest
 
@@ -105,7 +107,7 @@ class TestRun:
                 "3",
             ]
         )
-        assert code == 2
+        assert code == 3
 
     def test_give_up_partial(self, files):
         code, output = run_cli(
@@ -119,7 +121,7 @@ class TestRun:
                 "--partial",
             ]
         )
-        assert code == 0
+        assert code == 3
         assert "gave up" in output
 
 
@@ -191,8 +193,110 @@ class TestOtherCommands:
         bad = tmp_path / "bad.dtl"
         bad.write_text("p(t <-")
         code, _ = run_cli(["run", str(bad), "--edb", files["edb.gdb"]])
-        assert code == 1
+        assert code == 2
 
-    def test_missing_file(self, files):
+    def test_missing_file(self, files, capsys):
         code, _ = run_cli(["run", "/no/such/file", "--edb", files["edb.gdb"]])
-        assert code == 1
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "cannot read /no/such/file" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+
+class TestRuntimeFlags:
+    def test_json_report(self, files):
+        code, output = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--json",
+                "--window",
+                "0",
+                "60",
+            ]
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["outcome"] == "ok"
+        assert report["exit_code"] == 0
+        assert report["stats"]["constraint_safe"] is True
+        assert report["stats"]["rounds"] > 0
+        summary = report["model"]["predicates"]["problems"]
+        assert summary["generalized_tuples"] >= 1
+        assert summary["window"]["tuples"]
+
+    def test_budget_exit_code_and_partial_json(self, files):
+        code, output = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--deadline",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 4
+        report = json.loads(output)
+        assert report["outcome"] == "budget-exceeded"
+        assert report["error"]["type"] == "BudgetExceededError"
+        assert report["error"]["limit"] == "deadline_seconds"
+        assert "problems" in report["model"]["predicates"]
+
+    def test_max_rounds_budget(self, files):
+        code, _ = run_cli(
+            [
+                "run",
+                files["diverge.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--max-rounds",
+                "2",
+            ]
+        )
+        assert code == 4
+
+    def test_checkpoint_and_resume(self, files, tmp_path):
+        checkpoint = str(tmp_path / "run.ckpt.json")
+        code, full = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--checkpoint",
+                checkpoint,
+                "--checkpoint-every",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert os.path.exists(checkpoint)
+        code, resumed = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--resume-from",
+                checkpoint,
+            ]
+        )
+        assert code == 0
+        assert resumed.splitlines()[1:] == full.splitlines()[1:]
+
+    def test_datalog1s_budget(self, files):
+        code, _ = run_cli(
+            ["datalog1s", files["trains.d1s"], "--max-rounds", "1"]
+        )
+        assert code == 4
+
+    def test_templog_json(self, files):
+        code, output = run_cli(["templog", files["monitor.tlg"], "--json"])
+        assert code == 0
+        report = json.loads(output)
+        assert report["outcome"] == "ok"
+        assert "40n+5" in report["model"]

@@ -1,0 +1,189 @@
+"""Checkpoint/resume: round-granular snapshots restore the fixpoint
+environment bit-identically — resuming from ANY checkpoint converges to
+the same canonical model and the same stats (modulo timings)."""
+
+import json
+import shutil
+
+import pytest
+
+import repro.core.engine as engine_module
+from repro.constraints.system import ConstraintSystem
+from repro.core import DeductiveEngine, parse_program
+from repro.gdb import parse_database
+from repro.gdb.relation import GeneralizedRelation
+from repro.gdb.tuple import GeneralizedTuple
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    engine_fingerprint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.util.errors import CheckpointError
+
+EDB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+relation seed[1; 0] { (n) where T1 = 0; }
+"""
+
+PROGRAM = """
+problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+
+def make_engine(program_text=PROGRAM, **kwargs):
+    return DeductiveEngine(
+        parse_program(program_text), parse_database(EDB), **kwargs
+    )
+
+
+def canon(relation):
+    return sorted(gt.canonical_key() for gt in relation.tuples)
+
+
+def model_keys(model):
+    return {name: canon(model.relation(name)) for name in model.predicates()}
+
+
+def comparable_stats(stats):
+    """Stats dict minus fields legitimately differing across a resume."""
+    payload = stats.to_dict()
+    for volatile in ("elapsed_seconds", "resumed_from_round", "checkpoints_written"):
+        payload.pop(volatile)
+    return payload
+
+
+@pytest.fixture
+def every_checkpoint(tmp_path, monkeypatch):
+    """Run Example 4.1 checkpointing every round, keeping a copy of
+    each snapshot; returns (clean_model, [checkpoint paths])."""
+    path = tmp_path / "run.ckpt.json"
+    copies = []
+    original = engine_module.write_checkpoint
+
+    def copying_write(target, checkpoint):
+        original(target, checkpoint)
+        copy = tmp_path / ("round%d.ckpt.json" % len(copies))
+        shutil.copyfile(target, copy)
+        copies.append(str(copy))
+
+    monkeypatch.setattr(engine_module, "write_checkpoint", copying_write)
+    model = make_engine().run(checkpoint_every=1, checkpoint_path=str(path))
+    monkeypatch.setattr(engine_module, "write_checkpoint", original)
+    return model, copies
+
+
+class TestResume:
+    def test_resume_from_every_checkpoint_is_bit_identical(
+        self, every_checkpoint
+    ):
+        clean, copies = every_checkpoint
+        assert clean.stats.checkpoints_written == len(copies) > 1
+        for copy in copies:
+            resumed = make_engine().run(resume_from=copy)
+            assert model_keys(resumed) == model_keys(clean)
+            assert comparable_stats(resumed.stats) == comparable_stats(
+                clean.stats
+            )
+            assert resumed.stats.resumed_from_round is not None
+
+    def test_resume_restores_progress_counters(self, every_checkpoint):
+        clean, copies = every_checkpoint
+        resumed = make_engine().run(resume_from=copies[2])
+        assert resumed.stats.resumed_from_round == 3
+        assert resumed.stats.rounds == clean.stats.rounds
+        assert (
+            resumed.stats.new_tuples_per_round
+            == clean.stats.new_tuples_per_round
+        )
+
+    def test_checkpoint_validation_requires_path(self):
+        with pytest.raises(ValueError):
+            make_engine().run(checkpoint_every=1)
+        with pytest.raises(ValueError):
+            make_engine().run(checkpoint_every=0, checkpoint_path="x")
+
+    def test_fingerprint_mismatch(self, every_checkpoint):
+        _, copies = every_checkpoint
+        other = make_engine(
+            """
+            q(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+            """
+        )
+        with pytest.raises(CheckpointError):
+            other.run(resume_from=copies[0])
+
+    def test_strategy_changes_fingerprint(self):
+        semi = make_engine().fingerprint()
+        naive = make_engine(strategy="naive").fingerprint()
+        assert semi != naive
+
+
+class TestCheckpointFiles:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.json"))
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_round_trip(self, tmp_path):
+        relation = parse_database(EDB).relation("course")
+        signatures = {gt.free_signature() for gt in relation.tuples}
+        checkpoint = Checkpoint(
+            fingerprint=engine_fingerprint("p", "e", "semi-naive", "paper"),
+            stratum_index=0,
+            rounds_in_stratum=2,
+            last_growth=1,
+            env={"problems": relation},
+            known_signatures={"problems": signatures},
+            stats={"rounds": 2},
+            delta=None,
+            complements={},
+        )
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, checkpoint)
+        loaded = load_checkpoint(path)
+        assert loaded.fingerprint == checkpoint.fingerprint
+        assert loaded.rounds_in_stratum == 2
+        assert canon(loaded.env["problems"]) == canon(relation)
+        assert set(loaded.known_signatures["problems"]) == signatures
+
+
+class TestJsonSerialization:
+    def test_constraint_system_round_trip(self):
+        relation = parse_database(EDB).relation("course")
+        for gt in relation.tuples:
+            system = gt.constraints
+            rebuilt = ConstraintSystem.from_json_dict(system.to_json_dict())
+            assert rebuilt.canonical_key() == system.canonical_key()
+
+    def test_empty_zone_survives(self):
+        bottom = ConstraintSystem.bottom(2)
+        rebuilt = ConstraintSystem.from_json_dict(bottom.to_json_dict())
+        assert not rebuilt.is_satisfiable()
+        assert rebuilt.canonical_key() == bottom.canonical_key()
+
+    def test_tuple_and_relation_round_trip(self):
+        relation = parse_database(EDB).relation("course")
+        rebuilt = GeneralizedRelation.from_json_dict(relation.to_json_dict())
+        assert rebuilt.temporal_arity == relation.temporal_arity
+        assert rebuilt.data_arity == relation.data_arity
+        assert canon(rebuilt) == canon(relation)
+        gt = relation.tuples[0]
+        assert (
+            GeneralizedTuple.from_json_dict(gt.to_json_dict()).canonical_key()
+            == gt.canonical_key()
+        )

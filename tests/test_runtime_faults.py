@@ -1,0 +1,169 @@
+"""Fault injection: deterministic faults at named runtime sites must
+surface as typed :class:`ReproError`\\ s carrying a usable partial
+model, and resuming from a pre-fault checkpoint must converge to the
+same model as an uninterrupted run."""
+
+import pytest
+
+from repro.core import DeductiveEngine, parse_program
+from repro.gdb import parse_database
+from repro.runtime.budget import EvaluationBudget
+from repro.runtime.faults import SITES, FaultPlan, FaultSpec, InjectedFaultError
+from repro.util import hooks
+from repro.util.errors import (
+    BudgetExceededError,
+    EvaluationAbortedError,
+    PartialResultError,
+    ReproError,
+)
+
+EDB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+relation seed[1; 0] { (n) where T1 = 0; }
+"""
+
+PROGRAM = """
+problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+
+def make_engine(**kwargs):
+    return DeductiveEngine(
+        parse_program(PROGRAM), parse_database(EDB), **kwargs
+    )
+
+
+def canon(relation):
+    return sorted(gt.canonical_key() for gt in relation.tuples)
+
+
+class TestFaultPlanMechanics:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="nonsense")
+        with pytest.raises(ValueError):
+            FaultSpec(site="clause", at=0)
+
+    def test_hook_installed_and_cleared(self):
+        plan = FaultPlan.inject("round", at=10_000)
+        assert hooks.FAULT_HOOK is None
+        with plan.installed():
+            assert hooks.FAULT_HOOK is plan
+        assert hooks.FAULT_HOOK is None
+
+    def test_hook_cleared_after_fault(self):
+        plan = FaultPlan.inject("round", at=1)
+        with pytest.raises(EvaluationAbortedError):
+            with plan.installed():
+                make_engine().run()
+        assert hooks.FAULT_HOOK is None
+
+    def test_nesting_rejected(self):
+        plan = FaultPlan.inject("round", at=10_000)
+        with plan.installed():
+            with pytest.raises(RuntimeError):
+                with FaultPlan.inject("clause").installed():
+                    pass
+
+    def test_hit_counting(self):
+        plan = FaultPlan.inject("round", at=3)
+        with pytest.raises(EvaluationAbortedError):
+            with plan.installed():
+                make_engine().run()
+        assert plan.hits["round"] == 3
+
+
+class TestInjectedFaults:
+    @pytest.mark.parametrize("site", [s for s in SITES if s != "checkpoint_write"])
+    @pytest.mark.parametrize("at", [1, 3])
+    def test_every_site_yields_typed_error_with_partial_model(self, site, at):
+        engine = make_engine()
+        plan = FaultPlan.inject(site, at=at)
+        with pytest.raises(EvaluationAbortedError) as info:
+            with plan.installed():
+                engine.run()
+        error = info.value
+        assert isinstance(error, ReproError)
+        assert isinstance(error, PartialResultError)
+        assert isinstance(error.__cause__, InjectedFaultError)
+        assert error.__cause__.site == site
+        assert error.partial_model is not None
+        # the partial model is usable: window query + stats
+        error.partial_model.extension("problems", 0, 300)
+        assert error.stats is not None
+        assert error.stats.rounds >= 1
+
+    def test_checkpoint_write_fault(self, tmp_path):
+        engine = make_engine()
+        plan = FaultPlan.inject("checkpoint_write", at=2)
+        path = str(tmp_path / "ck.json")
+        with pytest.raises(EvaluationAbortedError) as info:
+            with plan.installed():
+                engine.run(checkpoint_every=1, checkpoint_path=path)
+        assert isinstance(info.value.__cause__, InjectedFaultError)
+        # the first checkpoint survived the crash of the second write
+        assert (tmp_path / "ck.json").exists()
+
+    def test_custom_error_class(self):
+        plan = FaultPlan.inject("clause", at=2, error=MemoryError)
+        with pytest.raises(EvaluationAbortedError) as info:
+            with plan.installed():
+                make_engine().run()
+        assert isinstance(info.value.__cause__, MemoryError)
+
+    def test_delay_plus_deadline(self):
+        plan = FaultPlan.delay("round", at=1, seconds=0.05)
+        with pytest.raises(BudgetExceededError) as info:
+            with plan.installed():
+                make_engine().run(
+                    budget=EvaluationBudget(deadline_seconds=0.01)
+                )
+        assert info.value.limit == "deadline_seconds"
+        assert info.value.partial_model is not None
+
+
+class TestResumeAfterCrash:
+    def test_resume_from_pre_fault_checkpoint_converges(self, tmp_path):
+        """The ISSUE acceptance test: crash mid-fixpoint, resume from
+        the last checkpoint, and reach the same model as a run that was
+        never interrupted."""
+        clean = make_engine().run()
+
+        path = str(tmp_path / "crash.ckpt.json")
+        plan = FaultPlan.inject("round", at=5)
+        with pytest.raises(EvaluationAbortedError) as info:
+            with plan.installed():
+                make_engine().run(checkpoint_every=1, checkpoint_path=path)
+        crashed = info.value.partial_model
+        assert crashed.stats.rounds == 5
+        assert len(canon(crashed.relation("problems"))) < len(
+            canon(clean.relation("problems"))
+        )
+
+        resumed = make_engine().run(resume_from=path)
+        assert canon(resumed.relation("problems")) == canon(
+            clean.relation("problems")
+        )
+        assert resumed.stats.rounds == clean.stats.rounds
+        assert (
+            resumed.stats.new_tuples_per_round
+            == clean.stats.new_tuples_per_round
+        )
+        assert resumed.stats.constraint_safe
+
+    def test_repeated_fault_still_recoverable(self, tmp_path):
+        """Even a fault that fires on every later round leaves behind a
+        checkpoint trail that a fault-free resume completes."""
+        path = str(tmp_path / "flaky.ckpt.json")
+        plan = FaultPlan.inject("clause", at=9, repeat=True)
+        with pytest.raises(EvaluationAbortedError):
+            with plan.installed():
+                make_engine().run(checkpoint_every=1, checkpoint_path=path)
+        resumed = make_engine().run(resume_from=path)
+        clean = make_engine().run()
+        assert canon(resumed.relation("problems")) == canon(
+            clean.relation("problems")
+        )
