@@ -1,0 +1,163 @@
+"""Plan-layer benchmark: compiled clause plans vs the reference path.
+
+Times the E1 (Example 4.1 naive trace), E6 (Example 4.1 closed form,
+semi-naive) and E14 (shift-cycle scaling) workloads under both
+evaluation backends and records wall time plus the accepted/derived
+tuple counts in ``BENCH_plan.json``::
+
+    python benchmarks/plan_bench.py              # full (E14 at 48 classes)
+    python benchmarks/plan_bench.py --quick      # CI smoke (E14 at 12)
+    python benchmarks/plan_bench.py --check      # exit 1 if semi-naive
+                                                 # is slower than naive
+                                                 # on the E14 workload
+
+The JSON is the artifact the CI benchmark-smoke job uploads; the
+``report()`` hook makes ``python benchmarks/report.py plan`` regenerate
+it alongside the experiment tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import DeductiveEngine
+
+from workloads import example_41, shift_cycle_workload
+
+REPS = 3
+
+
+def _best_run(make_engine):
+    """Best-of-REPS wall time (ms) and the last model."""
+    best = float("inf")
+    model = None
+    for _ in range(REPS):
+        engine = make_engine()
+        start = time.perf_counter()
+        model = engine.run()
+        best = min(best, (time.perf_counter() - start) * 1000)
+    return best, model
+
+
+def _entry(make_engine):
+    wall_ms, model = _best_run(make_engine)
+    return model, {
+        "wall_ms": round(wall_ms, 3),
+        "rounds": model.stats.rounds,
+        "accepted_tuples": model.stats.total_new_tuples(),
+        "derived_tuples": sum(model.stats.derived_tuples_per_round),
+        "constraint_safe": model.stats.constraint_safe,
+    }
+
+
+def _workload(name, program, edb, strategy):
+    """Both backends on one workload, with an equivalence cross-check."""
+    results = {}
+    models = {}
+    for evaluation in ("compiled", "reference"):
+        models[evaluation], results[evaluation] = _entry(
+            lambda: DeductiveEngine(
+                program, edb, strategy=strategy, evaluation=evaluation
+            )
+        )
+    for predicate in models["compiled"].predicates():
+        assert models["compiled"].relation(predicate).equivalent(
+            models["reference"].relation(predicate)
+        ), "%s: backends disagree on %r" % (name, predicate)
+    results["speedup"] = round(
+        results["reference"]["wall_ms"] / results["compiled"]["wall_ms"], 2
+    )
+    return results
+
+
+def run(quick=False):
+    """The full benchmark payload (a JSON-safe dict)."""
+    e14_classes = 12 if quick else 48
+    program, edb = example_41()
+    payload = {
+        "quick": quick,
+        "e1_example41_naive": _workload("e1", program, edb, "naive"),
+        "e6_example41_seminaive": _workload("e6", program, edb, "semi-naive"),
+    }
+    program, edb = shift_cycle_workload(e14_classes, 1)
+    payload["e14_shift_cycle"] = {
+        "classes": e14_classes,
+        "naive": _workload("e14-naive", program, edb, "naive"),
+        "semi-naive": _workload("e14-semi", program, edb, "semi-naive"),
+    }
+    return payload
+
+
+def write(payload, path="BENCH_plan.json"):
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def report():
+    """Regenerate ``BENCH_plan.json`` and print the summary table
+    (hooked into ``benchmarks/report.py``)."""
+    payload = run()
+    write(payload)
+    _print_summary(payload)
+
+
+def _print_summary(payload):
+    print("Plan layer — compiled vs reference (wall ms, best of %d)" % REPS)
+    print(
+        "%28s %12s %12s %8s"
+        % ("workload", "compiled", "reference", "speedup")
+    )
+
+    def row(label, entry):
+        print(
+            "%28s %12.2f %12.2f %7.2fx"
+            % (
+                label,
+                entry["compiled"]["wall_ms"],
+                entry["reference"]["wall_ms"],
+                entry["speedup"],
+            )
+        )
+
+    row("e1 example 4.1 naive", payload["e1_example41_naive"])
+    row("e6 example 4.1 semi-naive", payload["e6_example41_seminaive"])
+    e14 = payload["e14_shift_cycle"]
+    row("e14 %d classes naive" % e14["classes"], e14["naive"])
+    row("e14 %d classes semi-naive" % e14["classes"], e14["semi-naive"])
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default="BENCH_plan.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when compiled semi-naive is slower than compiled "
+        "naive on the E14 workload",
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    write(payload, args.out)
+    _print_summary(payload)
+    if args.check:
+        e14 = payload["e14_shift_cycle"]
+        semi = e14["semi-naive"]["compiled"]["wall_ms"]
+        naive = e14["naive"]["compiled"]["wall_ms"]
+        if semi > naive:
+            print(
+                "FAIL: semi-naive (%.2f ms) slower than naive (%.2f ms) "
+                "on E14 with %d classes" % (semi, naive, e14["classes"]),
+                file=sys.stderr,
+            )
+            return 1
+        print("check ok: semi-naive %.2f ms <= naive %.2f ms" % (semi, naive))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,10 +1,12 @@
 """Regenerate every experiment table in one go.
 
 Runs the ``report()`` of each experiment module E1–E14 in order,
-printing the rows recorded in EXPERIMENTS.md::
+printing the rows recorded in EXPERIMENTS.md, plus the plan-layer
+benchmark (``plan``), which also writes ``BENCH_plan.json``::
 
-    python benchmarks/report.py            # all experiments
+    python benchmarks/report.py            # all experiments + plan bench
     python benchmarks/report.py e4 e13     # a selection
+    python benchmarks/report.py plan       # just regenerate BENCH_plan.json
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ EXPERIMENTS = [
     ("e12", "test_e12_projection_ablation"),
     ("e13", "test_e13_ltl_fo_equivalence"),
     ("e14", "test_e14_engine_scaling"),
+    ("plan", "plan_bench"),
 ]
 
 

@@ -1,10 +1,17 @@
 """Command-line interface: ``python -m repro <command> …``.
 
-Four subcommands mirror the library's four front ends:
+Four subcommands mirror the library's four front ends, plus one
+introspection command:
 
 ``run``
     Evaluate a deductive program (Section 4 language) bottom-up over a
     generalized database and print the closed-form IDB.
+
+``explain``
+    Print the compiled clause plans (join order, pushed-down
+    selections and constraints, carriers, fused projection) the
+    engine would execute, together with the plan fingerprint stamped
+    into checkpoints.
 
 ``query``
     Evaluate a first-order query (the [KSW90] language) against a
@@ -241,6 +248,32 @@ def _cmd_run(args, out):
     return code
 
 
+def _cmd_explain(args, out):
+    from repro.core.evaluation import ProgramEvaluator
+    from repro.plan.explain import format_program_plans, plan_fingerprint
+
+    program = parse_program(_read(args.program))
+    edb = parse_database(_read(args.edb))
+    evaluator = ProgramEvaluator(program, edb)
+    rendering = format_program_plans(evaluator.plans)
+    fingerprint = plan_fingerprint(evaluator.plans)
+    if args.json:
+        _emit_json(
+            {
+                "command": "explain",
+                "outcome": "ok",
+                "exit_code": EXIT_OK,
+                "plan_fingerprint": fingerprint,
+                "plans": rendering,
+            },
+            out,
+        )
+        return EXIT_OK
+    print(rendering, file=out)
+    print("%% plan fingerprint: %s" % fingerprint, file=out)
+    return EXIT_OK
+
+
 def _cmd_query(args, out):
     edb = parse_database(_read(args.database))
     answers = evaluate_query(edb, args.formula)
@@ -379,6 +412,15 @@ def build_parser():
     _add_json(run)
     _add_window(run)
     run.set_defaults(handler=_cmd_run)
+
+    explain = commands.add_parser(
+        "explain",
+        help="print the compiled clause plans of a deductive program",
+    )
+    explain.add_argument("program", help="deductive program file")
+    explain.add_argument("--edb", required=True, help="generalized database file")
+    _add_json(explain)
+    explain.set_defaults(handler=_cmd_explain)
 
     query = commands.add_parser("query", help="evaluate an FO query")
     query.add_argument("database", help="generalized database file")

@@ -36,7 +36,7 @@ class Dbm:
     5
     """
 
-    __slots__ = ("size", "_m", "_closed")
+    __slots__ = ("size", "_m", "_closed", "_key")
 
     def __init__(self, size, matrix=None, closed=False):
         self.size = size
@@ -46,6 +46,7 @@ class Dbm:
         else:
             self._m = matrix
         self._closed = closed
+        self._key = None
 
     # -- construction ----------------------------------------------------
 
@@ -56,7 +57,9 @@ class Dbm:
 
     def copy(self):
         """An independent copy of this zone."""
-        return Dbm(self.size, [row[:] for row in self._m], self._closed)
+        clone = Dbm(self.size, [row[:] for row in self._m], self._closed)
+        clone._key = self._key
+        return clone
 
     def add_bound(self, i, j, c):
         """Conjoin ``x_i - x_j <= c`` (index 0 is the constant 0)."""
@@ -65,6 +68,7 @@ class Dbm:
         if c < self._m[i][j]:
             self._m[i][j] = c
             self._closed = False
+            self._key = None
 
     def conjoin(self, other):
         """Conjoin another zone over the same variables, in place."""
@@ -76,6 +80,7 @@ class Dbm:
                 if other_row[j] < row[j]:
                     row[j] = other_row[j]
                     self._closed = False
+                    self._key = None
 
     # -- canonicalization --------------------------------------------------
 
@@ -132,10 +137,17 @@ class Dbm:
         return lo, hi
 
     def canonical_key(self):
-        """A hashable canonical form (closed matrix as nested tuples)."""
-        if not self.close():
-            return ("empty", self.size)
-        return tuple(tuple(row) for row in self._m)
+        """A hashable canonical form (closed matrix as nested tuples).
+
+        Memoized on the instance; any mutation (``add_bound``,
+        ``conjoin``) invalidates the memo.
+        """
+        if self._key is None:
+            if not self.close():
+                self._key = ("empty", self.size)
+            else:
+                self._key = tuple(tuple(row) for row in self._m)
+        return self._key
 
     def __eq__(self, other):
         if not isinstance(other, Dbm):
@@ -329,6 +341,7 @@ class Dbm:
             if m[idx][k] != INF:
                 m[idx][k] = m[idx][k] - c
         result._closed = self._closed
+        result._key = None
         return result
 
     # -- solutions -------------------------------------------------------
@@ -415,3 +428,41 @@ class Dbm:
             right = "0" if j == 0 else "x%d" % j
             parts.append("%s - %s <= %s" % (left, right, c))
         return "Dbm(size=%d, %s)" % (self.size, ", ".join(parts) or "true")
+
+
+# -- process-level interning ------------------------------------------------
+#
+# Identical zones recur constantly during bottom-up evaluation (every
+# derived tuple of the same clause round carries the same handful of
+# canonical zones).  Interning shares one closed instance per canonical
+# key, so canonicalization and key computation happen once per distinct
+# zone and equality checks can short-circuit on identity.  Interned
+# instances must never be mutated; every holder treats its zone as
+# immutable (ConstraintSystem copies before any in-place operation).
+
+_INTERN_CACHE = {}
+_INTERN_CAP = 1 << 17
+
+
+def intern_dbm(zone):
+    """The shared canonical instance for ``zone``'s canonical key.
+
+    The returned DBM is closed.  On a cache miss a private copy of
+    ``zone`` is stored, so later mutation of the caller's instance can
+    never corrupt the cache.  The cache is capped; past the cap the
+    caller's own (closed) zone is returned un-interned.
+    """
+    key = zone.canonical_key()
+    cached = _INTERN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if len(_INTERN_CACHE) >= _INTERN_CAP:
+        return zone
+    frozen = zone.copy()
+    _INTERN_CACHE[key] = frozen
+    return frozen
+
+
+def intern_cache_stats():
+    """Size of the process-level DBM interning cache (for tests)."""
+    return {"entries": len(_INTERN_CACHE), "cap": _INTERN_CAP}

@@ -9,7 +9,7 @@ exposes exactly the operations the generalized-database algebra needs.
 from __future__ import annotations
 
 from repro.constraints.atoms import Comparison, TemporalTerm, parse_constraint_text
-from repro.constraints.dbm import Dbm, INF
+from repro.constraints.dbm import Dbm, INF, intern_dbm
 
 
 class ConstraintSystem:
@@ -30,8 +30,12 @@ class ConstraintSystem:
 
     def __init__(self, arity, zone=None):
         self.arity = arity
-        self._zone = zone if zone is not None else Dbm.unconstrained(arity)
-        self._zone.close()
+        if zone is None:
+            zone = Dbm.unconstrained(arity)
+        # Canonical zones are interned process-wide: one shared, closed,
+        # never-mutated instance per canonical key (every in-place zone
+        # operation below works on a copy).
+        self._zone = intern_dbm(zone)
 
     # -- constructors ---------------------------------------------------
 
@@ -119,6 +123,26 @@ class ConstraintSystem:
             for (i, j, c) in atom.to_bounds():
                 zone.add_bound(i, j, c)
         return ConstraintSystem(self.arity, zone)
+
+    def joined(self, other, atoms=()):
+        """The fused join constraint: this system over columns
+        ``0 … m-1``, ``other`` over columns ``m … m+k-1``, and extra
+        ``atoms`` (already indexed in the combined space) conjoined in
+        one pass with a single closure — the hot operation of the
+        compiled clause plans."""
+        arity = self.arity + other.arity
+        if not self.is_satisfiable() or not other.is_satisfiable():
+            return ConstraintSystem.bottom(arity)
+        zone = Dbm.unconstrained(arity)
+        for (i, j, c) in self._zone.finite_bounds():
+            zone.add_bound(i, j, c)
+        shift = self.arity
+        for (i, j, c) in other._zone.finite_bounds():
+            zone.add_bound(i if i == 0 else i + shift, j if j == 0 else j + shift, c)
+        for atom in atoms:
+            for (i, j, c) in atom.to_bounds():
+                zone.add_bound(i, j, c)
+        return ConstraintSystem(arity, zone)
 
     def project_out(self, column):
         """Existentially quantify a 0-based column; the result has
@@ -228,6 +252,8 @@ class ConstraintSystem:
     def __eq__(self, other):
         if not isinstance(other, ConstraintSystem):
             return NotImplemented
+        if self._zone is other._zone:  # interned zones share identity
+            return self.arity == other.arity
         return self.canonical_key() == other.canonical_key()
 
     def __hash__(self):

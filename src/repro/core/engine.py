@@ -202,6 +202,10 @@ class DeductiveEngine:
         :class:`~repro.util.errors.GiveUpError` carrying the partial
         model; ``"partial"`` returns the partial model with
         ``stats.gave_up`` set.
+    evaluation:
+        Clause-evaluation backend: ``"compiled"`` (default; the plan
+        layer of :mod:`repro.plan`) or ``"reference"`` (the
+        paper-literal product-then-select oracle).
 
     >>> from repro.core import DeductiveEngine, parse_program
     >>> from repro.gdb import parse_database
@@ -227,6 +231,7 @@ class DeductiveEngine:
         max_rounds=500,
         patience=10,
         on_give_up="raise",
+        evaluation="compiled",
     ):
         if strategy not in ("naive", "semi-naive"):
             raise ValueError("strategy must be 'naive' or 'semi-naive'")
@@ -240,15 +245,22 @@ class DeductiveEngine:
         self.patience = patience
         self.on_give_up = on_give_up
         self._covered = coverage_test(safety)
-        self.evaluator = ProgramEvaluator(program, edb)
+        self.evaluator = ProgramEvaluator(program, edb, evaluation=evaluation)
 
     # -- public API -------------------------------------------------------
 
     def fingerprint(self):
         """The digest checkpoints are stamped with: program text, EDB
-        text, strategy, and safety mode must all match for a resume."""
+        text, strategy, safety mode, and the compiled plans must all
+        match for a resume — a plan-layer change that would alter
+        derivation order invalidates old checkpoints instead of
+        silently replaying differently."""
         return engine_fingerprint(
-            str(self.program), str(self.edb), self.strategy, self.safety
+            str(self.program),
+            str(self.edb),
+            self.strategy,
+            self.safety,
+            self.evaluator.plan_fingerprint(),
         )
 
     def run(
@@ -471,6 +483,7 @@ class DeductiveEngine:
                     checkpoint_path,
                     Checkpoint(
                         fingerprint=self.fingerprint(),
+                        plan_fingerprint=self.evaluator.plan_fingerprint(),
                         stratum_index=stratum_index,
                         rounds_in_stratum=rounds_done,
                         last_growth=last_growth,

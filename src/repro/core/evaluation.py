@@ -1,11 +1,15 @@
 """Bottom-up evaluation with the generalized mapping T_GP (Section 4.3).
 
-A normalized clause is evaluated by (i) taking the product of its body
-atom relations, (ii) extending with unconstrained columns for the
-temporal variables not bound by any body atom (the lrp ``n`` carrying
-constants and free head variables), (iii) conjoining the constraint
-atoms, and (iv) projecting onto the head variables — the join/project
-formulation of the T_GP definition in the paper.
+Every normalized clause is compiled **once**, at
+:class:`ProgramEvaluator` construction, into a
+:class:`~repro.plan.compiler.ClausePlan` — an operator pipeline with
+greedy join ordering, selection/constraint pushdown, negation as
+anti-join against the exact complements, and the head projection
+fused in (see :mod:`repro.plan`).  The paper-literal
+product-then-select-then-project formulation survives as
+:class:`~repro.plan.reference.ReferenceClauseEvaluator`
+(``evaluation="reference"``), serving as the correctness oracle and
+the benchmarks' baseline.
 
 Both the naive strategy (recompute every clause against the full
 interpretation) and the semi-naive strategy (fire a clause only with a
@@ -15,193 +19,15 @@ compute the same interpretations.
 
 from __future__ import annotations
 
-from repro.constraints.atoms import Comparison, TemporalTerm as ConstraintTerm
 from repro.core.stratify import stratify
 from repro.core.transform import normalize_program
 from repro.gdb.relation import GeneralizedRelation
-from repro.gdb.tuple import GeneralizedTuple
-from repro.lrp.point import Lrp
+from repro.plan.compiler import ClausePlan
+from repro.plan.explain import plan_fingerprint
+from repro.plan.reference import ReferenceClauseEvaluator
 from repro.util.errors import SchemaError
-from repro.util.hooks import fault_point
 
-
-class ClauseEvaluator:
-    """Evaluates one normalized clause against an environment of
-    generalized relations."""
-
-    def __init__(self, normalized, schemas, intensional):
-        self.normalized = normalized
-        self.schemas = schemas
-        self.head_predicate = normalized.head_predicate
-        self.intensional_positions = [
-            index
-            for index, atom in enumerate(normalized.body_atoms)
-            if atom.predicate in intensional
-        ]
-        self.negated_predicates = {
-            atom.predicate for atom in normalized.negated_atoms
-        }
-        self._validate()
-
-    def _validate(self):
-        atoms = list(self.normalized.body_atoms) + list(
-            self.normalized.negated_atoms
-        )
-        for atom in atoms:
-            expected = self.schemas.get(atom.predicate)
-            if expected is None:
-                raise SchemaError("no schema for predicate %r" % atom.predicate)
-            if expected != (atom.temporal_arity, atom.data_arity):
-                raise SchemaError(
-                    "atom %s does not match schema %s of %r"
-                    % (atom, expected, atom.predicate)
-                )
-
-    # -- evaluation --------------------------------------------------------
-
-    def evaluate(self, env, delta=None, delta_position=None, complements=None):
-        """The head relation derived by one T_GP application of this
-        clause.  With ``delta``/``delta_position`` set, the atom at
-        that body position reads from the delta relations instead
-        (semi-naive firing).  ``complements`` supplies, for each
-        negated predicate, its exact complement relation — negated
-        atoms then join like positive ones (stratified negation)."""
-        fault_point("clause")
-        normalized = self.normalized
-        if self.negated_predicates and complements is None:
-            raise SchemaError(
-                "clause %s negates %s but no complements were supplied"
-                % (normalized, ", ".join(sorted(self.negated_predicates)))
-            )
-        columns = []        # temporal variable name per relation column
-        data_columns = []   # data variable name per data column
-        current = GeneralizedRelation(0, 0, [GeneralizedTuple((), ())])
-
-        positive = list(enumerate(normalized.body_atoms))
-        sources = [(position, atom, False) for position, atom in positive]
-        sources += [(None, atom, True) for atom in normalized.negated_atoms]
-
-        for position, atom, negative in sources:
-            if negative:
-                relation = complements[atom.predicate]
-            else:
-                source = env
-                if delta is not None and position == delta_position:
-                    source = delta
-                relation = source.get(atom.predicate)
-                if relation is None:
-                    relation = GeneralizedRelation.empty(
-                        *self.schemas[atom.predicate]
-                    )
-            relation, atom_data_columns = _restrict_data(relation, atom)
-            current = current.product(relation)
-            columns.extend(term.var for term in atom.temporal_args)
-            data_columns.extend(atom_data_columns)
-            if not current.tuples:
-                return GeneralizedRelation.empty(
-                    len(normalized.head_vars), len(normalized.head_data)
-                )
-
-        # Cross-atom data variable sharing: equality selections, then
-        # remember only the first occurrence of each variable.
-        first_data = {}
-        for index, name in enumerate(data_columns):
-            if name is None:
-                continue
-            if name in first_data:
-                current = current.select_data_equal(first_data[name], index)
-            else:
-                first_data[name] = index
-
-        # Extend with unconstrained columns for temporal variables not
-        # bound by a body atom (constants, free head variables, and
-        # variables occurring only in constraint atoms).
-        all_vars = normalized.all_temporal_variables()
-        missing = [name for name in all_vars if name not in columns]
-        if missing:
-            carriers = GeneralizedRelation(
-                len(missing),
-                0,
-                [GeneralizedTuple(tuple(Lrp.constant_carrier() for _ in missing))],
-            )
-            current = current.product(carriers)
-            columns.extend(missing)
-
-        position_of = {name: index for index, name in enumerate(columns)}
-
-        atoms = [
-            _lower_constraint(constraint, position_of)
-            for constraint in normalized.constraints
-        ]
-        if atoms:
-            current = current.select(atoms)
-            if not current.tuples:
-                return GeneralizedRelation.empty(
-                    len(normalized.head_vars), len(normalized.head_data)
-                )
-
-        keep_temporal = [position_of[name] for name in normalized.head_vars]
-        keep_data = []
-        constant_slots = []
-        for slot, term in enumerate(normalized.head_data):
-            if term.is_variable():
-                keep_data.append(first_data[term.name])
-            else:
-                constant_slots.append((slot, term.value))
-        projected = current.project(keep_temporal, keep_data)
-        if constant_slots:
-            projected = _weave_data_constants(
-                projected, constant_slots, len(normalized.head_data)
-            )
-        return projected
-
-
-def _lower_constraint(constraint, position_of):
-    """Convert an AST constraint atom to a column-indexed Comparison."""
-
-    def lower(term):
-        if term.var is None:
-            return ConstraintTerm(None, term.offset)
-        return ConstraintTerm(position_of[term.var], term.offset)
-
-    return Comparison(constraint.op, lower(constraint.left), lower(constraint.right))
-
-
-def _weave_data_constants(relation, constant_slots, final_arity):
-    """Insert head data constants at their positions among the
-    projected data-variable columns."""
-    slots = dict(constant_slots)
-    tuples = []
-    for gt in relation.tuples:
-        data = []
-        variable_values = iter(gt.data)
-        for slot in range(final_arity):
-            if slot in slots:
-                data.append(slots[slot])
-            else:
-                data.append(next(variable_values))
-        tuples.append(GeneralizedTuple(gt.lrps, tuple(data), gt.constraints))
-    return GeneralizedRelation(relation.temporal_arity, final_arity, tuples)
-
-
-def _restrict_data(relation, atom):
-    """Apply data-constant selections and within-atom data variable
-    equalities; returns ``(relation, data_column_names)`` where the
-    names list has None for constant positions (kept but anonymous)."""
-    names = []
-    seen = {}
-    for index, term in enumerate(atom.data_args):
-        if term.is_variable():
-            if term.name in seen:
-                relation = relation.select_data_equal(seen[term.name], index)
-                names.append(None)
-            else:
-                seen[term.name] = index
-                names.append(term.name)
-        else:
-            relation = relation.select_data_constant(index, term.value)
-            names.append(None)
-    return relation, names
+_EVALUATION_MODES = ("compiled", "reference")
 
 
 class ProgramEvaluator:
@@ -209,13 +35,22 @@ class ProgramEvaluator:
 
     The environment maps predicate names to GeneralizedRelations; the
     extensional part stays fixed, the intensional part grows
-    monotonically round by round.
+    monotonically round by round.  ``evaluation`` selects the clause
+    evaluator: ``"compiled"`` (the plan layer, default) or
+    ``"reference"`` (the paper-literal oracle).  Plans are compiled in
+    either mode — the plan fingerprint stamps checkpoints and feeds
+    ``repro explain`` regardless of which evaluator runs.
     """
 
-    def __init__(self, program, edb):
+    def __init__(self, program, edb, evaluation="compiled"):
+        if evaluation not in _EVALUATION_MODES:
+            raise ValueError(
+                "evaluation must be one of %s" % (_EVALUATION_MODES,)
+            )
         program.validate()
         self.program = program
         self.edb = edb
+        self.evaluation = evaluation
         self.schemas = dict(program.schemas())
         self.intensional = program.intensional_predicates()
         for name in program.extensional_predicates():
@@ -228,10 +63,18 @@ class ProgramEvaluator:
                     % (name, declared, edb_shape)
                 )
             self.schemas[name] = edb_shape
-        self.evaluators = [
-            ClauseEvaluator(normalized, self.schemas, self.intensional)
-            for normalized in normalize_program(program)
+        normalized = normalize_program(program)
+        self.plans = [
+            ClausePlan(clause, self.schemas, self.intensional)
+            for clause in normalized
         ]
+        if evaluation == "reference":
+            self.evaluators = [
+                ReferenceClauseEvaluator(clause, self.schemas, self.intensional)
+                for clause in normalized
+            ]
+        else:
+            self.evaluators = self.plans
         self.strata, clause_strata = stratify(program)
         clause_index = {
             id(evaluator.normalized.original): evaluator
@@ -241,6 +84,13 @@ class ProgramEvaluator:
             [clause_index[id(clause)] for clause in clauses]
             for clauses in clause_strata
         ]
+        self._program_constants = self._collect_program_constants()
+        self._domain_cache = None  # (env snapshot, sorted domain)
+
+    def plan_fingerprint(self):
+        """The digest of every compiled plan (see
+        :func:`repro.plan.explain.plan_fingerprint`)."""
+        return plan_fingerprint(self.plans)
 
     def stratum_count(self):
         """Number of evaluation strata (1 for negation-free programs)."""
@@ -265,20 +115,39 @@ class ProgramEvaluator:
             )
         return complements
 
-    def active_data_domain(self, env):
-        """Every data constant visible in the environment and program."""
-        domain = set()
-        for relation in env.values():
-            for column in range(relation.data_arity):
-                domain |= relation.data_values(column)
+    def _collect_program_constants(self):
+        constants = set()
         for clause in self.program.clauses:
             atoms = [clause.head] + clause.predicate_atoms()
             atoms += [negated.atom for negated in clause.negated_atoms()]
             for atom in atoms:
                 for term in atom.data_args:
                     if not term.is_variable():
-                        domain.add(term.value)
-        return sorted(domain, key=repr)
+                        constants.add(term.value)
+        return constants
+
+    def active_data_domain(self, env):
+        """Every data constant visible in the environment and program.
+
+        The program's own constants are collected once at construction;
+        the environment scan is cached per relation *identity* — the
+        relations are immutable value objects, so the cache goes stale
+        exactly when a predicate actually grew (a new instance).
+        """
+        cached = self._domain_cache
+        if cached is not None:
+            snapshot, domain = cached
+            if len(snapshot) == len(env) and all(
+                env.get(name) is relation for name, relation in snapshot.items()
+            ):
+                return domain
+        constants = set(self._program_constants)
+        for relation in env.values():
+            for column in range(relation.data_arity):
+                constants |= relation.data_values(column)
+        domain = sorted(constants, key=repr)
+        self._domain_cache = (dict(env), domain)
+        return domain
 
     def initial_environment(self):
         """EDB relations plus empty IDB relations."""

@@ -38,8 +38,7 @@ def covered_paper(gt, relation):
     fault_point("coverage")
     same_signature = [
         existing.constraints
-        for existing in relation.tuples
-        if existing.free_signature() == gt.free_signature()
+        for existing in relation.tuples_with_signature(gt.free_signature())
     ]
     if not same_signature:
         return False

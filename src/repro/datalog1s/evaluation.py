@@ -21,14 +21,20 @@ evaluator here computes that closed form:
   exact on every program whose model is eventually periodic with
   parameters within the horizon cap, and raises
   :class:`~repro.util.errors.EvaluationError` otherwise.
+
+Clause bodies are matched through
+:class:`~repro.plan.ground.GroundClausePlan`: data substitutions are
+enumerated by unifying against the facts actually present in the
+relevant slices, instead of instantiating every clause over
+``domain^k`` upfront.  Slices are stored as ``{predicate: {data
+vectors}}`` dicts so the matcher's candidate lookups are hash hits.
 """
 
 from __future__ import annotations
 
-import itertools
-
 from repro.lrp.congruence import lcm_all
 from repro.lrp.periodic_set import EventuallyPeriodicSet
+from repro.plan.ground import GroundClausePlan, ground_data
 from repro.util.errors import BudgetExceededError, EvaluationError
 
 
@@ -84,88 +90,63 @@ class Model1S:
         return "\n".join(lines)
 
 
-class _GroundRules:
-    """Clauses instantiated over the active data domain."""
+class _CompiledRules:
+    """Clauses compiled to slice-driven ground plans."""
 
     def __init__(self, program, edb):
-        self.facts = []        # (pred, data, time)
-        self.rules = []        # (head_pred, head_data, head_offset, body)
-        self.fixed_rules = []  # (head_pred, head_data, head_time, body @ absolute times)
         self.edb = {key: value for key, value in (edb or {}).items()}
         domain = set(program.data_constants())
         for (_, data), _value in self.edb.items():
             domain.update(data)
-        domain = sorted(domain, key=repr)
+        self.domain = sorted(domain, key=repr)
 
-        for head_time, body, head in program.ground_rules():
-            for theta in _data_assignments(head, body, domain):
-                head_data = _ground_data(head.data_args, theta)
-                ground_body = [
-                    (pred, time, _ground_data(data, theta), negative)
-                    for (pred, time, data, negative) in body
-                ]
-                self.fixed_rules.append(
-                    (head.predicate, head_data, head_time, ground_body)
-                )
+        self.facts = []        # ground (pred, data, time)
+        self.rules = []        # (head_pred, head_terms, head_offset, body, plan)
+        self.fixed_rules = []  # (head_pred, head_terms, head_time, body, plan)
 
         for head_offset, body, head in program.normalized_clauses():
-            for theta in _data_assignments(head, body, domain):
-                head_data = _ground_data(head.data_args, theta)
-                if not body:
-                    self.facts.append((head.predicate, head_data, head_offset))
-                else:
-                    ground_body = [
-                        (pred, offset, _ground_data(data, theta), negative)
-                        for (pred, offset, data, negative) in body
-                    ]
-                    self.rules.append(
-                        (head.predicate, head_data, head_offset, ground_body)
+            if not body:
+                # A recurring fact; head data variables (if any) range
+                # over the active domain, as under the old grounding.
+                plan = GroundClausePlan(head.data_args, [], self.domain)
+                for theta in plan.substitutions(_no_facts):
+                    self.facts.append(
+                        (head.predicate, ground_data(head.data_args, theta), head_offset)
                     )
+            else:
+                plan = GroundClausePlan(head.data_args, body, self.domain)
+                self.rules.append(
+                    (head.predicate, head.data_args, head_offset, tuple(body), plan)
+                )
 
-        self.keys = set()
-        self.keys.update((pred, data) for (pred, data, _) in self.facts)
-        for (pred, data, _, body) in self.rules + self.fixed_rules:
-            self.keys.add((pred, data))
-            self.keys.update((p, d) for (p, _t, d, _neg) in body)
-        self.keys.update(self.edb)
+        for head_time, body, head in program.ground_rules():
+            plan = GroundClausePlan(head.data_args, body, self.domain)
+            self.fixed_rules.append(
+                (head.predicate, head.data_args, head_time, tuple(body), plan)
+            )
 
     def max_fact_time(self):
         """The last time at which non-recurring content is injected:
         facts and ground-rule head/body times."""
         times = [t for (_, __, t) in self.facts]
-        for (_, __, head_time, body) in self.fixed_rules:
+        for (_, __, head_time, body, ___) in self.fixed_rules:
             times.append(head_time)
-            times.extend(t for (_, t, __, ___) in body)
+            times.extend(time for (_, time, __, ___) in body)
         return max(times, default=-1)
 
     def max_delay(self):
-        return max((head_offset for (_, __, head_offset, ___) in self.rules), default=1)
+        return max(
+            (head_offset for (_, __, head_offset, ___, ____) in self.rules),
+            default=1,
+        )
 
 
-def _data_assignments(head, body, domain):
-    """All substitutions of the clause's data variables over the
-    active domain (one empty substitution for ground clauses)."""
-    variables = sorted(
-        {
-            term.name
-            for atom_data in [head.data_args]
-            + [data for (_, __, data, ___) in body]
-            for term in atom_data
-            if term.is_variable()
-        }
-    )
-    if not variables:
-        return [{}]
-    return (
-        dict(zip(variables, values))
-        for values in itertools.product(domain, repeat=len(variables))
-    )
+def _no_facts(_predicate, _time_key):
+    return None
 
 
-def _ground_data(terms, theta):
-    return tuple(
-        theta[term.name] if term.is_variable() else term.value for term in terms
-    )
+def _slice_count(current):
+    return sum(len(vectors) for vectors in current.values())
 
 
 def minimal_model(program, edb=None, max_horizon=200_000, budget=None):
@@ -209,7 +190,7 @@ def minimal_model(program, edb=None, max_horizon=200_000, budget=None):
 
 
 def _stratum_model(program, edb, max_horizon, meter=None):
-    ground = _GroundRules(program, edb)
+    ground = _CompiledRules(program, edb)
     if program.is_forward():
         return _forward_model(ground, max_horizon, meter)
     return _doubling_model(ground, max_horizon, meter)
@@ -222,7 +203,7 @@ def _forward_model(ground, max_horizon, meter=None):
     delay = max(ground.max_delay(), 1)
     facts_by_time = {}
     for (pred, data, t) in ground.facts:
-        facts_by_time.setdefault(t, set()).add((pred, data))
+        facts_by_time.setdefault(t, []).append((pred, data))
     last_fact = ground.max_fact_time()
     edb_period = lcm_all(
         [value.period for value in ground.edb.values()] or [1]
@@ -240,11 +221,12 @@ def _forward_model(ground, max_horizon, meter=None):
             if meter is not None:
                 meter.charge_round()
             slices.append(_compute_slice(ground, slices, facts_by_time, t))
-            if meter is not None and slices[-1]:
-                meter.charge_accepted(len(slices[-1]))
+            count = _slice_count(slices[-1])
+            if meter is not None and count:
+                meter.charge_accepted(count)
             if t >= stable_from + delay - 1:
                 window = tuple(
-                    frozenset(slices[t - k]) for k in range(delay)
+                    _freeze_slice(slices[t - k]) for k in range(delay)
                 )
                 state = (window, t % edb_period)
                 if state in seen_states:
@@ -252,24 +234,41 @@ def _forward_model(ground, max_horizon, meter=None):
                     break
                 seen_states[state] = t
     except BudgetExceededError as error:
-        error.partial_model = _prefix_model(ground, slices)
+        error.partial_model = _prefix_model(slices)
         raise
     if cycle is None:
         raise EvaluationError(
             "no frontier cycle within %d time points" % max_horizon
         )
     t1, t2 = cycle
-    return _model_from_slices(ground, slices, t1, t2 - t1)
+    return _model_from_slices(slices, t1, t2 - t1)
 
 
-def _prefix_model(ground, slices):
+def _freeze_slice(current):
+    return frozenset(
+        (pred, data) for pred, vectors in current.items() for data in vectors
+    )
+
+
+def _slice_keys(slices):
+    keys = set()
+    for current in slices:
+        for pred, vectors in current.items():
+            keys.update((pred, data) for data in vectors)
+    return keys
+
+
+def _prefix_model(slices):
     """A prefix-only partial model from the slices computed so far —
     sound (bottom-up computation only adds atoms) but silent beyond
     the last computed time point."""
     horizon = len(slices)
     sets = {}
-    for key in ground.keys:
-        times = {t for t in range(horizon) if key in slices[t]}
+    for key in _slice_keys(slices):
+        pred, data = key
+        times = {
+            t for t in range(horizon) if data in slices[t].get(pred, ())
+        }
         sets[key] = EventuallyPeriodicSet(
             threshold=max(horizon, 1), period=1, residues=frozenset(), prefix=times
         )
@@ -277,55 +276,64 @@ def _prefix_model(ground, slices):
 
 
 def _compute_slice(ground, slices, facts_by_time, t):
-    current = set(facts_by_time.get(t, ()))
-    for (key, extension) in ground.edb.items():
-        if t in extension:
-            current.add(key)
+    current = {}
 
-    def body_holds(pred, data, body_time, negative):
-        if body_time < 0:
-            present = False
-        elif body_time == t:
-            present = (pred, data) in current
-        else:
-            present = (pred, data) in slices[body_time]
-        return present != negative
+    def add(pred, data):
+        current.setdefault(pred, set()).add(data)
+
+    for (pred, data) in facts_by_time.get(t, ()):
+        add(pred, data)
+    for ((pred, data), extension) in ground.edb.items():
+        if t in extension:
+            add(pred, data)
+
+    def facts_at_absolute(pred, time):
+        if time < 0:
+            return ()
+        if time == t:
+            return current.get(pred, ())
+        return slices[time].get(pred, ())
 
     changed = True
     while changed:
         changed = False
-        for (head_pred, head_data, head_offset, body) in ground.rules:
+        for (head_pred, head_terms, head_offset, _body, plan) in ground.rules:
             if t < head_offset:
                 continue  # the clause variable ranges over the naturals
-            if (head_pred, head_data) in current:
-                continue
             base = t - head_offset
-            if all(
-                body_holds(pred, data, base + offset, negative)
-                for (pred, offset, data, negative) in body
-            ):
-                current.add((head_pred, head_data))
-                changed = True
-        for (head_pred, head_data, head_time, body) in ground.fixed_rules:
-            if head_time != t or (head_pred, head_data) in current:
+
+            def facts_at(pred, offset, _base=base):
+                return facts_at_absolute(pred, _base + offset)
+
+            # Materialize before adding: the matcher iterates the live
+            # slice sets, which derived heads are about to grow.
+            for theta in list(plan.substitutions(facts_at)):
+                head_data = ground_data(head_terms, theta)
+                if head_data not in current.get(head_pred, ()):
+                    add(head_pred, head_data)
+                    changed = True
+        for (head_pred, head_terms, head_time, _body, plan) in ground.fixed_rules:
+            if head_time != t:
                 continue
-            if all(
-                body_holds(pred, data, time, negative)
-                for (pred, time, data, negative) in body
-            ):
-                current.add((head_pred, head_data))
-                changed = True
+            for theta in list(plan.substitutions(facts_at_absolute)):
+                head_data = ground_data(head_terms, theta)
+                if head_data not in current.get(head_pred, ()):
+                    add(head_pred, head_data)
+                    changed = True
     return current
 
 
-def _model_from_slices(ground, slices, threshold, period):
+def _model_from_slices(slices, threshold, period):
     sets = {}
-    for key in ground.keys:
-        prefix = {t for t in range(threshold) if key in slices[t]}
+    for key in _slice_keys(slices):
+        pred, data = key
+        prefix = {
+            t for t in range(threshold) if data in slices[t].get(pred, ())
+        }
         residues = {
             t % period
             for t in range(threshold, threshold + period)
-            if key in slices[t]
+            if data in slices[t].get(pred, ())
         }
         sets[key] = EventuallyPeriodicSet(
             threshold=threshold,
@@ -340,40 +348,52 @@ def _model_from_slices(ground, slices, threshold, period):
 
 
 def _window_fixpoint(ground, horizon, meter=None):
-    facts = {key: set() for key in ground.keys}
+    facts = {}    # (pred, data) -> set of times
+    by_time = {}  # (pred, time) -> set of data vectors
+
+    def add(pred, data, time):
+        facts.setdefault((pred, data), set()).add(time)
+        by_time.setdefault((pred, time), set()).add(data)
+
     for (pred, data, t) in ground.facts:
         if 0 <= t < horizon:
-            facts[(pred, data)].add(t)
-    for key, extension in ground.edb.items():
-        facts[key].update(extension.window(0, horizon))
+            add(pred, data, t)
+    for (pred, data), extension in ground.edb.items():
+        for t in extension.window(0, horizon):
+            add(pred, data, t)
+
+    def facts_at_absolute(pred, time):
+        if time < 0 or time >= horizon:
+            return None  # out of window: the body cannot hold
+        return by_time.get((pred, time), ())
+
     changed = True
     while changed:
         if meter is not None:
             meter.charge_round()
         changed = False
-        for (head_pred, head_data, head_offset, body) in ground.rules:
-            head_key = (head_pred, head_data)
+        for (head_pred, head_terms, head_offset, _body, plan) in ground.rules:
             for base in range(0, horizon):
                 head_time = base + head_offset
-                if head_time >= horizon or head_time in facts[head_key]:
+                if head_time >= horizon:
                     continue
-                if all(
-                    base + offset < horizon
-                    and ((base + offset) in facts[(pred, data)]) != negative
-                    for (pred, offset, data, negative) in body
-                ):
-                    facts[head_key].add(head_time)
-                    changed = True
-        for (head_pred, head_data, head_time, body) in ground.fixed_rules:
-            head_key = (head_pred, head_data)
-            if head_time >= horizon or head_time in facts[head_key]:
+
+                def facts_at(pred, offset, _base=base):
+                    return facts_at_absolute(pred, _base + offset)
+
+                for theta in list(plan.substitutions(facts_at)):
+                    head_data = ground_data(head_terms, theta)
+                    if head_time not in facts.get((head_pred, head_data), ()):
+                        add(head_pred, head_data, head_time)
+                        changed = True
+        for (head_pred, head_terms, head_time, _body, plan) in ground.fixed_rules:
+            if head_time >= horizon:
                 continue
-            if all(
-                time < horizon and (time in facts[(pred, data)]) != negative
-                for (pred, time, data, negative) in body
-            ):
-                facts[head_key].add(head_time)
-                changed = True
+            for theta in list(plan.substitutions(facts_at_absolute)):
+                head_data = ground_data(head_terms, theta)
+                if head_time not in facts.get((head_pred, head_data), ()):
+                    add(head_pred, head_data, head_time)
+                    changed = True
     return facts
 
 
@@ -409,7 +429,7 @@ def _doubling_model(ground, max_horizon, meter=None):
     backward_reach = max(
         (
             max(offset for (_, offset, __, ___) in body) - head_offset
-            for (_, __, head_offset, body) in ground.rules
+            for (_, __, head_offset, body, ____) in ground.rules
             if body
         ),
         default=0,

@@ -5,7 +5,9 @@ generalized relation whose temporal columns are the formula's free
 temporal variables and whose data columns are its free data variables
 (in fixed order).  Connectives map to algebra operations:
 
-* conjunction — join (product + equality selections + projection);
+* conjunction — greedy multi-way join through the shared plan layer
+  (:mod:`repro.plan.joiner`): smallest conjunct first, then most
+  shared columns, each pairwise join a fused hash join;
 * disjunction — union after widening both sides to the common
   variable set (unconstrained temporal columns, active-domain data
   columns);
@@ -38,6 +40,7 @@ from repro.fo.ast import (
 from repro.gdb.relation import GeneralizedRelation
 from repro.gdb.tuple import GeneralizedTuple
 from repro.lrp.point import Lrp
+from repro.plan.joiner import NamedRelation, join_all
 from repro.util.errors import EvaluationError
 
 
@@ -109,10 +112,27 @@ class _Context:
             return self._comparison(node)
         if isinstance(node, FoAnd):
             parts = [self.evaluate(p) for p in node.parts]
-            result = parts[0]
-            for part in parts[1:]:
-                result = self._join(result, part)
-            return result
+            joined = join_all(
+                [
+                    NamedRelation(p.relation, p.temporal_vars, p.data_vars)
+                    for p in parts
+                ]
+            )
+            # The greedy join may visit conjuncts out of order; restore
+            # the first-appearance column order the caller observes.
+            temporal, data = [], []
+            for part in parts:
+                temporal += [v for v in part.temporal_vars if v not in temporal]
+                data += [v for v in part.data_vars if v not in data]
+            current_t = list(joined.temporal_vars)
+            current_d = list(joined.data_vars)
+            relation = joined.relation
+            if current_t != temporal or current_d != data:
+                relation = relation.project(
+                    [current_t.index(v) for v in temporal],
+                    [current_d.index(v) for v in data],
+                )
+            return Answers(relation, tuple(temporal), tuple(data))
         if isinstance(node, FoOr):
             parts = [self.evaluate(p) for p in node.parts]
             temporal, data = free_variables(node)
@@ -218,47 +238,6 @@ class _Context:
         return Answers(relation, tuple(names), ())
 
     # -- connectives ----------------------------------------------------------------
-
-    def _join(self, left, right):
-        temporal = list(left.temporal_vars)
-        data = list(left.data_vars)
-        relation = left.relation.product(right.relation)
-        # Indices of the right-hand columns inside the product.
-        offset_t = len(left.temporal_vars)
-        offset_d = len(left.data_vars)
-        selections = []
-        drop_temporal = []
-        for position, name in enumerate(right.temporal_vars):
-            column = offset_t + position
-            if name in left.temporal_vars:
-                other = left.temporal_vars.index(name)
-                selections.append(
-                    Comparison("=", ColumnTerm(column), ColumnTerm(other))
-                )
-                drop_temporal.append(column)
-            else:
-                temporal.append(name)
-        if selections:
-            relation = relation.select(selections)
-        drop_data = []
-        for position, name in enumerate(right.data_vars):
-            column = offset_d + position
-            if name in left.data_vars:
-                other = left.data_vars.index(name)
-                relation = relation.select_data_equal(other, column)
-                drop_data.append(column)
-            else:
-                data.append(name)
-        keep_t = [
-            k
-            for k in range(relation.temporal_arity)
-            if k not in drop_temporal
-        ]
-        keep_d = [
-            k for k in range(relation.data_arity) if k not in drop_data
-        ]
-        relation = relation.project(keep_t, keep_d)
-        return Answers(relation, tuple(temporal), tuple(data))
 
     def _widen(self, part, temporal, data):
         relation = part.relation

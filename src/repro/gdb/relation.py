@@ -36,14 +36,29 @@ class GeneralizedRelation:
     True
     """
 
-    __slots__ = ("temporal_arity", "data_arity", "tuples")
+    __slots__ = ("temporal_arity", "data_arity", "tuples", "_data_indexes", "_sig_index")
 
     def __init__(self, temporal_arity, data_arity, tuples=()):
         self.temporal_arity = temporal_arity
         self.data_arity = data_arity
         self.tuples = tuple(tuples)
+        self._data_indexes = None
+        self._sig_index = None
         for gt in self.tuples:
             self._check(gt)
+
+    @classmethod
+    def _trusted(cls, temporal_arity, data_arity, tuples):
+        """Internal constructor skipping the per-tuple schema check —
+        for callers (plan executor, :meth:`with_tuples`) that already
+        guarantee the schema."""
+        relation = cls.__new__(cls)
+        relation.temporal_arity = temporal_arity
+        relation.data_arity = data_arity
+        relation.tuples = tuple(tuples)
+        relation._data_indexes = None
+        relation._sig_index = None
+        return relation
 
     def _check(self, gt):
         if gt.temporal_arity != self.temporal_arity or gt.data_arity != self.data_arity:
@@ -71,17 +86,19 @@ class GeneralizedRelation:
 
     def with_tuple(self, gt):
         """This relation plus one more tuple."""
-        self._check(gt)
-        return GeneralizedRelation(
-            self.temporal_arity, self.data_arity, self.tuples + (gt,)
-        )
+        return self.with_tuples((gt,))
 
     def with_tuples(self, gts):
-        """This relation plus the given tuples."""
+        """This relation plus the given tuples.
+
+        Only the new tuples are schema-checked (the existing ones were
+        checked when this relation was built), so growing a relation by
+        a delta is O(len(delta)), not O(len(relation)).
+        """
         gts = tuple(gts)
         for gt in gts:
             self._check(gt)
-        return GeneralizedRelation(
+        return GeneralizedRelation._trusted(
             self.temporal_arity, self.data_arity, self.tuples + gts
         )
 
@@ -117,7 +134,43 @@ class GeneralizedRelation:
     def data_values(self, column):
         """The set of constants appearing in a data column (the active
         domain of that column)."""
-        return {gt.data[column] for gt in self.tuples}
+        return set(self.data_index(column))
+
+    # -- indexes ------------------------------------------------------------
+    #
+    # Relations are value objects, so the lazily built indexes below can
+    # never go stale: "mutation" always produces a fresh instance whose
+    # caches start empty.  This is the invalidation-on-mutation the
+    # round-level caching relies on.
+
+    def data_index(self, column):
+        """Hash index on a data column: ``{value: (tuple positions…)}``
+        in tuple order.  Built lazily, cached for the relation's lifetime."""
+        if self._data_indexes is None:
+            self._data_indexes = {}
+        index = self._data_indexes.get(column)
+        if index is None:
+            index = {}
+            for position, gt in enumerate(self.tuples):
+                index.setdefault(gt.data[column], []).append(position)
+            self._data_indexes[column] = index
+        return index
+
+    def signature_index(self):
+        """Index on the free-extension (lrp + data) signature:
+        ``{signature: [tuples…]}`` in tuple order.  Consulted by the
+        coverage tests of the engine's safety bookkeeping — one hash
+        lookup instead of a full scan per derived tuple."""
+        if self._sig_index is None:
+            index = {}
+            for gt in self.tuples:
+                index.setdefault(gt.free_signature(), []).append(gt)
+            self._sig_index = index
+        return self._sig_index
+
+    def tuples_with_signature(self, signature):
+        """The tuples whose free extension matches ``signature``."""
+        return self.signature_index().get(signature, [])
 
     # -- algebra ------------------------------------------------------------------
 
@@ -176,9 +229,9 @@ class GeneralizedRelation:
         return GeneralizedRelation(self.temporal_arity, self.data_arity, result)
 
     def select_data_constant(self, column, value):
-        """Selection ``data[column] = value``."""
-        kept = [gt for gt in self.tuples if gt.data[column] == value]
-        return GeneralizedRelation(self.temporal_arity, self.data_arity, kept)
+        """Selection ``data[column] = value`` (via the data hash index)."""
+        kept = [self.tuples[k] for k in self.data_index(column).get(value, ())]
+        return GeneralizedRelation._trusted(self.temporal_arity, self.data_arity, kept)
 
     def select_data_equal(self, column_a, column_b):
         """Selection ``data[a] = data[b]``."""
@@ -196,10 +249,15 @@ class GeneralizedRelation:
         return GeneralizedRelation(len(keep_temporal), len(keep_data), result)
 
     def join(self, other, temporal_pairs=(), data_pairs=()):
-        """Natural join: product, equality selections on the given
-        column pairs (left index, right index — both 0-based within
-        their relation), then projection dropping the right-hand join
-        columns.
+        """Natural join: equality on the given column pairs (left
+        index, right index — both 0-based within their relation), the
+        right-hand join columns projected away.
+
+        Executed as a fused hash join rather than the literal
+        product-select-project: matching data tuples are found through
+        the right side's data hash index, and the temporal equalities
+        are conjoined into each candidate pair's zone in a single
+        closure (empty pairs never materialize).
 
         >>> left = GeneralizedRelation.universe(1)
         >>> right = GeneralizedRelation.universe(1)
@@ -208,7 +266,6 @@ class GeneralizedRelation:
         """
         from repro.constraints.atoms import Comparison, TemporalTerm
 
-        product = self.product(other)
         atoms = [
             Comparison(
                 "=",
@@ -217,17 +274,48 @@ class GeneralizedRelation:
             )
             for (left, right) in temporal_pairs
         ]
-        if atoms:
-            product = product.select(atoms)
-        for (left, right) in data_pairs:
-            product = product.select_data_equal(left, self.data_arity + right)
         drop_temporal = {self.temporal_arity + right for (_, right) in temporal_pairs}
         drop_data = {self.data_arity + right for (_, right) in data_pairs}
         keep_temporal = [
-            k for k in range(product.temporal_arity) if k not in drop_temporal
+            k
+            for k in range(self.temporal_arity + other.temporal_arity)
+            if k not in drop_temporal
         ]
-        keep_data = [k for k in range(product.data_arity) if k not in drop_data]
-        return product.project(keep_temporal, keep_data)
+        keep_data = [
+            k
+            for k in range(self.data_arity + other.data_arity)
+            if k not in drop_data
+        ]
+        if data_pairs:
+            left_cols = [left for (left, _) in data_pairs]
+            if len(data_pairs) == 1:
+                index = other.data_index(data_pairs[0][1])
+                buckets = {value: [other.tuples[k] for k in positions]
+                           for value, positions in index.items()}
+            else:
+                buckets = {}
+                right_cols = [right for (_, right) in data_pairs]
+                for gt in other.tuples:
+                    key = tuple(gt.data[c] for c in right_cols)
+                    buckets.setdefault(key, []).append(gt)
+
+            def candidates(a):
+                key = tuple(a.data[c] for c in left_cols)
+                return buckets.get(key[0] if len(key) == 1 else key, ())
+        else:
+            def candidates(a):
+                return other.tuples
+
+        result = []
+        for a in self.tuples:
+            for b in candidates(a):
+                joined = a.joined(b, atoms)
+                if joined is None:
+                    continue
+                result.extend(joined.project(keep_temporal, keep_data))
+        return GeneralizedRelation._trusted(
+            len(keep_temporal), len(keep_data), result
+        )
 
     def product(self, other):
         """Cartesian product (columns concatenated)."""

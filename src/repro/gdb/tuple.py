@@ -323,16 +323,33 @@ class GeneralizedTuple:
 
     def product(self, other):
         """Concatenate two tuples (temporal and data columns)."""
-        arity = self.temporal_arity + other.temporal_arity
-        lrps = self.lrps + other.lrps
-        data = self.data + other.data
-        mine = self.constraints.remapped(
-            {k: k for k in range(self.temporal_arity)}, arity
+        return GeneralizedTuple(
+            self.lrps + other.lrps,
+            self.data + other.data,
+            self.constraints.joined(other.constraints),
         )
-        theirs = other.constraints.remapped(
-            {k: k + self.temporal_arity for k in range(other.temporal_arity)}, arity
-        )
-        return GeneralizedTuple(lrps, data, mine.conjoin(theirs))
+
+    def joined(self, other, atoms=()):
+        """Product with extra constraint atoms (indexed in the combined
+        column space) conjoined in one pass; returns the refined tuple
+        or None when the combined zone is unsatisfiable.  This is the
+        fused join step of the compiled clause plans: one zone closure
+        instead of the three a product-then-select sequence costs."""
+        constraints = self.constraints.joined(other.constraints, atoms)
+        if not constraints.is_satisfiable():
+            return None
+        return GeneralizedTuple(
+            self.lrps + other.lrps, self.data + other.data, constraints
+        ).propagate_equalities()
+
+    def extended(self, count, atoms=()):
+        """Append ``count`` unconstrained carrier columns and conjoin
+        extra atoms; returns the refined tuple or None when empty-by-zone."""
+        constraints = self.constraints.joined(ConstraintSystem.top(count), atoms)
+        if not constraints.is_satisfiable():
+            return None
+        lrps = self.lrps + tuple(Lrp.constant_carrier() for _ in range(count))
+        return GeneralizedTuple(lrps, self.data, constraints).propagate_equalities()
 
     def project(self, keep_temporal, keep_data, force_aligned=False):
         """Project onto the given 0-based column lists (order matters).

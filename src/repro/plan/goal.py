@@ -1,0 +1,38 @@
+"""Goal plans for Templog conjunctions.
+
+A Templog goal conjunction intersects eventually periodic sets, which
+is commutative — so the order is a pure cost decision.  A
+:class:`GoalPlan` evaluates the cheap, selective elements first
+(shifted atoms, whose extensions are direct lookups in the model) and
+the nested ``◇`` groups last (each is an up-closure, i.e. the *least*
+selective shape an element can take, and the most expensive to
+build), short-circuiting as soon as the running intersection is
+empty.  Nested conjunctions under ``◇`` are planned recursively.
+"""
+
+from __future__ import annotations
+
+from repro.lrp.periodic_set import EventuallyPeriodicSet
+
+
+class GoalPlan:
+    """A compiled evaluation order for one goal conjunction."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements, diamond_type):
+        ordered = sorted(
+            enumerate(elements),
+            key=lambda pair: (isinstance(pair[1], diamond_type), pair[0]),
+        )
+        self.elements = tuple(element for _, element in ordered)
+
+    def evaluate(self, evaluate_element):
+        """Intersect the element sets in plan order;
+        ``evaluate_element`` maps one goal element to its set."""
+        result = EventuallyPeriodicSet.all()
+        for element in self.elements:
+            result = result & evaluate_element(element)
+            if result.is_empty():
+                break
+        return result

@@ -1,0 +1,189 @@
+"""Ground-clause plans for the Datalog1S frontier evaluator.
+
+The previous evaluator instantiated every clause over the active data
+domain upfront (``|domain|^k`` ground rules per clause with ``k`` data
+variables) and re-scanned them all at every time slice.  A
+:class:`GroundClausePlan` compiles the clause body once instead and
+enumerates data substitutions *driven by the facts actually present*:
+
+* positive body atoms are matched first, greedily ordered so atoms
+  with the most constants and already-bound variables go early — each
+  candidate fact binds variables by unification, so sparse slices are
+  never multiplied out over the full domain;
+* variables bound by no positive atom (head-only or negation-only
+  variables) are enumerated over the active domain, exactly as the
+  old grounding did — positive atoms cannot constrain them, so the
+  semantics coincide;
+* negated atoms are membership checks, placed as early as their
+  variables allow (fully-bound ones right after the positives,
+  the rest after the domain enumeration).
+
+The time coordinate stays the caller's business: each body atom
+carries an opaque ``time_key`` (a relative offset or an absolute
+time) and matching consults ``facts_at(predicate, time_key)``, which
+returns the set of data tuples true there — or ``None`` to veto the
+body entirely (the evaluator's out-of-window convention).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+_MISSING = object()
+
+
+class GroundClausePlan:
+    """A compiled matcher for one Datalog1S clause body."""
+
+    __slots__ = ("steps", "ground_checks", "domain")
+
+    def __init__(self, head_data_terms, body, domain):
+        """``body`` is a list of ``(predicate, time_key, data_terms,
+        negative)``; ``head_data_terms`` contributes the variables the
+        head needs bound; ``domain`` is the active data domain."""
+        self.domain = tuple(domain)
+        variables = {
+            term.name for term in head_data_terms if term.is_variable()
+        }
+        for (_, _, data_terms, _) in body:
+            variables |= {
+                term.name for term in data_terms if term.is_variable()
+            }
+
+        positives = [entry for entry in body if not entry[3]]
+        negatives = [entry for entry in body if entry[3]]
+
+        if not variables:
+            # Fully ground clause: matching degenerates to membership
+            # checks, with positives first (cheap vetoes).
+            self.steps = None
+            self.ground_checks = tuple(
+                (
+                    predicate,
+                    time_key,
+                    tuple(term.value for term in data_terms),
+                    negative,
+                )
+                for (predicate, time_key, data_terms, negative) in positives
+                + negatives
+            )
+            return
+        self.ground_checks = None
+
+        steps = []
+        bound = set()
+
+        def slots_for(data_terms):
+            return tuple(
+                ("var", term.name) if term.is_variable() else ("const", term.value)
+                for term in data_terms
+            )
+
+        def boundness(entry):
+            return sum(
+                1
+                for term in entry[2]
+                if not term.is_variable() or term.name in bound
+            )
+
+        remaining = list(positives)
+        while remaining:
+            pick = max(
+                range(len(remaining)),
+                key=lambda k: (boundness(remaining[k]), -k),
+            )
+            predicate, time_key, data_terms, _ = remaining.pop(pick)
+            steps.append(("pos", predicate, time_key, slots_for(data_terms)))
+            bound |= {term.name for term in data_terms if term.is_variable()}
+
+        pending_negatives = []
+        for predicate, time_key, data_terms, _ in negatives:
+            names = {term.name for term in data_terms if term.is_variable()}
+            entry = ("neg", predicate, time_key, slots_for(data_terms))
+            if names <= bound:
+                steps.append(entry)
+            else:
+                pending_negatives.append(entry)
+
+        residual = sorted(variables - bound)
+        if residual:
+            steps.append(("enum", tuple(residual)))
+        steps.extend(pending_negatives)
+        self.steps = tuple(steps)
+
+    def substitutions(self, facts_at):
+        """Yield every data substitution (a dict) under which the body
+        holds according to ``facts_at``."""
+        if self.ground_checks is not None:
+            for predicate, time_key, data, negative in self.ground_checks:
+                facts = facts_at(predicate, time_key)
+                if facts is None:
+                    return
+                if (data in facts) == negative:
+                    return
+            yield {}
+            return
+
+        steps = self.steps
+        theta = {}
+        domain = self.domain
+
+        def run(index):
+            if index == len(steps):
+                yield dict(theta)
+                return
+            step = steps[index]
+            kind = step[0]
+            if kind == "pos":
+                _, predicate, time_key, slots = step
+                facts = facts_at(predicate, time_key)
+                if not facts:  # None (vetoed) or simply no facts there
+                    return
+                for data in facts:
+                    added = []
+                    matched = True
+                    for slot, value in zip(slots, data):
+                        if slot[0] == "const":
+                            if slot[1] != value:
+                                matched = False
+                                break
+                        else:
+                            current = theta.get(slot[1], _MISSING)
+                            if current is _MISSING:
+                                theta[slot[1]] = value
+                                added.append(slot[1])
+                            elif current != value:
+                                matched = False
+                                break
+                    if matched:
+                        yield from run(index + 1)
+                    for name in added:
+                        del theta[name]
+            elif kind == "neg":
+                _, predicate, time_key, slots = step
+                facts = facts_at(predicate, time_key)
+                if facts is None:
+                    return
+                data = tuple(
+                    slot[1] if slot[0] == "const" else theta[slot[1]]
+                    for slot in slots
+                )
+                if data not in facts:
+                    yield from run(index + 1)
+            else:  # enum
+                names = step[1]
+                for values in itertools.product(domain, repeat=len(names)):
+                    for name, value in zip(names, values):
+                        theta[name] = value
+                    yield from run(index + 1)
+                    for name in names:
+                        del theta[name]
+
+        yield from run(0)
+
+
+def ground_data(terms, theta):
+    """Ground a data-term vector under a substitution."""
+    return tuple(
+        theta[term.name] if term.is_variable() else term.value for term in terms
+    )

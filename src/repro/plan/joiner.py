@@ -1,0 +1,95 @@
+"""Greedy conjunction joining for ad-hoc query front-ends.
+
+The FO evaluator (and anything else that produces intermediate
+answer sets with named columns) joins conjuncts through this module
+instead of folding them left-to-right: parts are ordered greedily —
+smallest relation first, then whichever unjoined part shares the most
+columns with what is already bound — and each pairwise join runs
+through :meth:`GeneralizedRelation.join`, i.e. the fused hash join of
+the indexed relation layer rather than a product followed by
+selections.
+"""
+
+from __future__ import annotations
+
+
+class NamedRelation:
+    """A relation with named temporal and data columns — the unit the
+    conjunction joiner operates on."""
+
+    __slots__ = ("relation", "temporal_vars", "data_vars")
+
+    def __init__(self, relation, temporal_vars, data_vars):
+        self.relation = relation
+        self.temporal_vars = list(temporal_vars)
+        self.data_vars = list(data_vars)
+
+
+def join_pair(left, right):
+    """Natural join of two :class:`NamedRelation` on their shared
+    column names; the duplicate right-hand columns are dropped."""
+    temporal_pairs = [
+        (left.temporal_vars.index(name), index)
+        for index, name in enumerate(right.temporal_vars)
+        if name in left.temporal_vars
+    ]
+    data_pairs = [
+        (left.data_vars.index(name), index)
+        for index, name in enumerate(right.data_vars)
+        if name in left.data_vars
+    ]
+    joined = left.relation.join(
+        right.relation, temporal_pairs=temporal_pairs, data_pairs=data_pairs
+    )
+    dropped_temporal = {index for (_, index) in temporal_pairs}
+    dropped_data = {index for (_, index) in data_pairs}
+    temporal_vars = left.temporal_vars + [
+        name
+        for index, name in enumerate(right.temporal_vars)
+        if index not in dropped_temporal
+    ]
+    data_vars = left.data_vars + [
+        name
+        for index, name in enumerate(right.data_vars)
+        if index not in dropped_data
+    ]
+    return NamedRelation(joined, temporal_vars, data_vars)
+
+
+def _shared_columns(bound_temporal, bound_data, part):
+    return sum(1 for name in part.temporal_vars if name in bound_temporal) + sum(
+        1 for name in part.data_vars if name in bound_data
+    )
+
+
+def join_all(parts):
+    """Greedy multi-way natural join of :class:`NamedRelation` parts.
+
+    Starts from the smallest relation, then repeatedly joins in the
+    part sharing the most columns with the bound set (ties: smaller
+    relation, then original order).  Intersection is commutative, so
+    any order is sound; a connected order keeps intermediates small.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("nothing to join")
+    order = list(range(len(parts)))
+    start = min(order, key=lambda k: (len(parts[k].relation.tuples), k))
+    order.remove(start)
+    current = parts[start]
+    bound_temporal = set(current.temporal_vars)
+    bound_data = set(current.data_vars)
+    while order:
+        best = max(
+            order,
+            key=lambda k: (
+                _shared_columns(bound_temporal, bound_data, parts[k]),
+                -len(parts[k].relation.tuples),
+                -k,
+            ),
+        )
+        order.remove(best)
+        current = join_pair(current, parts[best])
+        bound_temporal.update(current.temporal_vars)
+        bound_data.update(current.data_vars)
+    return current

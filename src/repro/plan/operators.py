@@ -1,0 +1,228 @@
+"""Physical operators of compiled clause plans.
+
+A compiled variant is a linear pipeline of steps over a growing
+working set of :class:`~repro.gdb.tuple.GeneralizedTuple`:
+
+* :class:`JoinStep` joins the working set with one body atom's
+  relation (or, for negated atoms, with the predicate's exact
+  complement — negation as anti-join).  Within-atom data-constant and
+  data-equality selections are applied to the source relation first
+  (and cached per source relation), cross-atom data-variable sharing
+  is enforced through hash buckets, and every constraint atom whose
+  columns are bound by this step is conjoined into the pair's zone in
+  the same single closure (:meth:`GeneralizedTuple.joined`).
+* :class:`CarrierStep` appends unconstrained carrier columns for
+  temporal variables no atom binds (head constants and offsets,
+  constraint-only variables) and conjoins the constraint atoms that
+  become placeable with them (:meth:`GeneralizedTuple.extended`).
+* :class:`Projection` is fused into the pipeline's tail: each
+  surviving tuple is projected onto the head columns and head data
+  constants are woven in, without materializing an intermediate
+  relation.
+
+Steps are compiled once per clause (per delta position) by
+:mod:`repro.plan.compiler` and executed many times; all name → column
+resolution happens at compile time, execution touches only integers.
+"""
+
+from __future__ import annotations
+
+from repro.gdb.relation import GeneralizedRelation
+from repro.gdb.tuple import GeneralizedTuple
+
+_UNIT = GeneralizedTuple((), ())
+
+
+class JoinStep:
+    """Join the working set with one source atom's relation."""
+
+    __slots__ = (
+        "position",
+        "predicate",
+        "negated",
+        "temporal_vars",
+        "data_names",
+        "const_sels",
+        "eq_sels",
+        "match_pairs",
+        "atoms",
+        "_cache",
+    )
+
+    def __init__(self, position, predicate, negated, temporal_vars, data_names,
+                 const_sels, eq_sels, match_pairs):
+        self.position = position          # body position; None for negated atoms
+        self.predicate = predicate
+        self.negated = negated
+        self.temporal_vars = tuple(temporal_vars)
+        self.data_names = tuple(data_names)
+        self.const_sels = tuple(const_sels)    # (local data col, value)
+        self.eq_sels = tuple(eq_sels)          # (local first col, local dup col)
+        self.match_pairs = tuple(match_pairs)  # (global bound col, local col)
+        self.atoms = ()                        # Comparisons, combined column space
+        self._cache = None                     # (source relation, restricted tuples)
+
+    def source_tuples(self, relation):
+        """The source tuples after within-atom selections, cached per
+        source relation (relations are immutable value objects, so an
+        identity hit can never be stale)."""
+        if not self.const_sels and not self.eq_sels:
+            return relation.tuples
+        cached = self._cache
+        if cached is not None and cached[0] is relation:
+            return cached[1]
+        if self.const_sels:
+            column, value = self.const_sels[0]
+            tuples = [
+                relation.tuples[k]
+                for k in relation.data_index(column).get(value, ())
+            ]
+            for column, value in self.const_sels[1:]:
+                tuples = [gt for gt in tuples if gt.data[column] == value]
+        else:
+            tuples = list(relation.tuples)
+        for first, dup in self.eq_sels:
+            tuples = [gt for gt in tuples if gt.data[first] == gt.data[dup]]
+        self._cache = (relation, tuples)
+        return tuples
+
+    def apply(self, current, relation):
+        """One join: returns the new working set (possibly empty)."""
+        tuples = self.source_tuples(relation)
+        if not tuples:
+            return []
+        if len(current) == 1 and current[0] is _UNIT and not self.match_pairs:
+            # First join against the unit tuple: the pair IS the source
+            # tuple; only pushed-down constraints need conjoining.
+            if not self.atoms:
+                return tuples if type(tuples) is list else list(tuples)
+            result = []
+            for b in tuples:
+                refined = b.conjoined(self.atoms)
+                if refined is not None:
+                    result.append(refined)
+            return result
+        if self.match_pairs:
+            local_cols = [local for (_, local) in self.match_pairs]
+            buckets = {}
+            for b in tuples:
+                key = tuple(b.data[c] for c in local_cols)
+                buckets.setdefault(key, []).append(b)
+            bound_cols = [bound for (bound, _) in self.match_pairs]
+            result = []
+            for a in current:
+                key = tuple(a.data[c] for c in bound_cols)
+                for b in buckets.get(key, ()):
+                    joined = a.joined(b, self.atoms)
+                    if joined is not None:
+                        result.append(joined)
+            return result
+        result = []
+        for a in current:
+            for b in tuples:
+                joined = a.joined(b, self.atoms)
+                if joined is not None:
+                    result.append(joined)
+        return result
+
+
+class CarrierStep:
+    """Append unconstrained carrier columns and conjoin constraints."""
+
+    __slots__ = ("names", "atoms")
+
+    def __init__(self, names, atoms):
+        self.names = tuple(names)
+        self.atoms = tuple(atoms)
+
+    def apply(self, current):
+        result = []
+        count = len(self.names)
+        for a in current:
+            extended = a.extended(count, self.atoms)
+            if extended is not None:
+                result.append(extended)
+        return result
+
+
+class Projection:
+    """The fused final projection onto the head schema.
+
+    ``shifts`` holds one offset per kept temporal column: head columns
+    the compiler resolved as *aliases* (``v = u + c`` with ``u`` bound
+    by an atom) project the base column and shear it by ``c`` — exact
+    and closure-free (:meth:`GeneralizedTuple.shift_column`) instead of
+    materializing a carrier column and re-closing the zone."""
+
+    __slots__ = (
+        "keep_temporal",
+        "shifts",
+        "keep_data",
+        "constant_slots",
+        "head_schema",
+    )
+
+    def __init__(self, keep_temporal, shifts, keep_data, constant_slots,
+                 head_schema):
+        self.keep_temporal = tuple(keep_temporal)
+        self.shifts = tuple(shifts)                  # per kept temporal column
+        self.keep_data = tuple(keep_data)
+        self.constant_slots = tuple(constant_slots)  # (final slot, value)
+        self.head_schema = head_schema               # (temporal, data) arities
+
+    def apply(self, current):
+        temporal_arity, data_arity = self.head_schema
+        result = []
+        slots = dict(self.constant_slots)
+        sheared = [
+            (position, offset)
+            for position, offset in enumerate(self.shifts)
+            if offset
+        ]
+        for gt in current:
+            for projected in gt.project(self.keep_temporal, self.keep_data):
+                for position, offset in sheared:
+                    projected = projected.shift_column(position, offset)
+                if slots:
+                    data = []
+                    values = iter(projected.data)
+                    for slot in range(data_arity):
+                        if slot in slots:
+                            data.append(slots[slot])
+                        else:
+                            data.append(next(values))
+                    projected = projected.with_data(tuple(data))
+                result.append(projected)
+        return GeneralizedRelation._trusted(temporal_arity, data_arity, result)
+
+
+class PlanVariant:
+    """One compiled pipeline: steps, projection, and the column layout
+    they were compiled against (kept for :mod:`repro.plan.explain`)."""
+
+    __slots__ = ("seed_position", "steps", "projection", "columns", "data_names")
+
+    def __init__(self, seed_position, steps, projection, columns, data_names):
+        self.seed_position = seed_position
+        self.steps = tuple(steps)
+        self.projection = projection
+        self.columns = tuple(columns)
+        self.data_names = tuple(data_names)
+
+    def execute(self, relation_for):
+        """Run the pipeline; ``relation_for(step)`` resolves each
+        JoinStep's source relation (env / delta / complement), or None
+        for an absent predicate."""
+        empty = GeneralizedRelation.empty(*self.projection.head_schema)
+        current = [_UNIT]
+        for step in self.steps:
+            if type(step) is CarrierStep:
+                current = step.apply(current)
+            else:
+                relation = relation_for(step)
+                if relation is None or not relation.tuples:
+                    return empty
+                current = step.apply(current, relation)
+            if not current:
+                return empty
+        return self.projection.apply(current)

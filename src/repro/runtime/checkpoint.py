@@ -8,8 +8,11 @@ all serialized to JSON through the canonical ``to_json_dict`` forms of
 the gdb layer, so a resumed run replays bit-identically (same canonical
 relations, same stats modulo timings) to an uninterrupted one.
 
-A fingerprint of the program text, the EDB text, and the evaluation
-configuration is stored; resuming against anything else raises
+A fingerprint of the program text, the EDB text, the evaluation
+configuration, and the compiled plans is stored (the plan digest is
+both folded into the engine fingerprint and kept as a separate
+``plan_fingerprint`` field for inspection); resuming against anything
+else raises
 :class:`~repro.util.errors.CheckpointError` instead of silently
 computing garbage.  Writes are atomic (temp file + rename) so a crash
 during a write — the ``checkpoint_write`` fault site injects exactly
@@ -31,13 +34,16 @@ from repro.util.errors import CheckpointError
 from repro.util.hooks import fault_point
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
-def engine_fingerprint(program_text, edb_text, strategy, safety):
-    """A stable digest of everything that must match for a resume."""
+def engine_fingerprint(program_text, edb_text, strategy, safety, *extra):
+    """A stable digest of everything that must match for a resume.
+
+    ``extra`` chunks extend the digest — the engine passes the compiled
+    plan fingerprint so a plan-layer change invalidates old checkpoints."""
     digest = hashlib.sha256()
-    for chunk in (program_text, edb_text, strategy, safety):
+    for chunk in (program_text, edb_text, strategy, safety) + extra:
         digest.update(chunk.encode("utf-8"))
         digest.update(b"\x00")
     return digest.hexdigest()
@@ -56,12 +62,14 @@ class Checkpoint:
     stats: dict                     # EvaluationStats.to_dict()
     delta: Optional[dict] = None    # predicate -> [GeneralizedTuple]
     complements: dict = field(default_factory=dict)
+    plan_fingerprint: str = ""      # repro.plan.explain.plan_fingerprint
 
     def to_json_dict(self):
         return {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
             "fingerprint": self.fingerprint,
+            "plan_fingerprint": self.plan_fingerprint,
             "stratum_index": self.stratum_index,
             "rounds_in_stratum": self.rounds_in_stratum,
             "last_growth": self.last_growth,
@@ -99,6 +107,7 @@ class Checkpoint:
             delta = payload["delta"]
             return cls(
                 fingerprint=payload["fingerprint"],
+                plan_fingerprint=payload.get("plan_fingerprint", ""),
                 stratum_index=payload["stratum_index"],
                 rounds_in_stratum=payload["rounds_in_stratum"],
                 last_growth=payload["last_growth"],

@@ -13,8 +13,8 @@ to the same model as an uninterrupted run.
 Instrumented sites
 ------------------
 ``clause``
-    Entry of :meth:`repro.core.evaluation.ClauseEvaluator.evaluate` —
-    one hit per clause firing.
+    Entry of :meth:`repro.plan.compiler.ClausePlan.evaluate` (and of
+    the reference evaluator) — one hit per clause firing.
 ``dbm_canonicalize``
     :meth:`repro.constraints.dbm.Dbm.close` actually recomputing a
     shortest-path closure (already-closed matrices do not hit).

@@ -18,7 +18,7 @@ expressiveness the paper characterizes as the finitely regular
 
 from __future__ import annotations
 
-from repro.lrp.periodic_set import EventuallyPeriodicSet
+from repro.plan.goal import GoalPlan
 from repro.templog.ast import Diamond, TemplogAtom, parse_templog
 from repro.util.errors import EvaluationError
 
@@ -42,12 +42,14 @@ def evaluate_goal(model, elements, budget=None):
 
 
 def _evaluate_conjunction(model, elements, meter):
-    result = EventuallyPeriodicSet.all()
-    for element in elements:
+    plan = GoalPlan(elements, Diamond)
+
+    def evaluate_element(element):
         if meter is not None:
             meter.check_deadline("goal element")
-        result = result & _evaluate_element(model, element, meter)
-    return result
+        return _evaluate_element(model, element, meter)
+
+    return plan.evaluate(evaluate_element)
 
 
 def _evaluate_element(model, element, meter=None):

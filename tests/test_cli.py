@@ -189,6 +189,28 @@ class TestOtherCommands:
         assert code == 0
         assert "40n+5" in output
 
+    def test_explain(self, files):
+        code, output = run_cli(
+            ["explain", files["program.dtl"], "--edb", files["edb.gdb"]]
+        )
+        assert code == 0
+        # One block per clause, every variant rendered, fingerprint last.
+        assert output.count("clause:") == 2
+        assert "plan naive:" in output
+        assert "plan semi-naive, delta @ body position 0:" in output
+        assert "scan course" in output
+        assert "plan fingerprint:" in output
+
+    def test_explain_json(self, files):
+        code, output = run_cli(
+            ["explain", files["program.dtl"], "--edb", files["edb.gdb"], "--json"]
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["command"] == "explain"
+        assert len(report["plan_fingerprint"]) == 64
+        assert "scan" in report["plans"]
+
     def test_parse_error_exit_code(self, files, tmp_path):
         bad = tmp_path / "bad.dtl"
         bad.write_text("p(t <-")
