@@ -30,6 +30,7 @@ EXPERIMENTS = [
     ("e13", "test_e13_ltl_fo_equivalence"),
     ("e14", "test_e14_engine_scaling"),
     ("plan", "plan_bench"),
+    ("service", "service_bench"),
 ]
 
 

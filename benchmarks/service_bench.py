@@ -1,0 +1,200 @@
+"""Service-layer benchmark: batch throughput and the cost of resilience.
+
+Times a batch of Example 4.1 run-jobs through
+:class:`repro.service.QueryService` at several worker counts, then the
+same batch under the stress fault plan (one killed worker + periodic
+transient clause faults) to measure what retry-with-resume and worker
+supervision cost.  Records wall time, throughput, and the service
+counters in ``BENCH_service.json``::
+
+    python benchmarks/service_bench.py           # full (32 jobs)
+    python benchmarks/service_bench.py --quick   # CI smoke (12 jobs)
+    python benchmarks/service_bench.py --check   # fail unless every job
+                                                 # is terminal and every
+                                                 # healthy job is ok
+
+The ``report()`` hook makes ``python benchmarks/report.py service``
+regenerate the artifact alongside the experiment tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.runtime.faults import FaultPlan, TransientFaultError
+from repro.service import JobSpec, QueryService, RetryPolicy
+from repro.util.errors import WorkerDiedError
+
+from workloads import EXAMPLE_41_EDB, EXAMPLE_41_PROGRAM
+
+WORKER_COUNTS = (1, 2, 4)
+RETRY = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
+
+
+def _specs(jobs):
+    return [
+        JobSpec(
+            "bench-%03d" % i,
+            "run",
+            program=EXAMPLE_41_PROGRAM,
+            edb=EXAMPLE_41_EDB,
+        )
+        for i in range(jobs)
+    ]
+
+
+def _fault_plan():
+    """The CI stress plan: kill the worker making the 3rd pickup, and
+    raise a transient clause fault every 61st hit from hit 20."""
+    return FaultPlan.inject(
+        "worker_start", at=3, error=WorkerDiedError
+    ).and_inject("clause", at=20, error=TransientFaultError, every=61)
+
+
+def _run_batch(jobs, workers, plan=None):
+    specs = _specs(jobs)
+    contexts = plan.installed() if plan is not None else _noop()
+    with contexts:
+        with QueryService(
+            workers=workers,
+            queue_limit=jobs,
+            retry=RETRY,
+            default_deadline=60.0,
+        ) as service:
+            start = time.perf_counter()
+            results = service.run_batch(specs, timeout=300.0)
+            wall = time.perf_counter() - start
+            stats = service.stats()
+    states = {}
+    for result in results:
+        states[result.state] = states.get(result.state, 0) + 1
+    return {
+        "jobs": jobs,
+        "workers": workers,
+        "wall_ms": round(wall * 1000, 3),
+        "jobs_per_second": round(jobs / wall, 2) if wall > 0 else None,
+        "states": states,
+        "retries": stats["jobs"]["retries"],
+        "requeues": stats["jobs"]["requeues"],
+        "worker_restarts": stats["workers"]["restarts"],
+        "resumed": sum(1 for result in results if result.resumed),
+    }
+
+
+class _noop:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def run(quick=False):
+    """The full benchmark payload (a JSON-safe dict)."""
+    jobs = 12 if quick else 32
+    payload = {"quick": quick, "healthy": {}, "faulted": {}}
+    for workers in WORKER_COUNTS:
+        payload["healthy"]["workers-%d" % workers] = _run_batch(jobs, workers)
+    payload["faulted"]["workers-4"] = _run_batch(jobs, 4, plan=_fault_plan())
+    healthy = payload["healthy"]["workers-4"]["wall_ms"]
+    faulted = payload["faulted"]["workers-4"]["wall_ms"]
+    payload["fault_overhead"] = (
+        round(faulted / healthy, 3) if healthy > 0 else None
+    )
+    return payload
+
+
+def write(payload, path="BENCH_service.json"):
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def report():
+    """Regenerate ``BENCH_service.json`` and print the summary table
+    (hooked into ``benchmarks/report.py``)."""
+    payload = run()
+    write(payload)
+    _print_summary(payload)
+
+
+def _print_summary(payload):
+    print("Query service — batch throughput (Example 4.1 run-jobs)")
+    print(
+        "%24s %10s %10s %8s %9s %8s"
+        % ("scenario", "wall ms", "jobs/s", "retries", "restarts", "resumed")
+    )
+
+    def row(label, entry):
+        print(
+            "%24s %10.1f %10.2f %8d %9d %8d"
+            % (
+                label,
+                entry["wall_ms"],
+                entry["jobs_per_second"] or 0.0,
+                entry["retries"],
+                entry["worker_restarts"],
+                entry["resumed"],
+            )
+        )
+
+    for workers in WORKER_COUNTS:
+        row("healthy %d workers" % workers, payload["healthy"]["workers-%d" % workers])
+    row("faulted 4 workers", payload["faulted"]["workers-4"])
+    print("fault overhead: %.3fx" % payload["fault_overhead"])
+
+
+def _check(payload):
+    """Terminality and correctness gates (never timing — CI machines
+    are too noisy for that)."""
+    failures = []
+    for label, entry in sorted(payload["healthy"].items()):
+        if entry["states"] != {"ok": entry["jobs"]}:
+            failures.append("healthy %s states: %r" % (label, entry["states"]))
+    faulted = payload["faulted"]["workers-4"]
+    total = sum(faulted["states"].values())
+    if total != faulted["jobs"]:
+        failures.append(
+            "faulted batch lost jobs: %d of %d terminal"
+            % (total, faulted["jobs"])
+        )
+    bad = {
+        state: count
+        for state, count in faulted["states"].items()
+        if state not in ("ok", "partial")
+    }
+    if bad:
+        failures.append("faulted batch non-recoverable states: %r" % bad)
+    if faulted["worker_restarts"] < 1:
+        failures.append("fault plan never killed a worker")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless every job is terminal and every healthy job ok",
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    write(payload, args.out)
+    _print_summary(payload)
+    if args.check:
+        failures = _check(payload)
+        if failures:
+            for failure in failures:
+                print("FAIL: %s" % failure, file=sys.stderr)
+            return 1
+        print("check ok: all jobs terminal, healthy batches fully ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

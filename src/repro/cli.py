@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command> …``.
 
-Four subcommands mirror the library's four front ends, plus one
-introspection command:
+Four subcommands mirror the library's four front ends, plus
+introspection and service commands:
 
 ``run``
     Evaluate a deductive program (Section 4 language) bottom-up over a
@@ -25,37 +25,53 @@ introspection command:
     Reduce a Templog program to TL1, translate it to Datalog1S, and
     print its minimal model.
 
+``batch``
+    Run a file of jobs (JSON array or JSONL) on the resilient query
+    service (:mod:`repro.service`) — supervised worker pool, bounded
+    admission queue, deadlines, retry+resume, circuit breaker,
+    degradation ladder — and report one terminal result per job.
+
+``serve``
+    The same service as a line-oriented loop: read one JSON job per
+    input line, emit one JSON result line per job; a ``health`` line
+    answers with the service health snapshot.
+
 Exit codes are stable for machine consumers:
 
 ====  =====================================================
-0     success (complete model / answers)
-1     other library or internal error
+0     success (complete model / answers; every batch job ok)
+1     other library or internal error / any batch job failed
 2     usage error: bad arguments, unreadable file, parse error
-3     gave up / partial model (paper's Section-4.3 policy)
-4     resource budget exceeded
+3     gave up / partial model (paper's Section-4.3 policy);
+      for ``batch``: some jobs partial, none failed
+4     resource budget exceeded (e.g. ``--deadline-seconds``);
+      the partial model is still reported under ``--json``
 ====  =====================================================
 
 ``--json`` dumps a machine-readable run report instead of the human
-output; budget (``--deadline``, ``--max-rounds``, ``--max-tuples``,
-``--max-derived``) and checkpoint (``--checkpoint``,
-``--checkpoint-every``, ``--resume-from``) flags govern the evaluation
-runtime (see :mod:`repro.runtime`).
+output; budget (``--deadline-seconds``/``--deadline``,
+``--max-rounds``, ``--max-tuples``, ``--max-derived``) and checkpoint
+(``--checkpoint``, ``--checkpoint-every``, ``--resume-from``) flags
+govern the evaluation runtime (see :mod:`repro.runtime`).
 
 Examples::
 
     python -m repro run program.dtl --edb schedule.gdb --window 0 200
-    python -m repro run program.dtl --edb schedule.gdb --deadline 5 --json
+    python -m repro run program.dtl --edb schedule.gdb --deadline-seconds 5 --json
     python -m repro run program.dtl --edb s.gdb --checkpoint ck.json \\
         --checkpoint-every 10
     python -m repro query schedule.gdb 'exists u (train(t, u; "Liege", C))'
     python -m repro datalog1s trains.d1s
     python -m repro templog monitor.tlg
+    python -m repro batch jobs.json --workers 4 --json
+    python -m repro serve --input jobs.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core import DeductiveEngine, parse_program
@@ -111,13 +127,20 @@ def _add_json(parser):
     )
 
 
-def _add_budget(parser, full=True):
+def _add_deadline(parser):
     parser.add_argument(
+        "--deadline-seconds",
         "--deadline",
+        dest="deadline",
         type=float,
         metavar="SECONDS",
-        help="wall-clock budget for the evaluation",
+        help="wall-clock budget for the evaluation (exit code 4 when "
+        "exceeded; any partial model is still reported under --json)",
     )
+
+
+def _add_budget(parser, full=True):
+    _add_deadline(parser)
     parser.add_argument(
         "--max-rounds",
         type=int,
@@ -143,7 +166,7 @@ def _budget_from_args(args):
     try:
         budget = EvaluationBudget(
             deadline_seconds=args.deadline,
-            max_rounds=args.max_rounds,
+            max_rounds=getattr(args, "max_rounds", None),
             max_tuples=getattr(args, "max_tuples", None),
             max_derived=getattr(args, "max_derived", None),
         )
@@ -155,6 +178,13 @@ def _budget_from_args(args):
 def _emit_json(report, out):
     json.dump(report, out, indent=2, sort_keys=False)
     print(file=out)
+
+
+def _emit_json_line(report, out):
+    """One-object-per-line JSON for the ``serve`` streaming protocol."""
+    json.dump(report, out, indent=None, sort_keys=False)
+    print(file=out)
+    out.flush()
 
 
 def _cmd_run(args, out):
@@ -276,7 +306,17 @@ def _cmd_explain(args, out):
 
 def _cmd_query(args, out):
     edb = parse_database(_read(args.database))
-    answers = evaluate_query(edb, args.formula)
+    try:
+        answers = evaluate_query(edb, args.formula, budget=_budget_from_args(args))
+    except BudgetExceededError as err:
+        if args.json:
+            _emit_json(
+                run_report("query", "budget-exceeded", EXIT_BUDGET, error=err),
+                out,
+            )
+        else:
+            print("budget-exceeded: %s" % err, file=sys.stderr)
+        return EXIT_BUDGET
     header = ", ".join(answers.temporal_vars + answers.data_vars) or "(closed)"
     if args.json:
         report = {
@@ -359,6 +399,237 @@ _cmd_templog = _periodic_model_command(
 )
 
 
+# -- service commands -----------------------------------------------------
+
+
+def _load_job_specs(text, base_dir="."):
+    """Parse a jobs file: a JSON array of job objects, or JSONL.
+
+    ``program`` / ``edb`` / ``query`` may be given inline, or via
+    ``program_file`` / ``edb_file`` / ``query_file`` paths resolved
+    relative to the jobs file.
+    """
+    from repro.service import JobSpec
+
+    text = text.strip()
+    if not text:
+        raise _UsageError("jobs file is empty")
+    if text.startswith("["):
+        try:
+            payloads = json.loads(text)
+        except ValueError as error:
+            raise _UsageError("jobs file is not valid JSON: %s" % error) from error
+    else:
+        payloads = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payloads.append(json.loads(line))
+            except ValueError as error:
+                raise _UsageError(
+                    "jobs line %d is not valid JSON: %s" % (number, error)
+                ) from error
+    specs = []
+    for index, payload in enumerate(payloads, start=1):
+        if not isinstance(payload, dict):
+            raise _UsageError("job %d is not a JSON object" % index)
+        try:
+            specs.append(
+                JobSpec.from_json_dict(
+                    _resolve_job_files(payload, base_dir),
+                    default_id="job-%d" % index,
+                )
+            )
+        except ValueError as error:
+            raise _UsageError("job %d: %s" % (index, error)) from error
+    return specs
+
+
+def _resolve_job_files(payload, base_dir="."):
+    """Inline ``program_file`` / ``edb_file`` / ``query_file``
+    references of a job object (paths relative to ``base_dir``)."""
+    payload = dict(payload)
+    for key in ("program", "edb", "query"):
+        path = payload.pop("%s_file" % key, None)
+        if path is not None and key not in payload:
+            payload[key] = _read(os.path.join(base_dir, path))
+    return payload
+
+
+def _load_fault_plan(path):
+    from repro.runtime.faults import FaultPlan
+
+    try:
+        payload = json.loads(_read(path))
+    except ValueError as error:
+        raise _UsageError(
+            "fault plan %s is not valid JSON: %s" % (path, error)
+        ) from error
+    try:
+        return FaultPlan.from_json_dict(payload)
+    except ValueError as error:
+        raise _UsageError("fault plan %s: %s" % (path, error)) from error
+
+
+def _build_service(args):
+    from repro.service import CircuitBreaker, QueryService, RetryPolicy
+
+    return QueryService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retry=RetryPolicy(max_attempts=args.max_attempts, seed=args.retry_seed),
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+        default_deadline=args.deadline,
+        work_dir=args.work_dir,
+    )
+
+
+def _batch_exit_code(results):
+    states = {result.state for result in results}
+    if states & {"failed", "rejected"}:
+        return EXIT_ERROR
+    if "partial" in states:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _cmd_batch(args, out):
+    specs = _load_job_specs(
+        _read(args.jobs), base_dir=os.path.dirname(os.path.abspath(args.jobs))
+    )
+    plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    with _installed_or_noop(plan):
+        with _build_service(args) as service:
+            results = service.run_batch(specs, timeout=args.batch_timeout)
+            stats = service.stats()
+            health = service.health()
+    code = _batch_exit_code(results)
+    if args.json:
+        _emit_json(
+            {
+                "command": "batch",
+                "outcome": "ok" if code == EXIT_OK else "degraded",
+                "exit_code": code,
+                "jobs": [result.to_json_dict() for result in results],
+                "service": stats,
+                "health": health,
+            },
+            out,
+        )
+        return code
+    for result in results:
+        line = "%s: %s (%s; attempts=%d, backend=%s" % (
+            result.job_id,
+            result.state,
+            result.outcome,
+            result.attempts,
+            result.backend,
+        )
+        if result.degradation:
+            line += ", degraded=%s" % "+".join(result.degradation)
+        if result.resumed:
+            line += ", resumed"
+        print(line + ")", file=out)
+    jobs = stats["jobs"]
+    print(
+        "%% %d jobs: %d ok, %d partial, %d failed, %d rejected; "
+        "%d retries, %d worker restarts; health: %s"
+        % (
+            len(results),
+            jobs["ok"],
+            jobs["partial"],
+            jobs["failed"],
+            jobs["rejected"],
+            jobs["retries"],
+            stats["workers"]["restarts"],
+            health["status"],
+        ),
+        file=out,
+    )
+    return code
+
+
+def _installed_or_noop(plan):
+    import contextlib
+
+    return plan.installed() if plan is not None else contextlib.nullcontext()
+
+
+def _cmd_serve(args, out):
+    plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    if args.input is not None:
+        stream = open(args.input)
+        base_dir = os.path.dirname(os.path.abspath(args.input))
+    else:
+        stream = sys.stdin
+        base_dir = "."
+    from repro.service import JobSpec
+    from repro.util.errors import ServiceError
+
+    pending = []
+    states = set()
+
+    def flush(block=False):
+        while pending:
+            handle = pending[0]
+            if not block and not handle.done():
+                return
+            result = handle.result()
+            states.add(result.state)
+            _emit_json_line(result.to_json_dict(), out)
+            pending.pop(0)
+
+    with _installed_or_noop(plan):
+        with _build_service(args) as service:
+            try:
+                for number, line in enumerate(stream, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    if line in ("health", '"health"') or line == '{"op": "health"}':
+                        _emit_json_line(service.health(), out)
+                        continue
+                    try:
+                        payload = json.loads(line)
+                        if isinstance(payload, dict) and payload.get("op") == "health":
+                            _emit_json_line(service.health(), out)
+                            continue
+                        spec = JobSpec.from_json_dict(
+                            _resolve_job_files(payload, base_dir),
+                            default_id="job-%d" % number,
+                        )
+                        pending.append(service.submit(spec))
+                    except (ValueError, ServiceError, _UsageError) as error:
+                        _emit_json_line(
+                            {
+                                "job_id": "job-%d" % number,
+                                "state": "rejected",
+                                "outcome": "error",
+                                "error": {
+                                    "type": type(error).__name__,
+                                    "message": str(error),
+                                },
+                            },
+                            out,
+                        )
+                        states.add("rejected")
+                    flush()
+                flush(block=True)
+            finally:
+                if stream is not sys.stdin:
+                    stream.close()
+    if states & {"failed", "rejected"}:
+        return EXIT_ERROR
+    if "partial" in states:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
 def build_parser():
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -425,6 +696,7 @@ def build_parser():
     query = commands.add_parser("query", help="evaluate an FO query")
     query.add_argument("database", help="generalized database file")
     query.add_argument("formula", help="first-order query text")
+    _add_deadline(query)
     _add_json(query)
     _add_window(query)
     query.set_defaults(handler=_cmd_query)
@@ -443,7 +715,93 @@ def build_parser():
     _add_json(tlg)
     tlg.set_defaults(handler=_cmd_templog)
 
+    batch = commands.add_parser(
+        "batch",
+        help="run a file of jobs on the resilient query service",
+    )
+    batch.add_argument("jobs", help="jobs file (JSON array or JSONL)")
+    batch.add_argument(
+        "--batch-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="bound on the total wait for the whole batch",
+    )
+    _add_service(batch)
+    _add_json(batch)
+    batch.set_defaults(handler=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve JSON jobs line by line (stdin by default)",
+    )
+    serve.add_argument(
+        "--input",
+        metavar="PATH",
+        help="read job lines from this file instead of stdin",
+    )
+    _add_service(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
     return parser
+
+
+def _add_service(parser):
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N", help="worker pool size"
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue bound (submissions beyond it are shed)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per job for transient failures",
+    )
+    parser.add_argument(
+        "--retry-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed of the deterministic backoff jitter",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive terminal failures that open a program's circuit",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="cooldown before a half-open probe is admitted",
+    )
+    parser.add_argument(
+        "--deadline-seconds",
+        "--deadline",
+        dest="deadline",
+        type=float,
+        metavar="SECONDS",
+        help="default per-job wall-clock deadline (jobs may override)",
+    )
+    parser.add_argument(
+        "--work-dir",
+        metavar="PATH",
+        help="directory for per-job checkpoints (temporary by default)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        help="JSON fault plan to install for the whole run (testing)",
+    )
 
 
 def main(argv=None, out=None):

@@ -161,6 +161,18 @@ class Model:
             db.set_relation(name, relation)
         return db
 
+    def equivalent(self, other):
+        """Exact extension equality with another model, predicate by
+        predicate — the resilience tests' oracle: a retried run that
+        resumed from a checkpoint must be ``equivalent()`` to an
+        uninterrupted one."""
+        if self.predicates() != other.predicates():
+            return False
+        return all(
+            self.relation(name).equivalent(other.relation(name))
+            for name in self.predicates()
+        )
+
     def __getitem__(self, name):
         return self.relation(name)
 

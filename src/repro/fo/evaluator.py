@@ -75,18 +75,27 @@ class Answers:
         return [dict(zip(names, flat)) for flat in flats]
 
 
-def evaluate_query(db, query, extra_relations=None):
+def evaluate_query(db, query, extra_relations=None, budget=None):
     """Evaluate an FO query (text or AST) against a generalized
     database.  ``extra_relations`` may supply additional named
-    relations (e.g. an engine model's IDB)."""
+    relations (e.g. an engine model's IDB).
+
+    ``budget`` is an optional
+    :class:`~repro.runtime.budget.EvaluationBudget`; its wall-clock
+    deadline is checked cooperatively before every sub-formula
+    evaluation, raising
+    :class:`~repro.util.errors.BudgetExceededError` (FO evaluation is
+    not a fixpoint, so no partial model is attached)."""
     formula = parse_formula(query) if isinstance(query, str) else query
-    context = _Context(db, extra_relations or {})
+    meter = budget.start() if budget is not None else None
+    context = _Context(db, extra_relations or {}, meter=meter)
     return context.evaluate(formula)
 
 
 class _Context:
-    def __init__(self, db, extra_relations):
+    def __init__(self, db, extra_relations, meter=None):
         self.db = db
+        self.meter = meter
         self.extra = dict(extra_relations)
         domain = set()
         for name in db.names():
@@ -106,6 +115,8 @@ class _Context:
     # -- recursive evaluation ------------------------------------------------
 
     def evaluate(self, node):
+        if self.meter is not None:
+            self.meter.check_deadline("fo subformula")
         if isinstance(node, FoAtom):
             return self._atom(node)
         if isinstance(node, FoComparison):

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -149,22 +150,59 @@ def _signature_from_json(payload):
     )
 
 
+#: Filename pattern of the temporary files :func:`write_checkpoint`
+#: stages writes through (``<path>.tmp.<pid>``).
+_TMP_SUFFIX_RE = re.compile(r"\.tmp(\.\d+)?$")
+
+
 def write_checkpoint(path, checkpoint):
-    """Atomically persist a checkpoint to ``path`` as JSON."""
+    """Atomically and durably persist a checkpoint to ``path`` as JSON.
+
+    The payload is staged to ``<path>.tmp.<pid>``, fsynced, and moved
+    into place with :func:`os.replace`; the containing directory is
+    then fsynced so the rename itself survives a crash.  A crash at any
+    point leaves either the previous checkpoint or the new one — never
+    a torn file — at ``path``; at worst a leftover ``*.tmp.*`` file
+    remains, which :func:`load_checkpoint` refuses to load.
+    """
     fault_point("checkpoint_write")
     payload = json.dumps(checkpoint.to_json_dict(), indent=None, sort_keys=False)
     tmp_path = "%s.tmp.%d" % (path, os.getpid())
     try:
         with open(tmp_path, "w") as handle:
             handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(os.path.dirname(os.path.abspath(path)))
     finally:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
 
 
+def _fsync_directory(directory):
+    """Flush a rename to disk; best-effort where directories cannot be
+    opened (e.g. Windows)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def load_checkpoint(path):
     """Load and validate a checkpoint written by :func:`write_checkpoint`."""
+    if _TMP_SUFFIX_RE.search(os.path.basename(path)):
+        raise CheckpointError(
+            "%s is a leftover temporary checkpoint file (a crash interrupted "
+            "a checkpoint write); resume from the committed checkpoint "
+            "instead" % path
+        )
     try:
         with open(path) as handle:
             payload = json.load(handle)

@@ -25,28 +25,90 @@ Instrumented sites
     Entry of :func:`repro.runtime.checkpoint.write_checkpoint`.
 ``round``
     Each T_GP round boundary in :class:`~repro.core.engine.DeductiveEngine`.
+``submit``
+    Entry of :meth:`repro.service.pool.QueryService.submit` — one hit
+    per job submission.
+``worker_start``
+    A service worker picking up a job from the queue (before any
+    evaluation).  Injecting
+    :class:`~repro.util.errors.WorkerDiedError` here deterministically
+    "kills" whichever worker makes that hit.
+``result_return``
+    A service worker about to hand a finished attempt's result back to
+    the supervisor — a fault here loses the attempt after the work was
+    done, exactly the window retry-with-resume is for.
+
+Fault classification
+--------------------
+:class:`TransientFaultError` subclasses :class:`InjectedFaultError`;
+the service retry policy (:mod:`repro.service.retry`) retries
+transient faults and worker deaths with backoff, and fails fast on
+everything else — so retry-vs-fail-fast behavior in tests is a
+property of the injected plan, not of timing.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.util import hooks
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, WorkerDiedError
 
 #: The site names the library instruments.
-SITES = ("clause", "dbm_canonicalize", "coverage", "checkpoint_write", "round")
+SITES = (
+    "clause",
+    "dbm_canonicalize",
+    "coverage",
+    "checkpoint_write",
+    "round",
+    "submit",
+    "worker_start",
+    "result_return",
+)
 
 
 class InjectedFaultError(ReproError):
-    """The exception a :class:`FaultSpec` raises by default."""
+    """The exception a :class:`FaultSpec` raises by default.
+
+    Injected faults of this exact class model *permanent* failures —
+    the service fails such jobs fast (or degrades the backend) rather
+    than retrying.
+    """
 
     def __init__(self, site, hit):
         self.site = site
         self.hit = hit
         super().__init__("injected fault at site %r (hit %d)" % (site, hit))
+
+
+class TransientFaultError(InjectedFaultError):
+    """An injected fault that models a *transient* failure.
+
+    The service retry policy treats exactly this class (plus
+    :class:`~repro.util.errors.WorkerDiedError`) as retryable, so a
+    fault plan chooses deterministically whether an injection is
+    retried with backoff+resume or fails the job fast.
+    """
+
+    def __init__(self, site, hit):
+        super().__init__(site, hit)
+        # Rebuild the message to make the transient class visible in logs.
+        self.args = (
+            "injected transient fault at site %r (hit %d)" % (site, hit),
+        )
+
+
+#: Names accepted by :meth:`FaultPlan.from_json_dict` for the ``error``
+#: field of a spec.
+ERROR_NAMES = {
+    "injected": None,  # default InjectedFaultError (permanent)
+    "transient": TransientFaultError,
+    "worker-died": WorkerDiedError,
+    "runtime": RuntimeError,
+}
 
 
 @dataclass
@@ -57,7 +119,9 @@ class FaultSpec:
     ``error`` may be an exception instance, an exception class, or
     ``None``; with ``raises=True`` and ``error=None`` an
     :class:`InjectedFaultError` is raised.  ``repeat`` triggers on
-    every hit at or after ``at`` instead of only once.
+    every hit at or after ``at``; ``every=N`` instead triggers
+    periodically — on hit ``at``, ``at+N``, ``at+2N``, … — which is how
+    a plan models sparse transient faults over a long run.
     """
 
     site: str
@@ -66,6 +130,7 @@ class FaultSpec:
     error: Optional[BaseException] = None
     delay_seconds: float = 0.0
     repeat: bool = False
+    every: Optional[int] = None
 
     def __post_init__(self):
         if self.site not in SITES:
@@ -75,9 +140,13 @@ class FaultSpec:
             )
         if self.at < 1:
             raise ValueError("hit counts are 1-based; got at=%d" % self.at)
+        if self.every is not None and self.every < 1:
+            raise ValueError("every must be a positive period; got %r" % self.every)
 
     def triggers_on(self, hit):
         """True when the spec fires on the given 1-based hit count."""
+        if self.every is not None:
+            return hit >= self.at and (hit - self.at) % self.every == 0
         return hit == self.at or (self.repeat and hit > self.at)
 
     def fire(self, hit):
@@ -89,6 +158,8 @@ class FaultSpec:
             if error is None:
                 raise InjectedFaultError(self.site, hit)
             if isinstance(error, type):
+                if issubclass(error, InjectedFaultError):
+                    raise error(self.site, hit)
                 raise error("injected fault at site %r (hit %d)" % (self.site, hit))
             raise error
 
@@ -96,6 +167,11 @@ class FaultSpec:
 @dataclass
 class FaultPlan:
     """A deterministic schedule of faults and delays over named sites.
+
+    Hit counting is thread-safe (service workers hit sites like
+    ``clause`` concurrently); the *total* order of hits across threads
+    is whatever the scheduler produces, so concurrent tests should use
+    specs that do not depend on which thread makes a given hit.
 
     >>> plan = FaultPlan.inject("coverage", at=2)
     >>> with plan.installed():
@@ -107,9 +183,9 @@ class FaultPlan:
     specs: list = field(default_factory=list)
 
     @classmethod
-    def inject(cls, site, at=1, error=None, repeat=False):
+    def inject(cls, site, at=1, error=None, repeat=False, every=None):
         """A plan raising at the ``at``-th hit of ``site``."""
-        return cls([FaultSpec(site, at=at, error=error, repeat=repeat)])
+        return cls([FaultSpec(site, at=at, error=error, repeat=repeat, every=every)])
 
     @classmethod
     def delay(cls, site, at=1, seconds=0.0, repeat=False):
@@ -119,12 +195,53 @@ class FaultPlan:
             [FaultSpec(site, at=at, raises=False, delay_seconds=seconds, repeat=repeat)]
         )
 
+    @classmethod
+    def from_json_dict(cls, payload):
+        """Build a plan from a JSON description (the CLI ``--fault-plan``).
+
+        ``payload`` is a list of spec objects (or a dict with a
+        ``"specs"`` list); each spec carries ``site`` plus any of
+        ``at``, ``repeat``, ``every``, ``delay_seconds``, ``raises``,
+        and ``error`` — the error being one of the names in
+        :data:`ERROR_NAMES` (``"injected"``, ``"transient"``,
+        ``"worker-died"``, ``"runtime"``).
+        """
+        if isinstance(payload, dict):
+            payload = payload.get("specs", [])
+        if not isinstance(payload, list):
+            raise ValueError("fault plan must be a list of spec objects")
+        specs = []
+        for entry in payload:
+            if not isinstance(entry, dict) or "site" not in entry:
+                raise ValueError("fault spec must be an object with a 'site'")
+            name = entry.get("error", "injected")
+            if name not in ERROR_NAMES:
+                raise ValueError(
+                    "unknown fault error %r (expected one of %s)"
+                    % (name, ", ".join(sorted(ERROR_NAMES)))
+                )
+            specs.append(
+                FaultSpec(
+                    entry["site"],
+                    at=entry.get("at", 1),
+                    raises=entry.get("raises", True),
+                    error=ERROR_NAMES[name],
+                    delay_seconds=entry.get("delay_seconds", 0.0),
+                    repeat=entry.get("repeat", False),
+                    every=entry.get("every"),
+                )
+            )
+        return cls(specs)
+
     def __post_init__(self):
         self.hits = {}
+        self._lock = threading.Lock()
 
-    def and_inject(self, site, at=1, error=None, repeat=False):
+    def and_inject(self, site, at=1, error=None, repeat=False, every=None):
         """This plan plus one more fault spec (builder style)."""
-        self.specs.append(FaultSpec(site, at=at, error=error, repeat=repeat))
+        self.specs.append(
+            FaultSpec(site, at=at, error=error, repeat=repeat, every=every)
+        )
         return self
 
     def and_delay(self, site, at=1, seconds=0.0, repeat=False):
@@ -137,8 +254,9 @@ class FaultPlan:
     # -- the hook ---------------------------------------------------------
 
     def __call__(self, site):
-        hit = self.hits.get(site, 0) + 1
-        self.hits[site] = hit
+        with self._lock:
+            hit = self.hits.get(site, 0) + 1
+            self.hits[site] = hit
         for spec in self.specs:
             if spec.site == site and spec.triggers_on(hit):
                 spec.fire(hit)

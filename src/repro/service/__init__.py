@@ -1,0 +1,41 @@
+"""Resilient concurrent query service.
+
+Composes the resource-governed runtime (:mod:`repro.runtime`) and the
+compiled/reference evaluation backends (:mod:`repro.plan`) into a
+supervised worker pool serving batches of deductive / FO / Datalog1S /
+Templog jobs with bounded queues, deadlines, retry-with-resume, a
+per-program circuit breaker, and a two-rung degradation ladder.  The
+CLI front ends are ``repro batch`` and ``repro serve``.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.executor import JobExecutor
+from repro.service.jobs import (
+    KINDS,
+    STATE_FAILED,
+    STATE_OK,
+    STATE_PARTIAL,
+    STATE_REJECTED,
+    TERMINAL_STATES,
+    JobResult,
+    JobSpec,
+)
+from repro.service.pool import JobHandle, QueryService
+from repro.service.retry import RetryPolicy, is_transient
+
+__all__ = [
+    "CircuitBreaker",
+    "JobExecutor",
+    "JobHandle",
+    "JobResult",
+    "JobSpec",
+    "KINDS",
+    "QueryService",
+    "RetryPolicy",
+    "STATE_FAILED",
+    "STATE_OK",
+    "STATE_PARTIAL",
+    "STATE_REJECTED",
+    "TERMINAL_STATES",
+    "is_transient",
+]

@@ -1,0 +1,130 @@
+"""Per-program circuit breaker.
+
+A program that keeps failing terminally is a hazard to the pool: every
+admission costs a worker a full deadline's worth of wasted work.  The
+breaker bounds that cost with the classic three-state machine, tracked
+independently per program key:
+
+``closed``
+    Normal operation.  ``failure_threshold`` *consecutive* terminal
+    failures trip the breaker open (a success resets the count).
+``open``
+    Jobs for the key are rejected with
+    :class:`~repro.util.errors.CircuitOpenError` — typed and instant —
+    until ``cooldown_seconds`` elapse.
+``half-open``
+    After the cooldown one probe job is admitted; its success closes
+    the breaker, its failure re-opens it (restarting the cooldown).
+
+The clock is injectable so transitions are unit-testable without
+sleeping.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.util.errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _Circuit:
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self):
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = None
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over program keys."""
+
+    def __init__(self, failure_threshold=5, cooldown_seconds=30.0, clock=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock or time.monotonic
+        self._circuits = {}
+        self._lock = threading.Lock()
+
+    def _circuit(self, key):
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = self._circuits[key] = _Circuit()
+        return circuit
+
+    def check(self, key):
+        """Admit or reject work for ``key``.
+
+        Raises :class:`CircuitOpenError` when the breaker is open and
+        cooling down.  When the cooldown has elapsed the breaker moves
+        to half-open and admits exactly one probe; concurrent callers
+        during the probe are rejected.
+        """
+        with self._lock:
+            circuit = self._circuit(key)
+            if circuit.state == CLOSED:
+                return
+            if circuit.state == OPEN:
+                elapsed = self._clock() - circuit.opened_at
+                if elapsed < self.cooldown_seconds:
+                    raise CircuitOpenError(
+                        "circuit open for program %s (%.3gs of %.3gs cooldown "
+                        "elapsed)" % (key, elapsed, self.cooldown_seconds),
+                        program_key=key,
+                    )
+                circuit.state = HALF_OPEN
+                circuit.probing = False
+            # Half-open: admit a single probe.
+            if circuit.probing:
+                raise CircuitOpenError(
+                    "circuit half-open for program %s (probe in flight)" % key,
+                    program_key=key,
+                )
+            circuit.probing = True
+
+    def record_success(self, key):
+        """A job for ``key`` reached a healthy terminal state."""
+        with self._lock:
+            circuit = self._circuit(key)
+            circuit.state = CLOSED
+            circuit.failures = 0
+            circuit.opened_at = None
+            circuit.probing = False
+
+    def record_failure(self, key):
+        """A job for ``key`` failed terminally."""
+        with self._lock:
+            circuit = self._circuit(key)
+            if circuit.state == HALF_OPEN:
+                circuit.state = OPEN
+                circuit.opened_at = self._clock()
+                circuit.probing = False
+                return
+            circuit.failures += 1
+            if circuit.failures >= self.failure_threshold:
+                circuit.state = OPEN
+                circuit.opened_at = self._clock()
+
+    def state(self, key):
+        """The current state for ``key`` (``closed`` when unseen)."""
+        with self._lock:
+            circuit = self._circuits.get(key)
+            return CLOSED if circuit is None else circuit.state
+
+    def snapshot(self):
+        """Per-key states for the service health report (closed keys
+        with no failure history are omitted)."""
+        with self._lock:
+            return {
+                key: {"state": circuit.state, "failures": circuit.failures}
+                for key, circuit in self._circuits.items()
+                if circuit.state != CLOSED or circuit.failures > 0
+            }

@@ -105,3 +105,46 @@ class EvaluationAbortedError(PartialResultError):
 class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or belongs to a
     different program/configuration than the resuming engine."""
+
+
+class ServiceError(ReproError):
+    """Base class of errors raised by the query service layer
+    (:mod:`repro.service`)."""
+
+
+class OverloadedError(ServiceError):
+    """The service shed a submission because its admission queue is
+    full.
+
+    Load shedding is explicit and typed — a caller that submits into a
+    saturated service gets this error immediately instead of blocking
+    behind an unbounded backlog.  ``queue_limit`` records the bound
+    that was hit.
+    """
+
+    def __init__(self, message, queue_limit=None):
+        super().__init__(message)
+        self.queue_limit = queue_limit
+
+
+class CircuitOpenError(ServiceError):
+    """The per-program circuit breaker is open for this job's program.
+
+    A program that keeps failing terminally trips its breaker; further
+    jobs for the same program are rejected without being evaluated
+    until the cooldown elapses and a half-open probe succeeds.
+    ``program_key`` identifies the tripped program.
+    """
+
+    def __init__(self, message, program_key=None):
+        super().__init__(message)
+        self.program_key = program_key
+
+
+class WorkerDiedError(ServiceError):
+    """A service worker died (or was declared dead by the supervisor)
+    while holding a job.
+
+    The supervisor treats this as transient: the job is requeued with
+    the dead worker excluded and a replacement worker is started.
+    """

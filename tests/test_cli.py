@@ -322,3 +322,191 @@ class TestRuntimeFlags:
         report = json.loads(output)
         assert report["outcome"] == "ok"
         assert "40n+5" in report["model"]
+
+
+class TestDeadlineFlag:
+    def test_run_deadline_seconds_alias(self, files):
+        code, _ = run_cli(
+            [
+                "run",
+                files["program.dtl"],
+                "--edb",
+                files["edb.gdb"],
+                "--deadline-seconds",
+                "0",
+            ]
+        )
+        assert code == 4
+
+    def test_query_deadline_exit_code_and_json(self, files):
+        code, output = run_cli(
+            [
+                "query",
+                files["edb.gdb"],
+                "exists t2 (course(t1, t2; C))",
+                "--deadline-seconds",
+                "0",
+                "--json",
+            ]
+        )
+        assert code == 4
+        report = json.loads(output)
+        assert report["command"] == "query"
+        assert report["outcome"] == "budget-exceeded"
+        assert report["error"]["type"] == "BudgetExceededError"
+        assert report["error"]["limit"] == "deadline_seconds"
+
+    def test_datalog1s_deadline(self, files):
+        code, _ = run_cli(
+            ["datalog1s", files["trains.d1s"], "--deadline-seconds", "0"]
+        )
+        assert code == 4
+
+    def test_templog_deadline(self, files):
+        code, _ = run_cli(
+            ["templog", files["monitor.tlg"], "--deadline-seconds", "0"]
+        )
+        assert code == 4
+
+
+class TestBatchCommand:
+    def jobs_file(self, tmp_path, files, count=3):
+        jobs = [
+            {
+                "id": "job-%d" % i,
+                "kind": "run",
+                "program_file": files["program.dtl"],
+                "edb_file": files["edb.gdb"],
+            }
+            for i in range(count)
+        ]
+        jobs.append(
+            {
+                "id": "query-job",
+                "kind": "query",
+                "edb_file": files["edb.gdb"],
+                "query": "exists t2 (course(t1, t2; C))",
+            }
+        )
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(jobs))
+        return str(path)
+
+    def test_batch_json_report(self, files, tmp_path):
+        code, output = run_cli(
+            ["batch", self.jobs_file(tmp_path, files), "--workers", "2", "--json"]
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["command"] == "batch"
+        assert report["exit_code"] == 0
+        assert len(report["jobs"]) == 4
+        for job in report["jobs"]:
+            assert job["state"] == "ok"
+            assert job["attempts"] == 1
+            assert job["backend"] in ("compiled", "fo")
+            assert job["degradation"] == []
+        assert report["service"]["jobs"]["ok"] == 4
+        assert report["health"]["status"] == "ok"
+
+    def test_batch_human_output(self, files, tmp_path):
+        code, output = run_cli(
+            ["batch", self.jobs_file(tmp_path, files, count=1), "--workers", "1"]
+        )
+        assert code == 0
+        assert "job-0: ok" in output
+        assert "2 jobs: 2 ok" in output
+
+    def test_batch_under_fault_plan_retries_and_reports(self, files, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {"specs": [{"site": "clause", "at": 4, "error": "transient"}]}
+            )
+        )
+        jobs = tmp_path / "one.json"
+        jobs.write_text(
+            json.dumps(
+                [
+                    {
+                        "id": "flaky",
+                        "kind": "run",
+                        "program_file": files["program.dtl"],
+                        "edb_file": files["edb.gdb"],
+                    }
+                ]
+            )
+        )
+        code, output = run_cli(
+            [
+                "batch",
+                str(jobs),
+                "--workers",
+                "1",
+                "--fault-plan",
+                str(plan),
+                "--json",
+            ]
+        )
+        assert code == 0
+        job = json.loads(output)["jobs"][0]
+        assert job["state"] == "ok"
+        assert job["attempts"] == 2
+        assert job["resumed"] is True
+
+    def test_batch_exit_code_partial(self, files, tmp_path):
+        jobs = tmp_path / "late.json"
+        jobs.write_text(
+            json.dumps(
+                [
+                    {
+                        "id": "late",
+                        "kind": "run",
+                        "program_file": files["program.dtl"],
+                        "edb_file": files["edb.gdb"],
+                        "deadline_seconds": 0,
+                    }
+                ]
+            )
+        )
+        code, output = run_cli(["batch", str(jobs), "--workers", "1", "--json"])
+        assert code == 3
+        job = json.loads(output)["jobs"][0]
+        assert job["state"] == "partial"
+        assert job["outcome"] == "budget-exceeded"
+
+
+class TestServeCommand:
+    def test_serve_input_smoke(self, files, tmp_path):
+        lines = [
+            '{"op": "health"}',
+            json.dumps(
+                {
+                    "kind": "run",
+                    "program_file": files["program.dtl"],
+                    "edb_file": files["edb.gdb"],
+                }
+            ),
+            json.dumps(
+                {
+                    "id": "q1",
+                    "kind": "query",
+                    "edb_file": files["edb.gdb"],
+                    "query": "exists t2 (course(t1, t2; C))",
+                }
+            ),
+            "not json at all",
+        ]
+        stream = tmp_path / "input.jsonl"
+        stream.write_text("\n".join(lines) + "\n")
+        code, output = run_cli(
+            ["serve", "--input", str(stream), "--workers", "1"]
+        )
+        assert code == 1  # the malformed line is a rejected job
+        reports = [json.loads(line) for line in output.splitlines()]
+        health = reports[0]
+        assert health["status"] == "ok"
+        by_id = {r["job_id"]: r for r in reports[1:] if "job_id" in r}
+        assert by_id["job-2"]["state"] == "ok"
+        assert by_id["q1"]["state"] == "ok"
+        assert by_id["job-4"]["state"] == "rejected"

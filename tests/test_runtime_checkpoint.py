@@ -162,6 +162,68 @@ class TestCheckpointFiles:
         assert set(loaded.known_signatures["problems"]) == signatures
 
 
+class TestDurability:
+    """Atomic, durable checkpoint writes: staged through a temp file,
+    fsynced, renamed into place — and leftover temp files are refused
+    with a clean typed error instead of being deserialized."""
+
+    def make_checkpoint(self):
+        relation = parse_database(EDB).relation("course")
+        return Checkpoint(
+            fingerprint=engine_fingerprint("p", "e", "semi-naive", "paper"),
+            stratum_index=0,
+            rounds_in_stratum=1,
+            last_growth=1,
+            env={"problems": relation},
+            known_signatures={"problems": set()},
+            stats={"rounds": 1},
+        )
+
+    def test_no_temp_file_left_after_write(self, tmp_path):
+        path = tmp_path / "ck.json"
+        write_checkpoint(str(path), self.make_checkpoint())
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "ck.json"]
+        assert leftovers == []
+
+    def test_leftover_tmp_path_is_refused(self, tmp_path):
+        # A crash between the staged write and os.replace leaves
+        # <path>.tmp.<pid> behind; loading it must fail cleanly even if
+        # its contents happen to be valid JSON.
+        for name in ("ck.json.tmp", "ck.json.tmp.12345"):
+            torn = tmp_path / name
+            torn.write_text(json.dumps({"format": "repro-checkpoint"}))
+            with pytest.raises(CheckpointError) as info:
+                load_checkpoint(str(torn))
+            assert "temporary" in str(info.value)
+
+    def test_committed_file_unreadable_mid_write_never_torn(self, tmp_path):
+        # Simulate the crash: stage a temp file but never rename it.
+        # The committed path still loads the previous checkpoint.
+        path = tmp_path / "ck.json"
+        write_checkpoint(str(path), self.make_checkpoint())
+        (tmp_path / "ck.json.tmp.999").write_text("{ torn garba")
+        loaded = load_checkpoint(str(path))
+        assert loaded.rounds_in_stratum == 1
+
+    def test_write_failure_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
+        path = tmp_path / "ck.json"
+        first = self.make_checkpoint()
+        write_checkpoint(str(path), first)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr("repro.runtime.checkpoint.os.replace", exploding_replace)
+        second = self.make_checkpoint()
+        second.rounds_in_stratum = 7
+        with pytest.raises(OSError):
+            write_checkpoint(str(path), second)
+        monkeypatch.undo()
+        assert load_checkpoint(str(path)).rounds_in_stratum == 1
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "ck.json"]
+        assert leftovers == []
+
+
 class TestJsonSerialization:
     def test_constraint_system_round_trip(self):
         relation = parse_database(EDB).relation("course")

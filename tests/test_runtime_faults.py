@@ -8,13 +8,20 @@ import pytest
 from repro.core import DeductiveEngine, parse_program
 from repro.gdb import parse_database
 from repro.runtime.budget import EvaluationBudget
-from repro.runtime.faults import SITES, FaultPlan, FaultSpec, InjectedFaultError
+from repro.runtime.faults import (
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    TransientFaultError,
+)
 from repro.util import hooks
 from repro.util.errors import (
     BudgetExceededError,
     EvaluationAbortedError,
     PartialResultError,
     ReproError,
+    WorkerDiedError,
 )
 
 EDB = """
@@ -75,9 +82,63 @@ class TestFaultPlanMechanics:
                 make_engine().run()
         assert plan.hits["round"] == 3
 
+    def test_service_sites_registered(self):
+        for site in ("submit", "worker_start", "result_return"):
+            assert site in SITES
+            FaultSpec(site=site)  # accepted by validation
+
+    def test_transient_error_is_injected_fault_subclass(self):
+        assert issubclass(TransientFaultError, InjectedFaultError)
+        error = TransientFaultError("clause", 7)
+        assert error.site == "clause"
+        assert error.hit == 7
+
+    def test_every_fires_periodically(self):
+        spec = FaultSpec(site="clause", at=3, every=4)
+        assert [hit for hit in range(1, 16) if spec.triggers_on(hit)] == [3, 7, 11, 15]
+
+    def test_every_requires_positive_period(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="clause", every=0)
+
+    def test_periodic_injection_in_engine(self):
+        # every=2 from hit 1: the first clause evaluation already faults.
+        plan = FaultPlan.inject("clause", at=1, every=2)
+        with pytest.raises(EvaluationAbortedError):
+            with plan.installed():
+                make_engine().run()
+        assert plan.hits["clause"] == 1
+
+    def test_from_json_dict(self):
+        plan = FaultPlan.from_json_dict(
+            {
+                "specs": [
+                    {"site": "worker_start", "at": 3, "error": "worker-died"},
+                    {"site": "clause", "at": 20, "every": 61, "error": "transient"},
+                    {"site": "round", "at": 1, "delay_seconds": 0.01},
+                ]
+            }
+        )
+        assert len(plan.specs) == 3
+        assert plan.specs[0].error is WorkerDiedError
+        assert plan.specs[1].error is TransientFaultError
+        assert plan.specs[1].every == 61
+        assert plan.specs[2].delay_seconds == 0.01
+
+    def test_from_json_dict_rejects_unknown_error_name(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json_dict(
+                [{"site": "clause", "error": "nonsense"}]
+            )
+
+
+#: Sites a bare engine run hits (the service-layer sites — submit,
+#: worker_start, result_return — are exercised in tests/test_service.py).
+ENGINE_SITES = ("clause", "dbm_canonicalize", "coverage", "round")
+
 
 class TestInjectedFaults:
-    @pytest.mark.parametrize("site", [s for s in SITES if s != "checkpoint_write"])
+    @pytest.mark.parametrize("site", ENGINE_SITES)
     @pytest.mark.parametrize("at", [1, 3])
     def test_every_site_yields_typed_error_with_partial_model(self, site, at):
         engine = make_engine()

@@ -1,0 +1,287 @@
+"""The supervised worker pool: admission control, worker supervision,
+retry with checkpoint resume, both rungs of the degradation ladder,
+and the circuit breaker — all driven by deterministic fault plans."""
+
+import pytest
+
+from repro.core import DeductiveEngine, parse_program
+from repro.gdb import parse_database
+from repro.runtime.faults import FaultPlan, TransientFaultError
+from repro.service import JobSpec, QueryService, RetryPolicy
+from repro.service.breaker import CircuitBreaker
+from repro.util.errors import (
+    CircuitOpenError,
+    OverloadedError,
+    WorkerDiedError,
+)
+
+EDB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+"""
+
+PROGRAM = """
+problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
+
+
+def run_spec(job_id="job", **kwargs):
+    return JobSpec(job_id, "run", program=PROGRAM, edb=EDB, **kwargs)
+
+
+def service(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("retry", FAST_RETRY)
+    kwargs.setdefault("default_deadline", 30.0)
+    return QueryService(**kwargs)
+
+
+@pytest.fixture
+def baseline_model():
+    return DeductiveEngine(parse_program(PROGRAM), parse_database(EDB)).run()
+
+
+class TestSpecs:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec("x", "nonsense")
+        with pytest.raises(ValueError):
+            JobSpec("", "run")
+
+    def test_program_key_identifies_sources(self):
+        assert run_spec("a").program_key() == run_spec("b").program_key()
+        other = JobSpec("c", "run", program="p(t) <- q(t).", edb=EDB)
+        assert other.program_key() != run_spec("a").program_key()
+
+    def test_from_json_dict(self):
+        spec = JobSpec.from_json_dict(
+            {"kind": "query", "edb": EDB, "query": "course(t1, t2; C)",
+             "deadline_seconds": 5, "window": [0, 60]},
+            default_id="job-9",
+        )
+        assert spec.job_id == "job-9"
+        assert spec.deadline_seconds == 5
+        assert spec.window == (0, 60)
+
+    def test_result_report_fields(self):
+        with service() as svc:
+            result = svc.run_batch([run_spec()])[0]
+        report = result.to_json_dict()
+        for key in ("job_id", "state", "outcome", "attempts", "backend",
+                    "degradation", "resumed", "worker", "error", "stats",
+                    "model"):
+            assert key in report
+        assert report["state"] == "ok"
+        assert report["attempts"] == 1
+        assert report["backend"] == "compiled"
+
+
+class TestAdmission:
+    def test_bounded_queue_sheds_typed(self):
+        with QueryService(workers=0, queue_limit=2) as svc:
+            svc.submit(run_spec("a"))
+            svc.submit(run_spec("b"))
+            with pytest.raises(OverloadedError) as info:
+                svc.submit(run_spec("c"))
+            assert info.value.queue_limit == 2
+            assert svc.stats()["jobs"]["shed"] == 1
+
+    def test_run_batch_converts_shedding_to_rejected_results(self):
+        with QueryService(workers=0, queue_limit=1) as svc:
+            results = svc.run_batch(
+                [run_spec("a", deadline_seconds=0.0), run_spec("b")],
+                timeout=0.2,
+            )
+        assert results[1].state == "rejected"
+        assert results[1].outcome == "overloaded"
+
+    def test_submit_fault_site_is_typed_and_batch_safe(self):
+        plan = FaultPlan.inject("submit", at=1, error=TransientFaultError)
+        with plan.installed():
+            with service() as svc:
+                results = svc.run_batch([run_spec("a"), run_spec("b")])
+        assert results[0].state == "rejected"
+        assert results[1].state == "ok"
+
+
+class TestDeadlines:
+    def test_expired_job_degrades_to_typed_partial(self):
+        with service() as svc:
+            result = svc.run_batch([run_spec(deadline_seconds=0.0)])[0]
+        assert result.state == "partial"
+        assert result.outcome == "budget-exceeded"
+        assert "partial-model" in result.degradation
+
+    def test_deadline_mid_run_returns_partial_model(self):
+        # A round-boundary delay longer than the deadline forces the
+        # engine budget to trip after round 1 committed real tuples.
+        plan = FaultPlan.delay("round", at=2, seconds=0.15)
+        with plan.installed():
+            with service() as svc:
+                result = svc.run_batch([run_spec(deadline_seconds=0.1)])[0]
+        assert result.state == "partial"
+        assert result.outcome == "budget-exceeded"
+        assert "partial-model" in result.degradation
+        assert result.model is not None
+        assert result.stats["rounds"] >= 1
+
+    def test_queued_jobs_expire_without_workers_touching_them(self):
+        # One worker is pinned by a slow job; the queued job's deadline
+        # elapses before any worker frees up — the supervisor resolves
+        # it instead of leaving it hanging.
+        plan = FaultPlan.delay("round", at=1, seconds=0.3)
+        with plan.installed():
+            with service(default_deadline=1.0) as svc:
+                slow = svc.submit(run_spec("slow"))
+                fast = svc.submit(run_spec("fast", deadline_seconds=0.05))
+                result = fast.result(timeout=5.0)
+                assert result.state == "partial"
+                assert result.outcome == "budget-exceeded"
+                assert slow.result(timeout=10.0).state in ("ok", "partial")
+
+
+class TestRetryAndResume:
+    def test_transient_clause_fault_retries_and_resumes(self, baseline_model):
+        plan = FaultPlan.inject("clause", at=4, error=TransientFaultError)
+        with plan.installed():
+            with service() as svc:
+                result = svc.run_batch([run_spec()])[0]
+        assert result.state == "ok"
+        assert result.attempts == 2
+        assert result.resumed is True
+        assert result.stats["resumed_from_round"] >= 1
+        assert result.model.equivalent(baseline_model)
+
+    def test_result_return_fault_is_retried(self, baseline_model):
+        plan = FaultPlan.inject("result_return", at=1, error=TransientFaultError)
+        with plan.installed():
+            with service() as svc:
+                result = svc.run_batch([run_spec()])[0]
+        assert result.state == "ok"
+        assert result.attempts == 2
+        assert result.resumed is True
+        assert result.model.equivalent(baseline_model)
+
+    def test_exhausted_retries_fail_terminally(self):
+        plan = FaultPlan.inject(
+            "clause", at=1, error=TransientFaultError, repeat=True
+        )
+        with plan.installed():
+            with service() as svc:
+                result = svc.run_batch([run_spec()])[0]
+        assert result.state == "failed"
+        assert result.attempts == FAST_RETRY.max_attempts
+
+
+class TestSupervision:
+    def test_worker_death_requeues_and_restarts(self, baseline_model):
+        plan = FaultPlan.inject("worker_start", at=1, error=WorkerDiedError)
+        with plan.installed():
+            with service() as svc:
+                result = svc.run_batch([run_spec()])[0]
+                stats = svc.stats()
+        assert result.state == "ok"
+        assert result.attempts == 2
+        assert result.worker != "worker-1"  # excluded dead worker
+        assert stats["workers"]["restarts"] >= 1
+        assert stats["jobs"]["requeues"] >= 1
+        assert result.model.equivalent(baseline_model)
+
+    def test_repeated_deaths_exhaust_attempts(self):
+        plan = FaultPlan.inject(
+            "worker_start", at=1, error=WorkerDiedError, repeat=True
+        )
+        with plan.installed():
+            with service(default_deadline=5.0) as svc:
+                result = svc.run_batch([run_spec()], timeout=30.0)[0]
+        assert result.state in ("failed", "partial")
+        assert result.terminal()
+
+
+class TestDegradationLadder:
+    def test_compiled_crash_degrades_to_reference(self, baseline_model):
+        # A permanent (non-transient) crash in the compiled evaluator:
+        # rung one retries the job on the reference backend, which does
+        # not hit the already-consumed fault.
+        plan = FaultPlan.inject("clause", at=1, error=RuntimeError)
+        with plan.installed():
+            with service() as svc:
+                result = svc.run_batch([run_spec()])[0]
+        assert result.state == "ok"
+        assert result.backend == "reference"
+        assert "reference-backend" in result.degradation
+        assert result.model.equivalent(baseline_model)
+
+    def test_parse_error_fails_fast_without_degrading(self):
+        spec = JobSpec("bad", "run", program="this is not a program", edb=EDB)
+        with service() as svc:
+            result = svc.run_batch([spec])[0]
+        assert result.state == "failed"
+        assert result.attempts == 1
+        assert result.degradation == []
+
+
+class TestCircuitBreaker:
+    def test_terminal_failures_open_the_circuit(self):
+        bad = JobSpec("bad-1", "run", program="not a program", edb=EDB)
+        bad2 = JobSpec("bad-2", "run", program="not a program", edb=EDB)
+        with service(
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_seconds=60.0)
+        ) as svc:
+            first = svc.run_batch([bad])[0]
+            assert first.state == "failed"
+            with pytest.raises(CircuitOpenError):
+                svc.submit(bad2)
+            assert svc.stats()["jobs"]["breaker_rejections"] == 1
+            assert svc.health()["status"] == "degraded"
+            assert svc.health()["open_circuits"]
+
+    def test_queued_job_rejected_when_circuit_opens_mid_flight(self):
+        bad = [
+            JobSpec("bad-%d" % i, "run", program="not a program", edb=EDB)
+            for i in range(2)
+        ]
+        with service(
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_seconds=60.0)
+        ) as svc:
+            results = svc.run_batch(bad, timeout=30.0)
+        assert results[0].state in ("failed", "rejected")
+        assert results[1].state == "rejected"
+        assert "circuit-open" in (results[0].outcome, results[1].outcome) or (
+            results[1].outcome in ("circuit-open", "overloaded")
+        )
+
+
+class TestObservability:
+    def test_stats_and_health_snapshot(self):
+        with service(workers=2) as svc:
+            results = svc.run_batch([run_spec("s%d" % i) for i in range(5)])
+            stats = svc.stats()
+            health = svc.health()
+        assert all(result.state == "ok" for result in results)
+        assert stats["jobs"]["submitted"] == 5
+        assert stats["jobs"]["completed"] == 5
+        assert stats["jobs"]["ok"] == 5
+        assert stats["queue"]["limit"] == 64
+        assert health["status"] == "ok"
+        assert health["open_circuits"] == []
+
+    def test_mixed_kinds_in_one_batch(self):
+        specs = [
+            run_spec("r"),
+            JobSpec("q", "query", edb=EDB, query="exists t2 (course(t1, t2; C))"),
+            JobSpec("d", "datalog1s",
+                    program="train(5; a).\ntrain(t + 40; a) <- train(t; a).\n"),
+            JobSpec("t", "templog",
+                    program="next^5 go.\nalways (next^40 go <- go).\n"),
+        ]
+        with service(workers=2) as svc:
+            results = svc.run_batch(specs)
+        assert [r.state for r in results] == ["ok"] * 4
+        assert [r.backend for r in results] == [
+            "compiled", "fo", "closed-form", "closed-form"
+        ]

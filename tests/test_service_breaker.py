@@ -1,0 +1,106 @@
+"""Circuit breaker: closed → open → half-open → closed/open
+transitions, driven by an injectable clock so no test sleeps."""
+
+import pytest
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.util.errors import CircuitOpenError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_seconds=10.0, clock=clock)
+
+
+class TestTransitions:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state("p") == CLOSED
+        breaker.check("p")  # no raise
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure("p")
+        assert breaker.state("p") == CLOSED
+        breaker.record_failure("p")
+        assert breaker.state("p") == OPEN
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check("p")
+        assert info.value.program_key == "p"
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure("p")
+        breaker.record_failure("p")
+        breaker.record_success("p")
+        breaker.record_failure("p")
+        breaker.record_failure("p")
+        assert breaker.state("p") == CLOSED
+
+    def test_keys_are_independent(self, breaker):
+        for _ in range(3):
+            breaker.record_failure("p")
+        breaker.check("q")  # other program unaffected
+        assert breaker.state("q") == CLOSED
+
+    def test_half_open_after_cooldown_admits_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("p")
+        clock.advance(9.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.check("p")
+        clock.advance(0.2)
+        breaker.check("p")  # the probe
+        assert breaker.state("p") == HALF_OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.check("p")  # concurrent admission during the probe
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("p")
+        clock.advance(10.1)
+        breaker.check("p")
+        breaker.record_success("p")
+        assert breaker.state("p") == CLOSED
+        breaker.check("p")  # normal admission again
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("p")
+        clock.advance(10.1)
+        breaker.check("p")
+        breaker.record_failure("p")
+        assert breaker.state("p") == OPEN
+        clock.advance(9.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.check("p")
+        clock.advance(0.2)
+        breaker.check("p")  # next probe admitted
+
+    def test_snapshot_reports_unhealthy_keys_only(self, breaker):
+        breaker.record_failure("p")
+        for _ in range(3):
+            breaker.record_failure("q")
+        breaker.record_success("r")
+        snapshot = breaker.snapshot()
+        assert snapshot["p"] == {"state": CLOSED, "failures": 1}
+        assert snapshot["q"]["state"] == OPEN
+        assert "r" not in snapshot
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)

@@ -1,0 +1,86 @@
+"""The ISSUE acceptance scenario: a 50-job batch under a fault plan
+that kills a worker and sprinkles transient clause faults must
+terminate within its deadline with every job in a terminal state —
+each one either a model ``equivalent()`` to the fault-free run or a
+typed partial/failed result — and with retries resuming from
+checkpoints rather than restarting from round 0."""
+
+from repro.core import DeductiveEngine, parse_program
+from repro.gdb import parse_database
+from repro.runtime.faults import FaultPlan, TransientFaultError
+from repro.service import (
+    JobSpec,
+    QueryService,
+    RetryPolicy,
+    STATE_OK,
+    TERMINAL_STATES,
+)
+from repro.util.errors import WorkerDiedError
+
+EDB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+"""
+
+PROGRAM = """
+problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+JOBS = 50
+
+#: One healthy run makes ~9 clause hits over 8 rounds (2 in the naive
+#: first round, before the first checkpoint exists).  Firing every 61st
+#: hit from hit 20 scatters ~8 transient faults across the batch's
+#: ~450 hits, almost surely past some job's first checkpoint.
+FAULT_PLAN = FaultPlan.inject(
+    "worker_start", at=3, error=WorkerDiedError
+).and_inject("clause", at=20, error=TransientFaultError, every=61)
+
+
+def test_fifty_job_batch_survives_faults():
+    baseline = DeductiveEngine(parse_program(PROGRAM), parse_database(EDB)).run()
+    specs = [
+        JobSpec("stress-%02d" % i, "run", program=PROGRAM, edb=EDB)
+        for i in range(JOBS)
+    ]
+    retry = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
+    with FAULT_PLAN.installed():
+        with QueryService(
+            workers=4, queue_limit=JOBS, retry=retry, default_deadline=30.0
+        ) as svc:
+            results = svc.run_batch(specs, timeout=120.0)
+            stats = svc.stats()
+
+    # Every job reached a terminal state; nothing hung or vanished.
+    assert len(results) == JOBS
+    assert all(result.terminal() for result in results)
+    assert all(result.state in TERMINAL_STATES for result in results)
+    by_id = {result.job_id: result for result in results}
+    assert sorted(by_id) == sorted(spec.job_id for spec in specs)
+
+    # Jobs that completed produced the fault-free model; the rest are
+    # typed partial/failed results, never silent corruption.
+    ok = [result for result in results if result.state == STATE_OK]
+    assert len(ok) >= JOBS - 5
+    assert all(result.model.equivalent(baseline) for result in ok)
+    for result in results:
+        if result.state != STATE_OK:
+            assert result.outcome
+            assert result.error or result.model is not None
+
+    # The injected faults actually bit: the killed worker's job was
+    # requeued and the transient clause faults forced retries that
+    # resumed from a checkpoint instead of round 0.
+    retried = [result for result in results if result.attempts > 1]
+    assert retried
+    resumed = [
+        result
+        for result in results
+        if result.resumed and result.stats.get("resumed_from_round", 0) >= 1
+    ]
+    assert resumed
+    assert stats["workers"]["restarts"] >= 1
+    assert stats["jobs"]["requeues"] >= 1
+    assert stats["jobs"]["completed"] == JOBS
