@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -151,23 +152,26 @@ def _signature_from_json(payload):
 
 
 #: Filename pattern of the temporary files :func:`write_checkpoint`
-#: stages writes through (``<path>.tmp.<pid>``).
-_TMP_SUFFIX_RE = re.compile(r"\.tmp(\.\d+)?$")
+#: stages writes through (``<path>.tmp.<pid>.<tid>``).
+_TMP_SUFFIX_RE = re.compile(r"\.tmp(\.\d+)*$")
 
 
 def write_checkpoint(path, checkpoint):
     """Atomically and durably persist a checkpoint to ``path`` as JSON.
 
-    The payload is staged to ``<path>.tmp.<pid>``, fsynced, and moved
-    into place with :func:`os.replace`; the containing directory is
-    then fsynced so the rename itself survives a crash.  A crash at any
-    point leaves either the previous checkpoint or the new one — never
-    a torn file — at ``path``; at worst a leftover ``*.tmp.*`` file
-    remains, which :func:`load_checkpoint` refuses to load.
+    The payload is staged to ``<path>.tmp.<pid>.<tid>``, fsynced, and
+    moved into place with :func:`os.replace`; the containing directory
+    is then fsynced so the rename itself survives a crash.  A crash at
+    any point leaves either the previous checkpoint or the new one —
+    never a torn file — at ``path``; at worst a leftover ``*.tmp.*``
+    file remains, which :func:`load_checkpoint` refuses to load.  The
+    staging name includes both pid and thread id so concurrent writers
+    of the same path (e.g. an abandoned worker racing its replacement)
+    can never unlink or rename each other's staging file.
     """
     fault_point("checkpoint_write")
     payload = json.dumps(checkpoint.to_json_dict(), indent=None, sort_keys=False)
-    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    tmp_path = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
     try:
         with open(tmp_path, "w") as handle:
             handle.write(payload)

@@ -33,13 +33,14 @@ HALF_OPEN = "half-open"
 
 
 class _Circuit:
-    __slots__ = ("state", "failures", "opened_at", "probing")
+    __slots__ = ("state", "failures", "opened_at", "probing", "probe_token")
 
     def __init__(self):
         self.state = CLOSED
         self.failures = 0
         self.opened_at = None
         self.probing = False
+        self.probe_token = None
 
 
 class CircuitBreaker:
@@ -60,13 +61,20 @@ class CircuitBreaker:
             circuit = self._circuits[key] = _Circuit()
         return circuit
 
-    def check(self, key):
+    def check(self, key, token=None):
         """Admit or reject work for ``key``.
 
         Raises :class:`CircuitOpenError` when the breaker is open and
         cooling down.  When the cooldown has elapsed the breaker moves
         to half-open and admits exactly one probe; concurrent callers
         during the probe are rejected.
+
+        ``token`` identifies the probe holder so the same admission can
+        be re-checked along the pipeline (submit → worker pickup)
+        without rejecting itself: the holder of the probe slot is
+        always admitted again; release the slot with
+        :meth:`release_probe` if the probe terminates without a
+        success/failure record.
         """
         with self._lock:
             circuit = self._circuit(key)
@@ -82,13 +90,33 @@ class CircuitBreaker:
                     )
                 circuit.state = HALF_OPEN
                 circuit.probing = False
-            # Half-open: admit a single probe.
+                circuit.probe_token = None
+            # Half-open: admit a single probe (idempotently for its
+            # holder, so a second check on the same token passes).
             if circuit.probing:
+                if token is not None and circuit.probe_token is token:
+                    return
                 raise CircuitOpenError(
                     "circuit half-open for program %s (probe in flight)" % key,
                     program_key=key,
                 )
             circuit.probing = True
+            circuit.probe_token = token
+
+    def release_probe(self, key, token):
+        """Give the half-open probe slot back without recording an
+        outcome — the probe admitted under ``token`` never actually
+        evaluated (e.g. it was shed or expired while queued)."""
+        with self._lock:
+            circuit = self._circuits.get(key)
+            if (
+                circuit is not None
+                and circuit.state == HALF_OPEN
+                and circuit.probing
+                and circuit.probe_token is token
+            ):
+                circuit.probing = False
+                circuit.probe_token = None
 
     def record_success(self, key):
         """A job for ``key`` reached a healthy terminal state."""
@@ -98,6 +126,7 @@ class CircuitBreaker:
             circuit.failures = 0
             circuit.opened_at = None
             circuit.probing = False
+            circuit.probe_token = None
 
     def record_failure(self, key):
         """A job for ``key`` failed terminally."""
@@ -107,6 +136,7 @@ class CircuitBreaker:
                 circuit.state = OPEN
                 circuit.opened_at = self._clock()
                 circuit.probing = False
+                circuit.probe_token = None
                 return
             circuit.failures += 1
             if circuit.failures >= self.failure_threshold:

@@ -264,9 +264,10 @@ class QueryService:
             self._supervisor.start()
 
     def _spawn_worker(self):
-        self._worker_seq += 1
-        worker = _Worker("worker-%d" % self._worker_seq, self)
-        self._workers.append(worker)
+        with self._cond:
+            self._worker_seq += 1
+            worker = _Worker("worker-%d" % self._worker_seq, self)
+            self._workers.append(worker)
         worker.thread.start()
         return worker
 
@@ -275,7 +276,8 @@ class QueryService:
         with self._cond:
             self._stopping = True
             self._cond.notify_all()
-        for worker in list(self._workers):
+            workers = list(self._workers)
+        for worker in workers:
             if worker.thread.is_alive() and not worker.abandoned:
                 worker.thread.join(timeout=30.0)
         if self._supervisor is not None:
@@ -300,25 +302,35 @@ class QueryService:
         open, and propagates any ``submit``-site injected fault.
         """
         fault_point("submit")
-        if self._stopping:
-            raise ServiceError("service is shutting down")
+        key = spec.program_key()
+        job = _Job(spec, self._clock(), self.default_deadline)
         try:
-            self.breaker.check(spec.program_key())
+            # The job itself is the probe token: when this admission is
+            # the half-open probe, the worker-side re-check in
+            # _process() admits the same token instead of rejecting its
+            # own probe (which would wedge the breaker half-open).
+            self.breaker.check(key, token=job)
         except CircuitOpenError:
             self._count("breaker_rejections")
             raise
-        with self._cond:
-            if len(self._queue) >= self.queue_limit:
+        try:
+            with self._cond:
+                if self._stopping:
+                    raise ServiceError("service is shutting down")
+                if len(self._queue) >= self.queue_limit:
+                    raise OverloadedError(
+                        "admission queue full (%d jobs queued, limit %d)"
+                        % (len(self._queue), self.queue_limit),
+                        queue_limit=self.queue_limit,
+                    )
+                self._queue.append(job)
+                self._cond.notify()
+        except ReproError as error:
+            if isinstance(error, OverloadedError):
                 self._count("shed")
-                raise OverloadedError(
-                    "admission queue full (%d jobs queued, limit %d)"
-                    % (len(self._queue), self.queue_limit),
-                    queue_limit=self.queue_limit,
-                )
-            job = _Job(spec, self._clock(), self.default_deadline)
-            self._queue.append(job)
-            self._count("submitted")
-            self._cond.notify()
+            self.breaker.release_probe(key, job)
+            raise
+        self._count("submitted")
         return job.handle
 
     def run_batch(self, specs, timeout=None):
@@ -386,7 +398,8 @@ class QueryService:
             counters = dict(self._stats)
         with self._cond:
             depth = len(self._queue)
-        alive = sum(1 for worker in self._workers if worker.alive())
+            workers = list(self._workers)
+        alive = sum(1 for worker in workers if worker.alive())
         return {
             "workers": {
                 "configured": self.configured_workers,
@@ -512,7 +525,12 @@ class QueryService:
             job.attempts += 1
             raise
         try:
-            self.breaker.check(job.spec.program_key())
+            # Re-check with the job as probe token: if this job holds
+            # the half-open probe slot it claimed at submit time, the
+            # breaker admits it again instead of rejecting its own
+            # probe.  Only a trip that happened *after* admission (other
+            # jobs for the key failing while this one queued) rejects.
+            self.breaker.check(job.spec.program_key(), token=job)
         except CircuitOpenError as error:
             self._count("breaker_rejections")
             self._finish(
@@ -590,6 +608,11 @@ class QueryService:
         with job.lock:
             if job.handle.done():
                 return
+            if worker is not None and job.owner is not worker:
+                # The supervisor reassigned this job (the worker was
+                # abandoned as hung); the stale attempt's result must
+                # not beat the requeued one.
+                return
             result.elapsed_seconds = self._clock() - job.submitted_at
             result.worker = None if worker is None else worker.name
             job.handle._resolve(result)
@@ -597,12 +620,16 @@ class QueryService:
         self._count(result.state)
         if result.resumed:
             self._count("resumed")
+        key = job.spec.program_key()
         if record_breaker:
-            key = job.spec.program_key()
             if result.state == STATE_FAILED:
                 self.breaker.record_failure(key)
             else:
                 self.breaker.record_success(key)
+        else:
+            # No outcome recorded: if this job held the half-open probe
+            # slot, hand it back so the next submission can probe.
+            self.breaker.release_probe(key, job)
 
     def _finish_outcome(self, job, worker, outcome):
         job.resumed = job.resumed or outcome.resumed
@@ -654,6 +681,10 @@ class QueryService:
                 error=error_summary(outcome_error),
                 resumed=job.resumed,
             ),
+            # A job that expired without ever being evaluated says
+            # nothing about the program's health — recording it as a
+            # breaker success would mask trips under load.
+            record_breaker=job.attempts > 0,
         )
 
     def _finish_failure(self, job, worker, error):
@@ -705,11 +736,15 @@ class QueryService:
             time.sleep(self.supervise_interval)
 
     def _check_workers(self):
-        for worker in list(self._workers):
+        with self._cond:
+            workers = list(self._workers)
+        for worker in workers:
             if worker.abandoned:
                 continue
             if worker.dead or not worker.thread.is_alive():
-                self._workers.remove(worker)
+                with self._cond:
+                    if worker in self._workers:
+                        self._workers.remove(worker)
                 self._recover_orphan(worker)
                 self._restart_worker()
                 continue

@@ -4,6 +4,7 @@ the same canonical model and the same stats (modulo timings)."""
 
 import json
 import shutil
+import threading
 
 import pytest
 
@@ -187,14 +188,40 @@ class TestDurability:
 
     def test_leftover_tmp_path_is_refused(self, tmp_path):
         # A crash between the staged write and os.replace leaves
-        # <path>.tmp.<pid> behind; loading it must fail cleanly even if
-        # its contents happen to be valid JSON.
-        for name in ("ck.json.tmp", "ck.json.tmp.12345"):
+        # <path>.tmp.<pid>.<tid> behind; loading it must fail cleanly
+        # even if its contents happen to be valid JSON.
+        for name in ("ck.json.tmp", "ck.json.tmp.12345", "ck.json.tmp.12345.678"):
             torn = tmp_path / name
             torn.write_text(json.dumps({"format": "repro-checkpoint"}))
             with pytest.raises(CheckpointError) as info:
                 load_checkpoint(str(torn))
             assert "temporary" in str(info.value)
+
+    def test_concurrent_writers_to_one_path_never_collide(self, tmp_path):
+        # Two threads writing the same checkpoint path (an abandoned
+        # worker racing its replacement) stage through distinct temp
+        # files, so neither can unlink or rename the other's staging
+        # file out from under it.
+        path = str(tmp_path / "ck.json")
+        checkpoint = self.make_checkpoint()
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(25):
+                    write_checkpoint(path, checkpoint)
+            except Exception as error:  # pragma: no cover - the bug
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert load_checkpoint(path).rounds_in_stratum == 1
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "ck.json"]
+        assert leftovers == []
 
     def test_committed_file_unreadable_mid_write_never_torn(self, tmp_path):
         # Simulate the crash: stage a temp file but never rename it.

@@ -29,6 +29,19 @@ problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
 FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
 
 
+class FakeClock:
+    """Injectable breaker clock so cooldown tests never sleep."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
 def run_spec(job_id="job", **kwargs):
     return JobSpec(job_id, "run", program=PROGRAM, edb=EDB, **kwargs)
 
@@ -239,6 +252,56 @@ class TestCircuitBreaker:
             assert svc.stats()["jobs"]["breaker_rejections"] == 1
             assert svc.health()["status"] == "degraded"
             assert svc.health()["open_circuits"]
+
+    def test_breaker_closes_after_cooldown_when_program_recovers(self):
+        # The service-path regression: the probe claimed at submit time
+        # must survive the worker-side re-check — a probe that rejects
+        # itself would wedge the breaker half-open forever.
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=60.0, clock=clock
+        )
+        plan = FaultPlan.inject(
+            "clause", at=1, error=TransientFaultError, repeat=True
+        )
+        with service(breaker=breaker) as svc:
+            with plan.installed():
+                sick = svc.run_batch([run_spec("sick")], timeout=30.0)[0]
+            assert sick.state == "failed"
+            with pytest.raises(CircuitOpenError):
+                svc.submit(run_spec("rejected-while-open"))
+            clock.advance(61.0)
+            probe = svc.run_batch([run_spec("probe")], timeout=30.0)[0]
+            assert probe.state == "ok"
+            key = run_spec("x").program_key()
+            assert svc.breaker.state(key) == "closed"
+            assert svc.run_batch([run_spec("after")])[0].state == "ok"
+
+    def test_queued_expiry_does_not_reset_breaker_failures(self):
+        # A job that expires while still queued (attempts == 0) says
+        # nothing about its program's health; recording it as a breaker
+        # success would reset the consecutive-failure count.
+        key = run_spec("x").program_key()
+        pinning = JobSpec(
+            "pinning", "run", program=PROGRAM + "\n", edb=EDB
+        )  # distinct program text -> its own breaker key
+        plan = FaultPlan.delay("round", at=1, seconds=0.3)
+        with plan.installed():
+            with service(
+                default_deadline=5.0,
+                breaker=CircuitBreaker(
+                    failure_threshold=2, cooldown_seconds=60.0
+                ),
+            ) as svc:
+                svc.breaker.record_failure(key)
+                slow = svc.submit(pinning)
+                fast = svc.submit(run_spec("fast", deadline_seconds=0.05))
+                result = fast.result(timeout=5.0)
+                assert result.state == "partial"
+                assert result.attempts == 0
+                svc.breaker.record_failure(key)
+                assert svc.breaker.state(key) == "open"
+                slow.result(timeout=10.0)
 
     def test_queued_job_rejected_when_circuit_opens_mid_flight(self):
         bad = [

@@ -104,3 +104,40 @@ class TestTransitions:
     def test_validation(self):
         with pytest.raises(ValueError):
             CircuitBreaker(failure_threshold=0)
+
+
+class TestProbeToken:
+    """The half-open probe slot is held by a token so the same
+    admission can be re-checked along the service pipeline (submit →
+    worker pickup) without rejecting itself."""
+
+    def trip(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure("p")
+        clock.advance(10.1)
+
+    def test_probe_holder_recheck_is_idempotent(self, breaker, clock):
+        self.trip(breaker, clock)
+        token = object()
+        breaker.check("p", token=token)  # claims the probe slot
+        breaker.check("p", token=token)  # same admission, checked again
+        with pytest.raises(CircuitOpenError):
+            breaker.check("p", token=object())  # a different admission
+        breaker.record_success("p")
+        assert breaker.state("p") == CLOSED
+
+    def test_release_probe_frees_the_slot(self, breaker, clock):
+        self.trip(breaker, clock)
+        token = object()
+        breaker.check("p", token=token)
+        breaker.release_probe("p", token)
+        breaker.check("p", token=object())  # next probe admitted
+
+    def test_release_probe_ignores_non_holders(self, breaker, clock):
+        self.trip(breaker, clock)
+        token = object()
+        breaker.check("p", token=token)
+        breaker.release_probe("p", object())  # not the holder: no-op
+        breaker.release_probe("q", token)  # unseen key: no-op
+        with pytest.raises(CircuitOpenError):
+            breaker.check("p", token=object())
