@@ -24,6 +24,8 @@ import sys
 import time
 
 from repro.core import DeductiveEngine
+from repro.obs import ProfileCollector
+from repro.util import hooks
 
 from workloads import example_41, shift_cycle_workload
 
@@ -73,6 +75,23 @@ def _workload(name, program, edb, strategy):
     return results
 
 
+def _profile(program, edb, strategy):
+    """One instrumented run: the per-operator aggregates (time and
+    input/output cardinalities) of the compiled backend."""
+    collector = ProfileCollector()
+    engine = DeductiveEngine(program, edb, strategy=strategy)
+    with hooks.subscribed(collector):
+        model = engine.run()
+    return {
+        "operators": collector.table(),
+        "derived_per_round": {
+            str(round_no): count
+            for round_no, count in sorted(collector.derived_per_round().items())
+        },
+        "rounds": model.stats.rounds,
+    }
+
+
 def run(quick=False):
     """The full benchmark payload (a JSON-safe dict)."""
     e14_classes = 12 if quick else 48
@@ -81,6 +100,10 @@ def run(quick=False):
         "quick": quick,
         "e1_example41_naive": _workload("e1", program, edb, "naive"),
         "e6_example41_seminaive": _workload("e6", program, edb, "semi-naive"),
+        "profile_example41": {
+            "naive": _profile(program, edb, "naive"),
+            "semi-naive": _profile(program, edb, "semi-naive"),
+        },
     }
     program, edb = shift_cycle_workload(e14_classes, 1)
     payload["e14_shift_cycle"] = {
@@ -88,6 +111,7 @@ def run(quick=False):
         "naive": _workload("e14-naive", program, edb, "naive"),
         "semi-naive": _workload("e14-semi", program, edb, "semi-naive"),
     }
+    payload["e14_profile"] = _profile(program, edb, "semi-naive")
     return payload
 
 
@@ -128,6 +152,31 @@ def _print_summary(payload):
     e14 = payload["e14_shift_cycle"]
     row("e14 %d classes naive" % e14["classes"], e14["naive"])
     row("e14 %d classes semi-naive" % e14["classes"], e14["semi-naive"])
+    _print_profile(payload)
+
+
+def _print_profile(payload, top=5):
+    """The costliest plan operators of the E14 instrumented run."""
+    profile = payload.get("e14_profile")
+    if not profile:
+        return
+    print("E14 per-operator profile (top %d by time, semi-naive)" % top)
+    print(
+        "%12s %10s %6s %8s %8s %10s"
+        % ("op", "variant", "calls", "in", "out", "seconds")
+    )
+    for entry in profile["operators"][:top]:
+        print(
+            "%12s %10s %6d %8d %8d %10.6f"
+            % (
+                entry["op"],
+                entry["variant"],
+                entry["invocations"],
+                entry["input_tuples"],
+                entry["output_tuples"],
+                entry["seconds"],
+            )
+        )
 
 
 def main(argv=None):

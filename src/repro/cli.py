@@ -34,7 +34,13 @@ introspection and service commands:
 ``serve``
     The same service as a line-oriented loop: read one JSON job per
     input line, emit one JSON result line per job; a ``health`` line
-    answers with the service health snapshot.
+    answers with the service health snapshot and a ``metrics`` line
+    with a Prometheus-style text exposition of the service metrics.
+
+Observability: ``run``/``query``/``datalog1s``/``templog`` accept
+``--trace FILE`` (JSONL span trace of the evaluation), ``explain``
+accepts ``--profile`` (per-operator time and cardinalities from a
+real run), and ``batch --json`` reports the service metrics registry.
 
 Exit codes are stable for machine consumers:
 
@@ -175,6 +181,39 @@ def _budget_from_args(args):
     return budget if budget.limited() else None
 
 
+def _add_trace(parser):
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL span trace of the evaluation (engine rounds, "
+        "plan operators, checkpoint writes, budget charges) to FILE",
+    )
+
+
+def _tracing(args):
+    """Context manager subscribing a :class:`TraceRecorder` writing to
+    ``args.trace`` for the duration of the evaluation; a no-op when the
+    flag is absent."""
+    import contextlib
+
+    path = getattr(args, "trace", None)
+    if not path:
+        return contextlib.nullcontext()
+    from repro.obs import TraceRecorder
+    from repro.util import hooks
+
+    @contextlib.contextmanager
+    def _subscribed():
+        recorder = TraceRecorder(path=path, keep=False)
+        try:
+            with hooks.subscribed(recorder):
+                yield recorder
+        finally:
+            recorder.close()
+
+    return _subscribed()
+
+
 def _emit_json(report, out):
     json.dump(report, out, indent=2, sort_keys=False)
     print(file=out)
@@ -203,26 +242,37 @@ def _cmd_run(args, out):
         if args.checkpoint is None:
             raise _UsageError("--checkpoint-every requires --checkpoint PATH")
     outcome, code, model, error = "ok", EXIT_OK, None, None
-    try:
-        model = engine.run(
-            budget=_budget_from_args(args),
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_path=args.checkpoint,
-            resume_from=args.resume_from,
-        )
-        if model.stats.gave_up:
-            outcome, code = "gave-up", EXIT_PARTIAL
-    except GiveUpError as err:
-        outcome, code, model, error = "gave-up", EXIT_PARTIAL, err.partial_model, err
-    except BudgetExceededError as err:
-        outcome, code, model, error = (
-            "budget-exceeded",
-            EXIT_BUDGET,
-            err.partial_model,
-            err,
-        )
-    except EvaluationAbortedError as err:
-        outcome, code, model, error = "aborted", EXIT_ERROR, err.partial_model, err
+    with _tracing(args):
+        try:
+            model = engine.run(
+                budget=_budget_from_args(args),
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint,
+                resume_from=args.resume_from,
+            )
+            if model.stats.gave_up:
+                outcome, code = "gave-up", EXIT_PARTIAL
+        except GiveUpError as err:
+            outcome, code, model, error = (
+                "gave-up",
+                EXIT_PARTIAL,
+                err.partial_model,
+                err,
+            )
+        except BudgetExceededError as err:
+            outcome, code, model, error = (
+                "budget-exceeded",
+                EXIT_BUDGET,
+                err.partial_model,
+                err,
+            )
+        except EvaluationAbortedError as err:
+            outcome, code, model, error = (
+                "aborted",
+                EXIT_ERROR,
+                err.partial_model,
+                err,
+            )
 
     window = tuple(args.window) if args.window else None
     if args.json:
@@ -278,6 +328,73 @@ def _cmd_run(args, out):
     return code
 
 
+def _profile_run(program, edb, strategy):
+    """Execute the program once with a :class:`ProfileCollector`
+    subscribed; the per-operator aggregates (time + cardinalities)
+    drive ``explain --profile``."""
+    from repro.obs import ProfileCollector
+    from repro.util import hooks
+
+    collector = ProfileCollector()
+    engine = DeductiveEngine(program, edb, strategy=strategy, on_give_up="partial")
+    with hooks.subscribed(collector):
+        model = engine.run()
+    return collector, model
+
+
+def _profile_payload(collector, model):
+    return {
+        "operators": collector.table(),
+        "derived_per_round": {
+            str(round_no): count
+            for round_no, count in sorted(collector.derived_per_round().items())
+        },
+        "stats": model.stats.to_dict(),
+    }
+
+
+def _print_profile(collector, model, out):
+    stats = model.stats
+    print(
+        "%% profile: %d rounds, %.3fs, derived per round: %s"
+        % (
+            stats.rounds,
+            stats.elapsed_seconds,
+            [collector.derived_per_round().get(r, 0) for r in range(1, stats.rounds + 1)],
+        ),
+        file=out,
+    )
+    header = "%-10s %-9s %4s %5s %8s %8s %9s  %s" % (
+        "op",
+        "variant",
+        "step",
+        "calls",
+        "in",
+        "out",
+        "seconds",
+        "clause",
+    )
+    print(header, file=out)
+    for row in collector.table():
+        clause = row["clause"] or "?"
+        if len(clause) > 48:
+            clause = clause[:45] + "..."
+        print(
+            "%-10s %-9s %4d %5d %8d %8d %9.6f  %s"
+            % (
+                row["op"] + ("(%s)" % row["predicate"] if row["predicate"] else ""),
+                row["variant"],
+                row["step"],
+                row["invocations"],
+                row["input_tuples"],
+                row["output_tuples"],
+                row["seconds"],
+                clause,
+            ),
+            file=out,
+        )
+
+
 def _cmd_explain(args, out):
     from repro.core.evaluation import ProgramEvaluator
     from repro.plan.explain import format_program_plans, plan_fingerprint
@@ -287,27 +404,36 @@ def _cmd_explain(args, out):
     evaluator = ProgramEvaluator(program, edb)
     rendering = format_program_plans(evaluator.plans)
     fingerprint = plan_fingerprint(evaluator.plans)
+    profile = None
+    if args.profile:
+        collector, model = _profile_run(program, edb, args.strategy)
+        profile = (collector, model)
     if args.json:
-        _emit_json(
-            {
-                "command": "explain",
-                "outcome": "ok",
-                "exit_code": EXIT_OK,
-                "plan_fingerprint": fingerprint,
-                "plans": rendering,
-            },
-            out,
-        )
+        report = {
+            "command": "explain",
+            "outcome": "ok",
+            "exit_code": EXIT_OK,
+            "plan_fingerprint": fingerprint,
+            "plans": rendering,
+        }
+        if profile is not None:
+            report["profile"] = _profile_payload(*profile)
+        _emit_json(report, out)
         return EXIT_OK
     print(rendering, file=out)
     print("%% plan fingerprint: %s" % fingerprint, file=out)
+    if profile is not None:
+        _print_profile(*profile, out)
     return EXIT_OK
 
 
 def _cmd_query(args, out):
     edb = parse_database(_read(args.database))
     try:
-        answers = evaluate_query(edb, args.formula, budget=_budget_from_args(args))
+        with _tracing(args):
+            answers = evaluate_query(
+                edb, args.formula, budget=_budget_from_args(args)
+            )
     except BudgetExceededError as err:
         if args.json:
             _emit_json(
@@ -356,15 +482,16 @@ def _periodic_model_command(command, parse, evaluate):
     def handler(args, out):
         program = parse(_read(args.program))
         outcome, code, model, error = "ok", EXIT_OK, None, None
-        try:
-            model = evaluate(program, budget=_budget_from_args(args))
-        except BudgetExceededError as err:
-            outcome, code, model, error = (
-                "budget-exceeded",
-                EXIT_BUDGET,
-                err.partial_model,
-                err,
-            )
+        with _tracing(args):
+            try:
+                model = evaluate(program, budget=_budget_from_args(args))
+            except BudgetExceededError as err:
+                outcome, code, model, error = (
+                    "budget-exceeded",
+                    EXIT_BUDGET,
+                    err.partial_model,
+                    err,
+                )
         if args.json:
             _emit_json(
                 {
@@ -508,6 +635,7 @@ def _cmd_batch(args, out):
             results = service.run_batch(specs, timeout=args.batch_timeout)
             stats = service.stats()
             health = service.health()
+            metrics = service.metrics.to_dict()
     code = _batch_exit_code(results)
     if args.json:
         _emit_json(
@@ -518,6 +646,7 @@ def _cmd_batch(args, out):
                 "jobs": [result.to_json_dict() for result in results],
                 "service": stats,
                 "health": health,
+                "metrics": metrics,
             },
             out,
         )
@@ -560,6 +689,13 @@ def _installed_or_noop(plan):
     return plan.installed() if plan is not None else contextlib.nullcontext()
 
 
+def _emit_metrics(service, out):
+    """The ``metrics`` op of the serve protocol: raw Prometheus-style
+    text exposition (not a JSON line — scrapers consume it verbatim)."""
+    out.write(service.metrics_text())
+    out.flush()
+
+
 def _cmd_serve(args, out):
     plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
     if args.input is not None:
@@ -594,10 +730,16 @@ def _cmd_serve(args, out):
                     if line in ("health", '"health"') or line == '{"op": "health"}':
                         _emit_json_line(service.health(), out)
                         continue
+                    if line in ("metrics", '"metrics"') or line == '{"op": "metrics"}':
+                        _emit_metrics(service, out)
+                        continue
                     try:
                         payload = json.loads(line)
                         if isinstance(payload, dict) and payload.get("op") == "health":
                             _emit_json_line(service.health(), out)
+                            continue
+                        if isinstance(payload, dict) and payload.get("op") == "metrics":
+                            _emit_metrics(service, out)
                             continue
                         spec = JobSpec.from_json_dict(
                             _resolve_job_files(payload, base_dir),
@@ -682,6 +824,7 @@ def build_parser():
     _add_budget(run)
     _add_json(run)
     _add_window(run)
+    _add_trace(run)
     run.set_defaults(handler=_cmd_run)
 
     explain = commands.add_parser(
@@ -690,6 +833,18 @@ def build_parser():
     )
     explain.add_argument("program", help="deductive program file")
     explain.add_argument("--edb", required=True, help="generalized database file")
+    explain.add_argument(
+        "--profile",
+        action="store_true",
+        help="execute the program once and report per-operator time and "
+        "input/output cardinalities alongside the plans",
+    )
+    explain.add_argument(
+        "--strategy",
+        choices=("naive", "semi-naive"),
+        default="semi-naive",
+        help="evaluation strategy for the --profile run",
+    )
     _add_json(explain)
     explain.set_defaults(handler=_cmd_explain)
 
@@ -699,6 +854,7 @@ def build_parser():
     _add_deadline(query)
     _add_json(query)
     _add_window(query)
+    _add_trace(query)
     query.set_defaults(handler=_cmd_query)
 
     d1s = commands.add_parser(
@@ -707,12 +863,14 @@ def build_parser():
     d1s.add_argument("program", help="Datalog1S program file")
     _add_budget(d1s, full=False)
     _add_json(d1s)
+    _add_trace(d1s)
     d1s.set_defaults(handler=_cmd_datalog1s)
 
     tlg = commands.add_parser("templog", help="Templog minimal model")
     tlg.add_argument("program", help="Templog program file")
     _add_budget(tlg, full=False)
     _add_json(tlg)
+    _add_trace(tlg)
     tlg.set_defaults(handler=_cmd_templog)
 
     batch = commands.add_parser(

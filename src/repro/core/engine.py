@@ -37,6 +37,7 @@ from repro.runtime.checkpoint import (
     load_checkpoint,
     write_checkpoint,
 )
+from repro.util import hooks
 from repro.util.errors import (
     BudgetExceededError,
     CheckpointError,
@@ -60,6 +61,13 @@ class EvaluationStats:
     resource-budget exit.  ``resumed_from_round`` is the global round
     count restored from a checkpoint (``None`` for fresh runs) and
     ``checkpoints_written`` the number of snapshots this run persisted.
+
+    Timing is segment-aware: ``elapsed_seconds`` accumulates across
+    resume (the checkpointed run's elapsed time plus this segment's),
+    ``prior_elapsed_seconds`` is the part inherited from the
+    checkpoint (0.0 for fresh runs), and their difference — reported as
+    ``segment_elapsed_seconds`` in :meth:`to_dict` — is the
+    post-resume segment alone.
     """
 
     strategy: str = "semi-naive"
@@ -74,6 +82,7 @@ class EvaluationStats:
     budget_exceeded: bool = False
     free_extension_safe_checked: Optional[bool] = None
     elapsed_seconds: float = 0.0
+    prior_elapsed_seconds: float = 0.0
     resumed_from_round: Optional[int] = None
     checkpoints_written: int = 0
 
@@ -98,6 +107,10 @@ class EvaluationStats:
             "budget_exceeded": self.budget_exceeded,
             "free_extension_safe_checked": self.free_extension_safe_checked,
             "elapsed_seconds": self.elapsed_seconds,
+            "prior_elapsed_seconds": self.prior_elapsed_seconds,
+            "segment_elapsed_seconds": max(
+                0.0, self.elapsed_seconds - self.prior_elapsed_seconds
+            ),
             "resumed_from_round": self.resumed_from_round,
             "checkpoints_written": self.checkpoints_written,
         }
@@ -105,15 +118,20 @@ class EvaluationStats:
     def restore_progress(self, payload):
         """Adopt the *progress* fields of a checkpointed stats dict.
 
-        Outcome flags (``constraint_safe``, ``gave_up``, …) and timing
-        fields restart with the resumed run; only the monotone progress
-        counters carry over, so a resumed run's final stats match an
-        uninterrupted run's modulo timings.
+        Outcome flags (``constraint_safe``, ``gave_up``, …) restart
+        with the resumed run; the monotone progress counters carry
+        over, and so does accumulated wall time: the checkpointed
+        ``elapsed_seconds`` (itself cumulative across earlier resumes)
+        becomes this run's ``prior_elapsed_seconds``, so a resumed
+        run's final ``elapsed_seconds`` covers every segment instead of
+        silently dropping the pre-resume work.
         """
         self.rounds = payload["rounds"]
         self.new_tuples_per_round = list(payload["new_tuples_per_round"])
         self.derived_tuples_per_round = list(payload["derived_tuples_per_round"])
         self.signature_stable_round = payload["signature_stable_round"]
+        self.prior_elapsed_seconds = payload.get("elapsed_seconds", 0.0)
+        self.elapsed_seconds = self.prior_elapsed_seconds
 
 
 class Model:
@@ -338,10 +356,30 @@ class DeductiveEngine:
 
         last_signature_growth = 0
         strata = self.evaluator.stratum_evaluators
+        if hooks.SINKS:
+            hooks.emit(
+                "engine.run",
+                {
+                    "phase": "begin",
+                    "strategy": self.strategy,
+                    "safety": self.safety,
+                    "strata": len(strata),
+                    "resumed_from_round": stats.resumed_from_round,
+                },
+            )
         try:
             stratum_index = start_stratum
             while stratum_index < len(strata):
                 evaluators = strata[stratum_index]
+                if hooks.SINKS:
+                    hooks.emit(
+                        "engine.stratum",
+                        {
+                            "phase": "begin",
+                            "stratum": stratum_index,
+                            "clauses": len(evaluators),
+                        },
+                    )
                 if resume is not None and stratum_index == start_stratum:
                     complements = dict(resume.complements)
                     delta = None if resume.delta is None else dict(resume.delta)
@@ -365,8 +403,19 @@ class DeductiveEngine:
                     meter=meter,
                     checkpoint_every=checkpoint_every,
                     checkpoint_path=checkpoint_path,
+                    run_started=started,
                 )
                 last_signature_growth = stats.signature_stable_round
+                if hooks.SINKS:
+                    hooks.emit(
+                        "engine.stratum",
+                        {
+                            "phase": "end",
+                            "stratum": stratum_index,
+                            "closed": stratum_closed,
+                            "rounds": stats.rounds,
+                        },
+                    )
                 if not stratum_closed:
                     stats.gave_up = True
                     break
@@ -375,29 +424,39 @@ class DeductiveEngine:
                 stats.constraint_safe = True
         except BudgetExceededError as error:
             stats.budget_exceeded = True
-            stats.elapsed_seconds = time.perf_counter() - started
+            stats.elapsed_seconds = stats.prior_elapsed_seconds + (
+                time.perf_counter() - started
+            )
             error.partial_model = self._partial_model(env, stats)
             error.stats = stats
+            self._emit_run_end(stats, "budget-exceeded")
             raise
         except PartialResultError:
+            self._emit_run_end(stats, "aborted")
             raise
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as error:
-            stats.elapsed_seconds = time.perf_counter() - started
+            stats.elapsed_seconds = stats.prior_elapsed_seconds + (
+                time.perf_counter() - started
+            )
+            self._emit_run_end(stats, "aborted")
             raise EvaluationAbortedError(
                 "evaluation aborted during round %d: %s" % (stats.rounds, error),
                 partial_model=self._partial_model(env, stats),
                 stats=stats,
             ) from error
 
-        stats.elapsed_seconds = time.perf_counter() - started
+        stats.elapsed_seconds = stats.prior_elapsed_seconds + (
+            time.perf_counter() - started
+        )
 
         if check_free_extension_safety:
             stats.free_extension_safe_checked = is_free_extension_safe(
                 self.evaluator, env
             )
 
+        self._emit_run_end(stats, "gave-up" if stats.gave_up else "ok")
         model = self._partial_model(env, stats)
         if stats.gave_up and self.on_give_up == "raise":
             raise GiveUpError(
@@ -408,6 +467,19 @@ class DeductiveEngine:
                 stats=stats,
             )
         return model
+
+    def _emit_run_end(self, stats, outcome):
+        if hooks.SINKS:
+            hooks.emit(
+                "engine.run",
+                {
+                    "phase": "end",
+                    "outcome": outcome,
+                    "rounds": stats.rounds,
+                    "constraint_safe": stats.constraint_safe,
+                    "elapsed_seconds": stats.elapsed_seconds,
+                },
+            )
 
     def _partial_model(self, env, stats):
         """The (possibly partial) model for the current environment."""
@@ -430,17 +502,32 @@ class DeductiveEngine:
         meter=None,
         checkpoint_every=None,
         checkpoint_path=None,
+        run_started=None,
     ):
         """Fixpoint over one stratum's clauses; returns True when the
         stratum reached constraint safety, False on give-up/cap.
 
         ``rounds_done``/``delta``/``last_growth`` seed the loop when
-        resuming from a mid-stratum checkpoint."""
+        resuming from a mid-stratum checkpoint; ``run_started`` is the
+        run's :func:`time.perf_counter` origin, consulted so checkpoints
+        (and round events) carry live elapsed time."""
         if last_growth is None:
             last_growth = stats.rounds
         while rounds_done < self.max_rounds:
             rounds_done += 1
             stats.rounds += 1
+            observing = bool(hooks.SINKS)
+            if observing:
+                round_started = time.perf_counter()
+                hooks.emit(
+                    "engine.round",
+                    {
+                        "phase": "begin",
+                        "round": stats.rounds,
+                        "stratum": stratum_index,
+                        "strategy": self.strategy,
+                    },
+                )
             fault_point("round")
             if meter is not None:
                 meter.charge_round()
@@ -471,6 +558,18 @@ class DeductiveEngine:
 
             accepted = sum(len(ts) for ts in fresh.values())
             stats.new_tuples_per_round.append(accepted)
+            if observing:
+                hooks.emit(
+                    "engine.round",
+                    {
+                        "phase": "end",
+                        "round": stats.rounds,
+                        "stratum": stratum_index,
+                        "derived": stats.derived_tuples_per_round[-1],
+                        "accepted": accepted,
+                        "duration_s": time.perf_counter() - round_started,
+                    },
+                )
 
             if not fresh:
                 stats.signature_stable_round = last_growth
@@ -491,6 +590,13 @@ class DeductiveEngine:
                 meter.charge_accepted(accepted)
 
             if checkpoint_every is not None and rounds_done % checkpoint_every == 0:
+                if run_started is not None:
+                    # Checkpoints must carry live cumulative elapsed
+                    # time: restore_progress turns it into the resumed
+                    # run's prior_elapsed_seconds.
+                    stats.elapsed_seconds = stats.prior_elapsed_seconds + (
+                        time.perf_counter() - run_started
+                    )
                 write_checkpoint(
                     checkpoint_path,
                     Checkpoint(

@@ -32,9 +32,12 @@ vectors}}`` dicts so the matcher's candidate lookups are hash hits.
 
 from __future__ import annotations
 
+import time
+
 from repro.lrp.congruence import lcm_all
 from repro.lrp.periodic_set import EventuallyPeriodicSet
 from repro.plan.ground import GroundClausePlan, ground_data
+from repro.util import hooks
 from repro.util.errors import BudgetExceededError, EvaluationError
 
 
@@ -172,34 +175,92 @@ def minimal_model(program, edb=None, max_horizon=200_000, budget=None):
     meter = budget.start() if budget is not None else None
     strata = program.strata()
     accumulated = dict(edb or {})
+    observing = bool(hooks.SINKS)
+    started = time.perf_counter() if observing else 0.0
+    if observing:
+        hooks.emit(
+            "engine.run",
+            {
+                "phase": "begin",
+                "strategy": "datalog1s",
+                "safety": "n/a",
+                "strata": len(strata),
+                "resumed_from_round": None,
+            },
+        )
     try:
         if len(strata) == 1:
-            return _stratum_model(strata[0], accumulated, max_horizon, meter)
-        for stratum in strata:
-            model = _stratum_model(stratum, accumulated, max_horizon, meter)
-            for key in model.keys():
-                accumulated[key] = model.set_of(*key)
-        return Model1S(accumulated)
+            model = _stratum_model(strata[0], accumulated, max_horizon, meter)
+        else:
+            for index, stratum in enumerate(strata):
+                partial = _stratum_model(
+                    stratum, accumulated, max_horizon, meter,
+                    stratum_index=index,
+                )
+                for key in partial.keys():
+                    accumulated[key] = partial.set_of(*key)
+            model = Model1S(accumulated)
     except BudgetExceededError as error:
         partial = dict(accumulated)
         if error.partial_model is not None:
             for key in error.partial_model.keys():
                 partial[key] = error.partial_model.set_of(*key)
         error.partial_model = Model1S(partial)
+        if observing:
+            hooks.emit(
+                "engine.run",
+                {
+                    "phase": "end",
+                    "outcome": "budget-exceeded",
+                    "duration_s": time.perf_counter() - started,
+                },
+            )
         raise
+    if observing:
+        hooks.emit(
+            "engine.run",
+            {
+                "phase": "end",
+                "outcome": "ok",
+                "duration_s": time.perf_counter() - started,
+            },
+        )
+    return model
 
 
-def _stratum_model(program, edb, max_horizon, meter=None):
+def _stratum_model(program, edb, max_horizon, meter=None, stratum_index=0):
     ground = _CompiledRules(program, edb)
-    if program.is_forward():
-        return _forward_model(ground, max_horizon, meter)
-    return _doubling_model(ground, max_horizon, meter)
+    observing = bool(hooks.SINKS)
+    started = time.perf_counter() if observing else 0.0
+    if observing:
+        hooks.emit(
+            "engine.stratum",
+            {
+                "phase": "begin",
+                "stratum": stratum_index,
+                "forward": program.is_forward(),
+            },
+        )
+    try:
+        if program.is_forward():
+            return _forward_model(ground, max_horizon, meter, stratum_index)
+        return _doubling_model(ground, max_horizon, meter, stratum_index)
+    finally:
+        if observing:
+            hooks.emit(
+                "engine.stratum",
+                {
+                    "phase": "end",
+                    "stratum": stratum_index,
+                    "duration_s": time.perf_counter() - started,
+                },
+            )
 
 
 # -- exact frontier automaton for forward programs ------------------------
 
 
-def _forward_model(ground, max_horizon, meter=None):
+def _forward_model(ground, max_horizon, meter=None, stratum_index=0):
     delay = max(ground.max_delay(), 1)
     facts_by_time = {}
     for (pred, data, t) in ground.facts:
@@ -220,8 +281,22 @@ def _forward_model(ground, max_horizon, meter=None):
         for t in range(max_horizon):
             if meter is not None:
                 meter.charge_round()
+            slice_started = time.perf_counter() if hooks.SINKS else 0.0
             slices.append(_compute_slice(ground, slices, facts_by_time, t))
             count = _slice_count(slices[-1])
+            if hooks.SINKS:
+                hooks.emit(
+                    "engine.round",
+                    {
+                        "phase": "end",
+                        "round": t + 1,
+                        "stratum": stratum_index,
+                        "time_point": t,
+                        "derived": count,
+                        "accepted": count,
+                        "duration_s": time.perf_counter() - slice_started,
+                    },
+                )
             if meter is not None and count:
                 meter.charge_accepted(count)
             if t >= stable_from + delay - 1:
@@ -347,7 +422,7 @@ def _model_from_slices(slices, threshold, period):
 # -- horizon doubling for non-forward programs -----------------------------
 
 
-def _window_fixpoint(ground, horizon, meter=None):
+def _window_fixpoint(ground, horizon, meter=None, stratum_index=0):
     facts = {}    # (pred, data) -> set of times
     by_time = {}  # (pred, time) -> set of data vectors
 
@@ -368,9 +443,15 @@ def _window_fixpoint(ground, horizon, meter=None):
         return by_time.get((pred, time), ())
 
     changed = True
+    pass_no = 0
     while changed:
         if meter is not None:
             meter.charge_round()
+        pass_no += 1
+        observing = bool(hooks.SINKS)
+        if observing:
+            pass_started = time.perf_counter()
+            before = sum(len(times) for times in facts.values())
         changed = False
         for (head_pred, head_terms, head_offset, _body, plan) in ground.rules:
             for base in range(0, horizon):
@@ -394,6 +475,20 @@ def _window_fixpoint(ground, horizon, meter=None):
                 if head_time not in facts.get((head_pred, head_data), ()):
                     add(head_pred, head_data, head_time)
                     changed = True
+        if observing:
+            after = sum(len(times) for times in facts.values())
+            hooks.emit(
+                "engine.round",
+                {
+                    "phase": "end",
+                    "round": pass_no,
+                    "stratum": stratum_index,
+                    "horizon": horizon,
+                    "derived": after - before,
+                    "accepted": after - before,
+                    "duration_s": time.perf_counter() - pass_started,
+                },
+            )
     return facts
 
 
@@ -424,7 +519,7 @@ def _fit_eventually_periodic(times, horizon, guard):
     return None
 
 
-def _doubling_model(ground, max_horizon, meter=None):
+def _doubling_model(ground, max_horizon, meter=None, stratum_index=0):
     delay = max(ground.max_delay(), 1)
     backward_reach = max(
         (
@@ -444,7 +539,7 @@ def _doubling_model(ground, max_horizon, meter=None):
         # eventually dominates any fixed period.
         guard = max(base_guard, horizon // 4)
         try:
-            facts = _window_fixpoint(ground, horizon, meter)
+            facts = _window_fixpoint(ground, horizon, meter, stratum_index)
         except BudgetExceededError as error:
             error.partial_model = Model1S(previous_fit or {})
             raise

@@ -23,6 +23,8 @@ representation.
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass
 
 from repro.constraints.atoms import Comparison, TemporalTerm as ColumnTerm
@@ -41,7 +43,8 @@ from repro.gdb.relation import GeneralizedRelation
 from repro.gdb.tuple import GeneralizedTuple
 from repro.lrp.point import Lrp
 from repro.plan.joiner import NamedRelation, join_all
-from repro.util.errors import EvaluationError
+from repro.util import hooks
+from repro.util.errors import BudgetExceededError, EvaluationError
 
 
 @dataclass
@@ -89,7 +92,36 @@ def evaluate_query(db, query, extra_relations=None, budget=None):
     formula = parse_formula(query) if isinstance(query, str) else query
     meter = budget.start() if budget is not None else None
     context = _Context(db, extra_relations or {}, meter=meter)
-    return context.evaluate(formula)
+    if not hooks.SINKS:
+        return context.evaluate(formula)
+    started = time.perf_counter()
+    hooks.emit(
+        "engine.run",
+        {
+            "phase": "begin",
+            "strategy": "fo",
+            "safety": "n/a",
+            "strata": 1,
+            "resumed_from_round": None,
+        },
+    )
+    outcome = "error"
+    try:
+        answers = context.evaluate(formula)
+        outcome = "ok"
+        return answers
+    except BudgetExceededError:
+        outcome = "budget-exceeded"
+        raise
+    finally:
+        hooks.emit(
+            "engine.run",
+            {
+                "phase": "end",
+                "outcome": outcome,
+                "duration_s": time.perf_counter() - started,
+            },
+        )
 
 
 class _Context:

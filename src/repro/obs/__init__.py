@@ -1,0 +1,29 @@
+"""Observability: process-local metrics and span-style tracing.
+
+The evaluation layers announce what they do on the event bus of
+:mod:`repro.util.hooks` (round boundaries, plan operator invocations
+with cardinalities, checkpoint writes, budget charges, service job
+lifecycles); this package supplies the consumers:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket latency histograms with an injectable clock, rendering
+  to the Prometheus text exposition format;
+* :class:`~repro.obs.trace.TraceRecorder` — one JSON record per event,
+  optionally streamed to a JSONL file (the CLI's ``--trace``);
+* :class:`~repro.obs.trace.ProfileCollector` — per-operator
+  aggregation (invocations, cardinalities, wall time) behind
+  ``repro explain --profile``.
+
+Nothing here runs unless installed; with no subscriber on the bus the
+instrumented sites cost one global read each.
+"""
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.trace import ProfileCollector, TraceRecorder
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "ProfileCollector",
+    "TraceRecorder",
+]

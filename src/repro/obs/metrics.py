@@ -1,0 +1,350 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a plain in-process store — no background
+threads, no sockets — whose contents render to the Prometheus text
+exposition format (:meth:`MetricsRegistry.render`) or to a JSON-safe
+dict (:meth:`MetricsRegistry.to_dict`).  The service embeds one
+(latency histograms per outcome, queue-wait, execution time); anything
+else that wants counters can create its own.
+
+Metrics are *families* keyed by name; a family with labels hands out
+one child per label-set via :meth:`~Metric.labels`, exactly the
+client-library idiom::
+
+    registry = MetricsRegistry()
+    jobs = registry.counter("repro_jobs_total", "Terminal jobs.",
+                            labelnames=("state",))
+    jobs.labels(state="ok").inc()
+
+    latency = registry.histogram(
+        "repro_job_seconds", "End-to-end job latency.",
+        buckets=(0.01, 0.1, 1, 10))
+    latency.observe(0.25)
+    with latency.time():
+        do_work()
+
+The registry's clock is injectable so histogram timing is
+deterministic under test.  All mutation is lock-protected; reads take
+consistent snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Default latency buckets (seconds): spans sub-millisecond plan
+#: operators through multi-second service jobs.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _format_value(value):
+    """Prometheus-style number rendering (integers without the .0)."""
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_labels(labels):
+    if not labels:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (key, str(value).replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in labels
+    )
+    return "{%s}" % body
+
+
+class _Child:
+    """One time series: a metric family narrowed to one label-set."""
+
+    __slots__ = ("family", "label_values")
+
+    def __init__(self, family, label_values):
+        self.family = family
+        self.label_values = label_values
+
+
+class Counter(_Child):
+    """A monotonically increasing value."""
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self.family.registry._lock:
+            self.family._values[self.label_values] = (
+                self.family._values.get(self.label_values, 0) + amount
+            )
+
+    @property
+    def value(self):
+        with self.family.registry._lock:
+            return self.family._values.get(self.label_values, 0)
+
+
+class Gauge(_Child):
+    """A value that can go up and down."""
+
+    def set(self, value):
+        with self.family.registry._lock:
+            self.family._values[self.label_values] = value
+
+    def inc(self, amount=1):
+        with self.family.registry._lock:
+            self.family._values[self.label_values] = (
+                self.family._values.get(self.label_values, 0) + amount
+            )
+
+    def dec(self, amount=1):
+        self.inc(-amount)
+
+    @property
+    def value(self):
+        with self.family.registry._lock:
+            return self.family._values.get(self.label_values, 0)
+
+
+class Histogram(_Child):
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``observe(v)`` increments every bucket whose upper bound is >= v
+    at render time (buckets store per-bucket counts internally and
+    cumulate when rendered), plus ``_sum`` and ``_count``.
+    """
+
+    def observe(self, value):
+        family = self.family
+        with family.registry._lock:
+            counts, total, count = family._values.get(
+                self.label_values, (None, 0.0, 0)
+            )
+            if counts is None:
+                counts = [0] * (len(family.buckets) + 1)
+            index = len(family.buckets)
+            for position, bound in enumerate(family.buckets):
+                if value <= bound:
+                    index = position
+                    break
+            counts[index] += 1
+            family._values[self.label_values] = (counts, total + value, count + 1)
+
+    def time(self):
+        """Context manager observing the elapsed wall-clock of its
+        body, read from the registry's (injectable) clock."""
+        return _Timer(self)
+
+    @property
+    def count(self):
+        with self.family.registry._lock:
+            entry = self.family._values.get(self.label_values)
+            return 0 if entry is None else entry[2]
+
+    @property
+    def sum(self):
+        with self.family.registry._lock:
+            entry = self.family._values.get(self.label_values)
+            return 0.0 if entry is None else entry[1]
+
+    def bucket_counts(self):
+        """Cumulative counts per bucket bound (plus the +Inf bucket),
+        as ``[(bound, cumulative_count), …]``."""
+        family = self.family
+        with family.registry._lock:
+            entry = family._values.get(self.label_values)
+            counts = (
+                [0] * (len(family.buckets) + 1) if entry is None else list(entry[0])
+            )
+        bounds = list(family.buckets) + [float("inf")]
+        cumulative, out = 0, []
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        return out
+
+
+class _Timer:
+    __slots__ = ("histogram", "_started")
+
+    def __init__(self, histogram):
+        self.histogram = histogram
+
+    def __enter__(self):
+        self._started = self.histogram.family.registry.now()
+        return self
+
+    def __exit__(self, *exc_info):
+        elapsed = self.histogram.family.registry.now() - self._started
+        self.histogram.observe(max(0.0, elapsed))
+        return False
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class Metric:
+    """One metric family: a name, a help string, and its children."""
+
+    def __init__(self, registry, name, help_text, kind, labelnames=(), buckets=None):
+        self.registry = registry
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(sorted(buckets)) if buckets is not None else ()
+        self._values = {}
+        self._children = {}
+        if not self.labelnames:
+            # Unlabelled families expose the single child's API directly.
+            self._default = self._child(())
+
+    def labels(self, **labelvalues):
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                "metric %r takes labels %s, got %s"
+                % (self.name, self.labelnames, tuple(sorted(labelvalues)))
+            )
+        values = tuple(str(labelvalues[name]) for name in self.labelnames)
+        return self._child(values)
+
+    def _child(self, values):
+        child = self._children.get(values)
+        if child is None:
+            child = _CHILD_TYPES[self.kind](self, values)
+            self._children[values] = child
+        return child
+
+    # Unlabelled convenience: metric.inc() / observe() / set() …
+    def __getattr__(self, attr):
+        default = self.__dict__.get("_default")
+        if default is not None:
+            return getattr(default, attr)
+        raise AttributeError(
+            "%r has no attribute %r (labelled family: call .labels() first)"
+            % (self.name, attr)
+        )
+
+
+class MetricsRegistry:
+    """The process-local metric store.
+
+    ``clock`` is injectable (defaults to :func:`time.monotonic`) and is
+    what :meth:`Histogram.time` reads — tests drive it by hand.
+    """
+
+    def __init__(self, clock=None):
+        self._clock = clock or time.monotonic
+        self._lock = threading.RLock()
+        self._metrics = {}
+
+    def now(self):
+        return self._clock()
+
+    def _register(self, name, help_text, kind, labelnames, buckets=None):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        "metric %r already registered as a %s with labels %s"
+                        % (name, existing.kind, existing.labelnames)
+                    )
+                return existing
+            metric = Metric(self, name, help_text, kind, labelnames, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help_text="", labelnames=()):
+        return self._register(name, help_text, "counter", labelnames)
+
+    def gauge(self, name, help_text="", labelnames=()):
+        return self._register(name, help_text, "gauge", labelnames)
+
+    def histogram(self, name, help_text="", labelnames=(), buckets=None):
+        return self._register(
+            name, help_text, "histogram", labelnames,
+            buckets=DEFAULT_BUCKETS if buckets is None else buckets,
+        )
+
+    # -- export -----------------------------------------------------------
+
+    def render(self):
+        """The Prometheus text exposition of every metric."""
+        lines = []
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+            for metric in metrics:
+                if metric.help:
+                    lines.append("# HELP %s %s" % (metric.name, metric.help))
+                lines.append("# TYPE %s %s" % (metric.name, metric.kind))
+                for values in sorted(metric._values):
+                    labels = list(zip(metric.labelnames, values))
+                    if metric.kind in ("counter", "gauge"):
+                        lines.append(
+                            "%s%s %s"
+                            % (
+                                metric.name,
+                                _format_labels(labels),
+                                _format_value(metric._values[values]),
+                            )
+                        )
+                        continue
+                    counts, total, count = metric._values[values]
+                    cumulative = 0
+                    bounds = list(metric.buckets) + [float("inf")]
+                    for bound, bucket_count in zip(bounds, counts):
+                        cumulative += bucket_count
+                        le = "+Inf" if bound == float("inf") else _format_value(bound)
+                        lines.append(
+                            "%s_bucket%s %d"
+                            % (
+                                metric.name,
+                                _format_labels(labels + [("le", le)]),
+                                cumulative,
+                            )
+                        )
+                    lines.append(
+                        "%s_sum%s %s"
+                        % (metric.name, _format_labels(labels), _format_value(total))
+                    )
+                    lines.append(
+                        "%s_count%s %d"
+                        % (metric.name, _format_labels(labels), count)
+                    )
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self):
+        """A JSON-safe snapshot: {name: {kind, help, series: [...]}}."""
+        out = {}
+        with self._lock:
+            for metric in self._metrics.values():
+                series = []
+                for values in sorted(metric._values):
+                    labels = dict(zip(metric.labelnames, values))
+                    if metric.kind in ("counter", "gauge"):
+                        series.append({"labels": labels, "value": metric._values[values]})
+                    else:
+                        counts, total, count = metric._values[values]
+                        series.append(
+                            {
+                                "labels": labels,
+                                "buckets": [
+                                    [
+                                        "+Inf" if b == float("inf") else b,
+                                        c,
+                                    ]
+                                    for b, c in zip(
+                                        list(metric.buckets) + [float("inf")], counts
+                                    )
+                                ],
+                                "sum": total,
+                                "count": count,
+                            }
+                        )
+                out[metric.name] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "series": series,
+                }
+        return out

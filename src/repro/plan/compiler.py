@@ -311,6 +311,9 @@ class ClausePlan:
         self.variants = {None: compile_variant(normalized)}
         for position in self.intensional_positions:
             self.variants[position] = compile_variant(normalized, position)
+        self.label = str(normalized)
+        for variant in self.variants.values():
+            variant.clause = self.label
 
     def _validate(self):
         atoms = list(self.normalized.body_atoms) + list(

@@ -27,8 +27,11 @@ resolution happens at compile time, execution touches only integers.
 
 from __future__ import annotations
 
+import time
+
 from repro.gdb.relation import GeneralizedRelation
 from repro.gdb.tuple import GeneralizedTuple
+from repro.util import hooks
 
 _UNIT = GeneralizedTuple((), ())
 
@@ -198,9 +201,21 @@ class Projection:
 
 class PlanVariant:
     """One compiled pipeline: steps, projection, and the column layout
-    they were compiled against (kept for :mod:`repro.plan.explain`)."""
+    they were compiled against (kept for :mod:`repro.plan.explain`).
 
-    __slots__ = ("seed_position", "steps", "projection", "columns", "data_names")
+    ``clause`` and ``variant_label`` identify the pipeline in operator
+    events and profiles; they are stamped by
+    :class:`~repro.plan.compiler.ClausePlan` after compilation."""
+
+    __slots__ = (
+        "seed_position",
+        "steps",
+        "projection",
+        "columns",
+        "data_names",
+        "clause",
+        "variant_label",
+    )
 
     def __init__(self, seed_position, steps, projection, columns, data_names):
         self.seed_position = seed_position
@@ -208,11 +223,17 @@ class PlanVariant:
         self.projection = projection
         self.columns = tuple(columns)
         self.data_names = tuple(data_names)
+        self.clause = None
+        self.variant_label = (
+            "naive" if seed_position is None else "delta@%d" % seed_position
+        )
 
     def execute(self, relation_for):
         """Run the pipeline; ``relation_for(step)`` resolves each
         JoinStep's source relation (env / delta / complement), or None
         for an absent predicate."""
+        if hooks.SINKS:
+            return self._execute_observed(relation_for)
         empty = GeneralizedRelation.empty(*self.projection.head_schema)
         current = [_UNIT]
         for step in self.steps:
@@ -226,3 +247,58 @@ class PlanVariant:
             if not current:
                 return empty
         return self.projection.apply(current)
+
+    def _execute_observed(self, relation_for):
+        """The same pipeline, emitting one ``plan.operator`` event per
+        step with input/output cardinalities and wall time.  ``in_``
+        counts working-set tuples entering the step, ``source`` the raw
+        source relation, ``selected`` the source after pushed-down
+        selections, ``out`` the working set leaving the step."""
+        empty = GeneralizedRelation.empty(*self.projection.head_schema)
+        current = [_UNIT]
+        for index, step in enumerate(self.steps):
+            started = time.perf_counter()
+            fields = {
+                "clause": self.clause,
+                "variant": self.variant_label,
+                "step": index,
+                "in": 0 if len(current) == 1 and current[0] is _UNIT else len(current),
+            }
+            if type(step) is CarrierStep:
+                fields["op"] = "carrier"
+                current = step.apply(current)
+            else:
+                fields["op"] = "anti-join" if step.negated else "join"
+                fields["predicate"] = step.predicate
+                relation = relation_for(step)
+                if relation is None or not relation.tuples:
+                    fields.update(
+                        source=0, selected=0, out=0,
+                        duration_s=time.perf_counter() - started,
+                    )
+                    hooks.emit("plan.operator", fields)
+                    return empty
+                fields["source"] = len(relation.tuples)
+                fields["selected"] = len(step.source_tuples(relation))
+                current = step.apply(current, relation)
+            fields["out"] = len(current)
+            fields["duration_s"] = time.perf_counter() - started
+            hooks.emit("plan.operator", fields)
+            if not current:
+                return empty
+        started = time.perf_counter()
+        result = self.projection.apply(current)
+        hooks.emit(
+            "plan.operator",
+            {
+                "clause": self.clause,
+                "variant": self.variant_label,
+                "step": len(self.steps),
+                "op": "projection",
+                "predicate": None,
+                "in": len(current),
+                "out": len(result.tuples),
+                "duration_s": time.perf_counter() - started,
+            },
+        )
+        return result

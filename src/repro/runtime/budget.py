@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.util import hooks
 from repro.util.errors import BudgetExceededError
 
 
@@ -109,10 +110,23 @@ class BudgetMeter:
                 limit="deadline_seconds",
             )
 
+    def _emit_charge(self, dimension, amount, total, limit):
+        if hooks.SINKS:
+            hooks.emit(
+                "budget.charge",
+                {
+                    "dimension": dimension,
+                    "amount": amount,
+                    "total": total,
+                    "limit": limit,
+                },
+            )
+
     def charge_round(self):
         """Account for one fixpoint round starting."""
         self.rounds += 1
         limit = self.budget.max_rounds
+        self._emit_charge("rounds", 1, self.rounds, limit)
         if limit is not None and self.rounds > limit:
             raise BudgetExceededError(
                 "round budget of %d exceeded" % limit, limit="max_rounds"
@@ -123,6 +137,7 @@ class BudgetMeter:
         """Account for ``count`` tuples derived by clause firings."""
         self.derived += count
         limit = self.budget.max_derived
+        self._emit_charge("derived", count, self.derived, limit)
         if limit is not None and self.derived > limit:
             raise BudgetExceededError(
                 "derived-tuple work budget of %d exceeded (%d derived)"
@@ -134,6 +149,7 @@ class BudgetMeter:
         """Account for ``count`` tuples accepted into the model."""
         self.accepted += count
         limit = self.budget.max_tuples
+        self._emit_charge("accepted", count, self.accepted, limit)
         if limit is not None and self.accepted > limit:
             raise BudgetExceededError(
                 "accepted-tuple budget of %d exceeded (%d accepted)"

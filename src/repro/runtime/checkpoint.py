@@ -26,12 +26,14 @@ import json
 import os
 import re
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.gdb.relation import GeneralizedRelation
 from repro.gdb.tuple import GeneralizedTuple
 from repro.lrp.point import Lrp
+from repro.util import hooks
 from repro.util.errors import CheckpointError
 from repro.util.hooks import fault_point
 
@@ -170,6 +172,7 @@ def write_checkpoint(path, checkpoint):
     can never unlink or rename each other's staging file.
     """
     fault_point("checkpoint_write")
+    started = time.perf_counter() if hooks.SINKS else None
     payload = json.dumps(checkpoint.to_json_dict(), indent=None, sort_keys=False)
     tmp_path = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
     try:
@@ -182,6 +185,17 @@ def write_checkpoint(path, checkpoint):
     finally:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
+    if started is not None:
+        hooks.emit(
+            "checkpoint.write",
+            {
+                "path": path,
+                "bytes": len(payload),
+                "round": checkpoint.stats.get("rounds"),
+                "stratum": checkpoint.stratum_index,
+                "duration_s": time.perf_counter() - started,
+            },
+        )
 
 
 def _fsync_directory(directory):

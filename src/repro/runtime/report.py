@@ -40,9 +40,27 @@ def model_summary(model, window=None):
     return {"predicates": predicates}
 
 
-def error_summary(error):
-    """A JSON-safe description of an exception: its type, message, and
-    (for budget errors) the limit that tripped."""
+#: How deep :func:`error_summary` follows exception chains.  Deep
+#: enough for the service's worst realistic nesting (degradation-ladder
+#: failure → plan-layer crash → injected fault → …), small enough that
+#: a cyclic or pathological chain cannot blow up a report.
+MAX_CAUSE_DEPTH = 8
+
+
+def error_summary(error, _depth=0):
+    """A JSON-safe description of an exception: its type, message,
+    (for budget errors) the limit that tripped, and its full cause
+    chain.
+
+    The chain recurses through ``__cause__`` (explicit ``raise … from``)
+    and falls back to ``__context__`` (implicit chaining during an
+    ``except`` block) when no explicit cause exists and the context is
+    not suppressed — the same preference :mod:`traceback` renders — so
+    a degradation-ladder failure wrapping a plan-layer crash wrapping
+    an injected fault keeps its root cause in ``--json`` reports.
+    Recursion stops at :data:`MAX_CAUSE_DEPTH`, marked by a
+    ``"truncated"`` flag.
+    """
     if error is None:
         return None
     summary = {"type": type(error).__name__, "message": str(error)}
@@ -50,8 +68,17 @@ def error_summary(error):
     if limit is not None:
         summary["limit"] = limit
     cause = error.__cause__
+    if cause is None and not error.__suppress_context__:
+        cause = error.__context__
     if cause is not None:
-        summary["cause"] = {"type": type(cause).__name__, "message": str(cause)}
+        if _depth + 1 >= MAX_CAUSE_DEPTH:
+            summary["cause"] = {
+                "type": type(cause).__name__,
+                "message": str(cause),
+                "truncated": True,
+            }
+        else:
+            summary["cause"] = error_summary(cause, _depth=_depth + 1)
     return summary
 
 

@@ -50,6 +50,7 @@ import tempfile
 import threading
 import time
 
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.report import error_summary
 from repro.service.breaker import CircuitBreaker
 from repro.service.executor import (
@@ -76,7 +77,14 @@ from repro.util.errors import (
     ServiceError,
     WorkerDiedError,
 )
+from repro.util import hooks
 from repro.util.hooks import fault_point
+
+#: Latency buckets for the service histograms (seconds): job deadlines
+#: live in the tens-of-milliseconds to tens-of-seconds range.
+SERVICE_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 class JobHandle:
@@ -124,6 +132,7 @@ class _Job:
         "deadline_at",
         "owner",
         "started_at",
+        "first_claimed_at",
         "first_claim_done",
         "lock",
     )
@@ -144,6 +153,7 @@ class _Job:
         self.deadline_at = None if deadline is None else now + deadline
         self.owner = None
         self.started_at = None
+        self.first_claimed_at = None
         self.first_claim_done = False
         self.lock = threading.Lock()
 
@@ -201,6 +211,13 @@ class QueryService:
         deadline are never declared hung).
     sleeper / clock:
         Injectable for tests.
+    metrics:
+        An optional :class:`~repro.obs.metrics.MetricsRegistry` to
+        record into (one is created when omitted).  The service keeps
+        three latency histograms — end-to-end and execution time per
+        outcome, plus queue wait — and mirrors every counter as
+        ``repro_service_events_total{event=…}``;
+        :meth:`metrics_text` renders the Prometheus exposition.
     """
 
     def __init__(
@@ -217,6 +234,7 @@ class QueryService:
         max_worker_restarts=32,
         sleeper=None,
         clock=None,
+        metrics=None,
     ):
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -250,6 +268,29 @@ class QueryService:
         self._stats_lock = threading.Lock()
         self._stats = collections.Counter()
         self._supervisor = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events_total = self.metrics.counter(
+            "repro_service_events_total",
+            "Service counter events (mirrors stats()).",
+            labelnames=("event",),
+        )
+        self._end_to_end = self.metrics.histogram(
+            "repro_job_end_to_end_seconds",
+            "Submit-to-terminal latency per job outcome.",
+            labelnames=("outcome",),
+            buckets=SERVICE_BUCKETS,
+        )
+        self._queue_wait = self.metrics.histogram(
+            "repro_job_queue_wait_seconds",
+            "Admission-to-first-claim wait.",
+            buckets=SERVICE_BUCKETS,
+        )
+        self._execution = self.metrics.histogram(
+            "repro_job_execution_seconds",
+            "Last-claim-to-terminal execution time per job outcome.",
+            labelnames=("outcome",),
+            buckets=SERVICE_BUCKETS,
+        )
         self._start_pool()
 
     # -- lifecycle --------------------------------------------------------
@@ -300,6 +341,12 @@ class QueryService:
         Raises :class:`OverloadedError` when the queue is full,
         :class:`CircuitOpenError` when the job's program breaker is
         open, and propagates any ``submit``-site injected fault.
+
+        Every admission rejection — shed, breaker-open, or
+        shutting-down — is counted here, in ``rejected`` plus its
+        specific counter, so :meth:`stats` agrees whether the caller
+        came through :meth:`run_batch` or this front door directly
+        (the ``repro serve`` path).
         """
         fault_point("submit")
         key = spec.program_key()
@@ -311,7 +358,7 @@ class QueryService:
             # own probe (which would wedge the breaker half-open).
             self.breaker.check(key, token=job)
         except CircuitOpenError:
-            self._count("breaker_rejections")
+            self._count_rejection(spec, "circuit-open", "breaker_rejections")
             raise
         try:
             with self._cond:
@@ -324,14 +371,38 @@ class QueryService:
                         queue_limit=self.queue_limit,
                     )
                 self._queue.append(job)
+                depth = len(self._queue)
                 self._cond.notify()
         except ReproError as error:
             if isinstance(error, OverloadedError):
-                self._count("shed")
+                self._count_rejection(spec, "overloaded", "shed")
+            else:
+                self._count_rejection(spec, "shutting-down", None)
             self.breaker.release_probe(key, job)
             raise
         self._count("submitted")
+        if hooks.SINKS:
+            hooks.emit(
+                "service.job",
+                {
+                    "phase": "submit",
+                    "job_id": spec.job_id,
+                    "kind": spec.kind,
+                    "queue_depth": depth,
+                },
+            )
         return job.handle
+
+    def _count_rejection(self, spec, reason, extra_counter):
+        """The single place admission rejections are tallied."""
+        self._count("rejected")
+        if extra_counter is not None:
+            self._count(extra_counter)
+        if hooks.SINKS:
+            hooks.emit(
+                "service.job",
+                {"phase": "reject", "job_id": spec.job_id, "reason": reason},
+            )
 
     def run_batch(self, specs, timeout=None):
         """Submit every spec and wait for all results, in input order.
@@ -342,6 +413,10 @@ class QueryService:
         still pending when it expires resolve to typed
         ``batch-timeout`` failures (they keep running toward their own
         deadlines in the background).
+
+        Rejections are counted by :meth:`submit` itself (never here),
+        so ``stats()["jobs"]["rejected"]`` agrees with the direct
+        front door.
         """
         handles = []
         for spec in specs:
@@ -355,7 +430,6 @@ class QueryService:
                     if isinstance(error, CircuitOpenError)
                     else "error"
                 )
-                self._count("rejected")
                 handles.append(
                     JobResult(
                         job_id=spec.job_id,
@@ -391,6 +465,7 @@ class QueryService:
     def _count(self, key, value=1):
         with self._stats_lock:
             self._stats[key] += value
+        self._events_total.labels(event=key).inc(value)
 
     def stats(self):
         """A JSON-safe snapshot of the pool counters."""
@@ -448,6 +523,21 @@ class QueryService:
             "open_circuits": open_circuits,
         }
 
+    def metrics_text(self):
+        """The Prometheus text exposition: latency histograms, counter
+        mirrors, plus point-in-time gauges refreshed per scrape."""
+        snapshot = self.stats()
+        self.metrics.gauge(
+            "repro_queue_depth", "Jobs waiting in the admission queue."
+        ).set(snapshot["queue"]["depth"])
+        self.metrics.gauge(
+            "repro_workers_alive", "Live (non-abandoned) pool workers."
+        ).set(snapshot["workers"]["alive"])
+        self.metrics.gauge(
+            "repro_workers_configured", "Configured pool size."
+        ).set(snapshot["workers"]["configured"])
+        return self.metrics.render()
+
     # -- the worker loop --------------------------------------------------
 
     def _worker_main(self, worker):
@@ -501,7 +591,21 @@ class QueryService:
         job.started_at = worker.started_at
         if not job.first_claim_done:
             job.first_claim_done = True
+            job.first_claimed_at = worker.started_at
+            self._queue_wait.observe(
+                max(0.0, job.first_claimed_at - job.submitted_at)
+            )
             self.executor.discard_checkpoint(job.spec)
+        if hooks.SINKS:
+            hooks.emit(
+                "service.job",
+                {
+                    "phase": "dequeue",
+                    "job_id": job.spec.job_id,
+                    "worker": worker.name,
+                    "queue_wait_s": max(0.0, job.started_at - job.submitted_at),
+                },
+            )
         return True
 
     def _release(self, job, worker):
@@ -550,6 +654,18 @@ class QueryService:
             job.attempts += 1
             now = self._clock()
             remaining = job.remaining(now)
+            if hooks.SINKS:
+                hooks.emit(
+                    "service.job",
+                    {
+                        "phase": "attempt",
+                        "job_id": job.spec.job_id,
+                        "attempt": job.attempts,
+                        "backend": job.backend,
+                        "worker": worker.name,
+                        "remaining_s": remaining,
+                    },
+                )
             if remaining is not None and remaining <= 0.0:
                 self._finish_deadline(job, worker, outcome_error=None)
                 return
@@ -605,6 +721,7 @@ class QueryService:
     # -- terminal transitions ---------------------------------------------
 
     def _finish(self, job, worker, result, record_breaker=True):
+        now = self._clock()
         with job.lock:
             if job.handle.done():
                 return
@@ -613,13 +730,48 @@ class QueryService:
                 # abandoned as hung); the stale attempt's result must
                 # not beat the requeued one.
                 return
-            result.elapsed_seconds = self._clock() - job.submitted_at
+            result.elapsed_seconds = now - job.submitted_at
             result.worker = None if worker is None else worker.name
+            # Counters, histograms and the outcome span are recorded
+            # BEFORE the handle resolves: a client unblocked by the
+            # result must already find the job in stats()/metrics
+            # snapshots (run_batch returning with a short histogram
+            # otherwise races the last observation).
+            self._count("completed")
+            self._count(result.state)
+            if result.resumed:
+                self._count("resumed")
+            self._end_to_end.labels(outcome=result.outcome).observe(
+                max(0.0, result.elapsed_seconds)
+            )
+            if job.started_at is not None:
+                self._execution.labels(outcome=result.outcome).observe(
+                    max(0.0, now - job.started_at)
+                )
+            if hooks.SINKS:
+                hooks.emit(
+                    "service.job",
+                    {
+                        "phase": "outcome",
+                        "job_id": job.spec.job_id,
+                        "state": result.state,
+                        "outcome": result.outcome,
+                        "attempts": job.attempts,
+                        "backend": result.backend,
+                        "degradation": list(job.degradation),
+                        "resumed": result.resumed,
+                        "elapsed_s": result.elapsed_seconds,
+                        "queue_wait_s": (
+                            None
+                            if job.first_claimed_at is None
+                            else max(
+                                0.0, job.first_claimed_at - job.submitted_at
+                            )
+                        ),
+                        "worker": result.worker,
+                    },
+                )
             job.handle._resolve(result)
-        self._count("completed")
-        self._count(result.state)
-        if result.resumed:
-            self._count("resumed")
         key = job.spec.program_key()
         if record_breaker:
             if result.state == STATE_FAILED:

@@ -52,7 +52,13 @@ def model_keys(model):
 def comparable_stats(stats):
     """Stats dict minus fields legitimately differing across a resume."""
     payload = stats.to_dict()
-    for volatile in ("elapsed_seconds", "resumed_from_round", "checkpoints_written"):
+    for volatile in (
+        "elapsed_seconds",
+        "prior_elapsed_seconds",
+        "segment_elapsed_seconds",
+        "resumed_from_round",
+        "checkpoints_written",
+    ):
         payload.pop(volatile)
     return payload
 
@@ -276,3 +282,49 @@ class TestJsonSerialization:
             GeneralizedTuple.from_json_dict(gt.to_json_dict()).canonical_key()
             == gt.canonical_key()
         )
+
+
+class TestElapsedAccumulation:
+    """A resumed run must report wall-clock for the WHOLE computation,
+    not just the post-resume segment (pre-PR regression: checkpoints
+    froze ``elapsed_seconds`` at 0.0 and ``restore_progress`` dropped
+    the first segment entirely)."""
+
+    def test_checkpoints_carry_live_elapsed(self, every_checkpoint):
+        _, copies = every_checkpoint
+        for copy in copies:
+            assert load_checkpoint(copy).stats["elapsed_seconds"] > 0.0
+
+    def test_resume_accumulates_across_segments(self, every_checkpoint):
+        _, copies = every_checkpoint
+        mid = load_checkpoint(copies[2])
+        resumed = make_engine().run(resume_from=copies[2])
+        stats = resumed.stats
+        assert stats.prior_elapsed_seconds == pytest.approx(
+            mid.stats["elapsed_seconds"]
+        )
+        assert stats.prior_elapsed_seconds > 0.0
+        assert stats.elapsed_seconds > stats.prior_elapsed_seconds
+        payload = stats.to_dict()
+        assert payload["segment_elapsed_seconds"] == pytest.approx(
+            stats.elapsed_seconds - stats.prior_elapsed_seconds
+        )
+
+    def test_double_resume_keeps_accumulating(self, tmp_path, every_checkpoint):
+        # Resume from round 2, checkpoint again, resume from round 5:
+        # the second resume's prior covers segments one AND two.
+        _, copies = every_checkpoint
+        first_prior = load_checkpoint(copies[1]).stats["elapsed_seconds"]
+        path = tmp_path / "second.ckpt.json"
+        make_engine().run(
+            resume_from=copies[1],
+            checkpoint_every=3,
+            checkpoint_path=str(path),
+        )
+        second = load_checkpoint(str(path))
+        assert second.stats["elapsed_seconds"] > first_prior
+        final = make_engine().run(resume_from=str(path))
+        assert final.stats.prior_elapsed_seconds == pytest.approx(
+            second.stats["elapsed_seconds"]
+        )
+        assert final.stats.elapsed_seconds > first_prior

@@ -1,0 +1,90 @@
+"""Run reports: the error summary must keep the whole exception chain
+— ``__cause__`` preferred, ``__context__`` as the implicit fallback —
+so a service-layer wrapper can never hide the root cause."""
+
+import pytest
+
+from repro.runtime.report import MAX_CAUSE_DEPTH, error_summary
+from repro.util.errors import BudgetExceededError
+
+
+def raise_chained():
+    try:
+        try:
+            raise KeyError("root")
+        except KeyError as root:
+            raise ValueError("middle") from root
+    except ValueError:
+        raise RuntimeError("outer")
+
+
+class TestErrorSummary:
+    def test_none(self):
+        assert error_summary(None) is None
+
+    def test_flat(self):
+        summary = error_summary(ValueError("boom"))
+        assert summary == {"type": "ValueError", "message": "boom"}
+
+    def test_budget_limit_field(self):
+        summary = error_summary(BudgetExceededError("x", limit="max_rounds"))
+        assert summary["limit"] == "max_rounds"
+
+    def test_deep_chain_is_fully_recursed(self):
+        # Pre-PR regression: only one level of __cause__ survived and
+        # __context__ was ignored entirely, so the KeyError root cause
+        # vanished from reports.
+        try:
+            raise_chained()
+        except RuntimeError as error:
+            summary = error_summary(error)
+        assert summary["type"] == "RuntimeError"
+        middle = summary["cause"]
+        assert middle["type"] == "ValueError"  # implicit __context__
+        root = middle["cause"]
+        assert root["type"] == "KeyError"  # explicit __cause__
+        assert "cause" not in root
+
+    def test_cause_preferred_over_context(self):
+        try:
+            try:
+                raise KeyError("context")
+            except KeyError:
+                raise ValueError("outer") from OSError("cause")
+        except ValueError as error:
+            summary = error_summary(error)
+        assert summary["cause"]["type"] == "OSError"
+
+    def test_suppressed_context_is_not_reported(self):
+        try:
+            try:
+                raise KeyError("hidden")
+            except KeyError:
+                raise ValueError("outer") from None
+        except ValueError as error:
+            summary = error_summary(error)
+        assert "cause" not in summary
+
+    def test_depth_cap_marks_truncation(self):
+        error = ValueError("level 0")
+        for level in range(1, MAX_CAUSE_DEPTH + 4):
+            wrapper = ValueError("level %d" % level)
+            wrapper.__cause__ = error
+            error = wrapper
+        summary = error_summary(error)
+        depth = 0
+        while "cause" in summary and "truncated" not in summary:
+            summary = summary["cause"]
+            depth += 1
+        assert summary.get("truncated") is True
+        assert depth == MAX_CAUSE_DEPTH
+
+    def test_cyclic_chain_terminates(self):
+        error = ValueError("ouroboros")
+        error.__cause__ = error
+        summary = error_summary(error)
+        depth = 0
+        while "cause" in summary:
+            summary = summary["cause"]
+            depth += 1
+        assert depth <= MAX_CAUSE_DEPTH

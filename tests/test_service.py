@@ -112,6 +112,28 @@ class TestAdmission:
         assert results[1].state == "rejected"
         assert results[1].outcome == "overloaded"
 
+    def test_rejection_counters_agree_across_front_doors(self):
+        # Pre-PR regression: direct submit() bumped shed/
+        # breaker_rejections but never "rejected", so the serve front
+        # door and run_batch disagreed on the same event.
+        with QueryService(workers=0, queue_limit=1) as svc:
+            svc.submit(run_spec("a"))
+            with pytest.raises(OverloadedError):
+                svc.submit(run_spec("direct"))
+            direct = svc.stats()["jobs"]
+        assert direct["shed"] == 1
+        assert direct["rejected"] == 1
+
+        with QueryService(workers=0, queue_limit=1) as svc:
+            results = svc.run_batch(
+                [run_spec("a", deadline_seconds=0.0), run_spec("b")],
+                timeout=0.2,
+            )
+            batch = svc.stats()["jobs"]
+        assert results[1].state == "rejected"
+        assert batch["shed"] == 1
+        assert batch["rejected"] == 1  # counted once, not re-counted by run_batch
+
     def test_submit_fault_site_is_typed_and_batch_safe(self):
         plan = FaultPlan.inject("submit", at=1, error=TransientFaultError)
         with plan.installed():

@@ -84,3 +84,80 @@ def test_fifty_job_batch_survives_faults():
     assert stats["workers"]["restarts"] >= 1
     assert stats["jobs"]["requeues"] >= 1
     assert stats["jobs"]["completed"] == JOBS
+
+
+def test_stats_health_and_histograms_consistent_under_faults():
+    """Concurrent ``stats()``/``health()``/``metrics_text()`` snapshots
+    taken WHILE a faulted batch runs must satisfy the pool invariants
+    at every instant, and once the batch drains the latency histogram
+    totals must match the job count exactly."""
+    import threading
+
+    jobs = 20
+    specs = [
+        JobSpec("obs-%02d" % i, "run", program=PROGRAM, edb=EDB)
+        for i in range(jobs)
+    ]
+    retry = RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
+    plan = FaultPlan.inject(
+        "clause", at=10, error=TransientFaultError, every=29
+    ).and_inject("worker_start", at=5, error=WorkerDiedError)
+    violations = []
+    stop = threading.Event()
+
+    with plan.installed():
+        with QueryService(
+            workers=3, queue_limit=jobs, retry=retry, default_deadline=30.0
+        ) as svc:
+
+            def probe():
+                while not stop.is_set():
+                    snapshot = svc.stats()
+                    health = svc.health()
+                    counters = snapshot["jobs"]
+                    try:
+                        assert counters["completed"] <= counters["submitted"]
+                        assert (
+                            counters["ok"] + counters["partial"] + counters["failed"]
+                            <= counters["completed"] + counters["rejected"]
+                        )
+                        assert counters["shed"] <= counters["rejected"]
+                        assert 0 <= snapshot["queue"]["depth"] <= snapshot["queue"]["limit"]
+                        assert 0 <= snapshot["workers"]["alive"] <= snapshot["workers"]["configured"]
+                        assert health["status"] in ("ok", "degraded")
+                        text = svc.metrics_text()
+                        assert text.startswith("# HELP")
+                        assert "repro_queue_depth" in text
+                    except AssertionError as failure:  # pragma: no cover
+                        violations.append(failure)
+                        return
+
+            prober = threading.Thread(target=probe)
+            prober.start()
+            try:
+                results = svc.run_batch(specs, timeout=120.0)
+            finally:
+                stop.set()
+                prober.join()
+            stats = svc.stats()
+            metrics = svc.metrics.to_dict()
+
+    assert violations == []
+    assert len(results) == jobs
+    assert stats["jobs"]["completed"] == jobs
+
+    # Histogram totals match the job count: every job lands in exactly
+    # one end-to-end series (keyed by outcome) and, having been claimed
+    # at least once, exactly one queue-wait observation.
+    end_to_end = metrics["repro_job_end_to_end_seconds"]["series"]
+    assert sum(series["count"] for series in end_to_end) == jobs
+    by_outcome = {
+        series["labels"]["outcome"]: series["count"] for series in end_to_end
+    }
+    from collections import Counter
+
+    assert by_outcome == dict(Counter(result.outcome for result in results))
+    queue_wait = metrics["repro_job_queue_wait_seconds"]["series"]
+    assert sum(series["count"] for series in queue_wait) == jobs
+    execution = metrics["repro_job_execution_seconds"]["series"]
+    assert sum(series["count"] for series in execution) == jobs
