@@ -1,0 +1,298 @@
+"""Parallel-fixpoint benchmark: sharded rounds and the coverage cache.
+
+Times the E14-shaped multi-chain shift-cycle workload sequentially and
+at ``--parallel {2, 4}``, cross-checking that every parallel model is
+``Model.equivalent()`` to the sequential one and that the engine
+fingerprints are identical, then runs the cross-round coverage-cache
+ablation (cache on vs off, with the ``coverage.cache`` hit/miss
+counters) on Example 4.1 and the classic E14 shift cycle.  Results go
+to ``BENCH_parallel.json``::
+
+    python benchmarks/parallel_bench.py              # full sizes
+    python benchmarks/parallel_bench.py --quick      # CI smoke sizes
+    python benchmarks/parallel_bench.py --check      # exit 1 on any
+                                                     # equivalence or
+                                                     # cache regression
+
+Sharded rounds split one round's clause-variant firings across
+processes, so wall-clock speedup needs real cores: the payload records
+the host's usable CPU count, and ``--check`` asserts the >= 1.5x
+speedup at ``--parallel 4`` only when at least 4 cores are usable
+(single-core hosts measure IPC overhead, not speedup; equivalence and
+cache assertions always run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core import DeductiveEngine
+from repro.util import hooks
+
+from workloads import example_41, multi_chain_workload, shift_cycle_workload
+
+REPS = 3
+PARALLELISMS = (2, 4)
+SPEEDUP_TARGET = 1.5
+
+
+def _usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _best_run(make_engine):
+    """Best-of-REPS wall time (ms), the last model, the fingerprint."""
+    best = float("inf")
+    model = None
+    fingerprint = None
+    for _ in range(REPS):
+        engine = make_engine()
+        start = time.perf_counter()
+        model = engine.run()
+        best = min(best, (time.perf_counter() - start) * 1000)
+        fingerprint = engine.fingerprint()
+    return best, model, fingerprint
+
+
+def _entry(make_engine):
+    wall_ms, model, fingerprint = _best_run(make_engine)
+    return model, {
+        "wall_ms": round(wall_ms, 3),
+        "rounds": model.stats.rounds,
+        "accepted_tuples": model.stats.total_new_tuples(),
+        "derived_tuples": sum(model.stats.derived_tuples_per_round),
+        "fingerprint": fingerprint,
+    }
+
+
+def _assert_equivalent(name, sequential, parallel):
+    for predicate in sequential.predicates():
+        assert sequential.relation(predicate).equivalent(
+            parallel.relation(predicate)
+        ), "%s: parallel model disagrees on %r" % (name, predicate)
+    assert sequential.stats.rounds == parallel.stats.rounds, (
+        "%s: round counts diverge" % name
+    )
+    assert (
+        sequential.stats.new_tuples_per_round
+        == parallel.stats.new_tuples_per_round
+    ), "%s: per-round accepted counts diverge" % name
+
+
+def _scaling(name, program, edb, strategy="semi-naive"):
+    """Sequential vs every parallelism level, with equivalence and
+    fingerprint cross-checks."""
+    results = {}
+    sequential, results["sequential"] = _entry(
+        lambda: DeductiveEngine(program, edb, strategy=strategy)
+    )
+    for parallelism in PARALLELISMS:
+        model, entry = _entry(
+            lambda: DeductiveEngine(
+                program, edb, strategy=strategy, parallelism=parallelism
+            )
+        )
+        _assert_equivalent("%s@%d" % (name, parallelism), sequential, model)
+        assert entry["fingerprint"] == results["sequential"]["fingerprint"], (
+            "%s: parallelism=%d changed the engine fingerprint"
+            % (name, parallelism)
+        )
+        entry["speedup"] = round(
+            results["sequential"]["wall_ms"] / entry["wall_ms"], 2
+        )
+        results["parallel_%d" % parallelism] = entry
+    return results
+
+
+class _CacheCounter:
+    """Sums the ``coverage.cache`` per-sweep hit/miss events."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.sweeps = 0
+
+    def __call__(self, kind, fields):
+        if kind == "coverage.cache":
+            self.hits += fields["hits"]
+            self.misses += fields["misses"]
+            self.sweeps += 1
+
+
+def _cache_run(program, edb, strategy, coverage_cache):
+    counter = _CacheCounter()
+    engine = DeductiveEngine(
+        program, edb, strategy=strategy, coverage_cache=coverage_cache
+    )
+    with hooks.subscribed(counter):
+        start = time.perf_counter()
+        model = engine.run()
+        wall_ms = (time.perf_counter() - start) * 1000
+    return model, {
+        "wall_ms": round(wall_ms, 3),
+        "rounds": model.stats.rounds,
+        "hits": counter.hits,
+        "misses": counter.misses,
+        "coverage_tests": counter.hits + counter.misses,
+        "sweeps": counter.sweeps,
+    }
+
+def _cache_ablation(name, program, edb, strategy):
+    """Cache on vs off on one workload; the model must not change and
+    the cached run must perform strictly fewer ``implied_by_union``
+    calls (= misses) for the same number of coverage tests."""
+    cached_model, cached = _cache_run(program, edb, strategy, True)
+    uncached_model, uncached = _cache_run(program, edb, strategy, False)
+    _assert_equivalent(name, uncached_model, cached_model)
+    assert uncached["hits"] == 0, "%s: disabled cache reported hits" % name
+    assert cached["coverage_tests"] == uncached["coverage_tests"], (
+        "%s: cache changed the number of coverage tests" % name
+    )
+    assert cached["misses"] < uncached["misses"], (
+        "%s: cache did not reduce implied_by_union invocations "
+        "(%d vs %d)" % (name, cached["misses"], uncached["misses"])
+    )
+    return {
+        "cached": cached,
+        "uncached": uncached,
+        "implied_by_union_saved": uncached["misses"] - cached["misses"],
+    }
+
+
+def run(quick=False):
+    """The full benchmark payload (a JSON-safe dict)."""
+    if quick:
+        chains, period, data_per_chain = 3, 12, 2
+        e14_classes = 12
+    else:
+        chains, period, data_per_chain = 6, 48, 4
+        e14_classes = 48
+    payload = {
+        "quick": quick,
+        "cpus": _usable_cpus(),
+        "parallelisms": list(PARALLELISMS),
+    }
+    program, edb = multi_chain_workload(
+        chains=chains, period=period, shift=2, data_per_chain=data_per_chain
+    )
+    payload["e14_multi_chain"] = dict(
+        {"chains": chains, "classes": period // 2},
+        **_scaling("e14-multi-chain", program, edb)
+    )
+    program, edb = example_41()
+    payload["coverage_cache_example41"] = _cache_ablation(
+        "e41-cache", program, edb, "naive"
+    )
+    # Naive re-derives every earlier residue class each round, so its
+    # coverage sweep re-tests the same (signature, constraints) pairs —
+    # exactly what the cross-round cache memoizes.  (Semi-naive on this
+    # workload derives a fresh signature per round: nothing to reuse,
+    # and the cache saves nothing — by design, not by accident.)
+    program, edb = shift_cycle_workload(e14_classes, 1)
+    payload["coverage_cache_e14"] = _cache_ablation(
+        "e14-cache", program, edb, "naive"
+    )
+    return payload
+
+
+def write(payload, path="BENCH_parallel.json"):
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def report():
+    """Regenerate ``BENCH_parallel.json`` and print the summary table
+    (hooked into ``benchmarks/report.py``)."""
+    payload = run()
+    write(payload)
+    _print_summary(payload)
+
+
+def _print_summary(payload):
+    scaling = payload["e14_multi_chain"]
+    print(
+        "Parallel fixpoint — %d chains x %d classes, %d usable cpu(s), "
+        "best of %d" % (
+            scaling["chains"], scaling["classes"], payload["cpus"], REPS
+        )
+    )
+    print("%16s %12s %8s %8s" % ("mode", "wall_ms", "speedup", "rounds"))
+    sequential = scaling["sequential"]
+    print(
+        "%16s %12.2f %8s %8d"
+        % ("sequential", sequential["wall_ms"], "-", sequential["rounds"])
+    )
+    for parallelism in payload["parallelisms"]:
+        entry = scaling["parallel_%d" % parallelism]
+        print(
+            "%16s %12.2f %7.2fx %8d"
+            % (
+                "parallel %d" % parallelism,
+                entry["wall_ms"],
+                entry["speedup"],
+                entry["rounds"],
+            )
+        )
+    print("Coverage cache — implied_by_union calls (cached vs uncached)")
+    print("%24s %10s %10s %8s" % ("workload", "cached", "uncached", "saved"))
+    for key, label in (
+        ("coverage_cache_example41", "example 4.1 naive"),
+        ("coverage_cache_e14", "e14 naive"),
+    ):
+        ablation = payload[key]
+        print(
+            "%24s %10d %10d %8d"
+            % (
+                label,
+                ablation["cached"]["misses"],
+                ablation["uncached"]["misses"],
+                ablation["implied_by_union_saved"],
+            )
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on equivalence/cache regressions, and on missing "
+        "speedup when the host has enough cores",
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    write(payload, args.out)
+    _print_summary(payload)
+    if args.check:
+        # run() already asserted equivalence, fingerprints, and the
+        # cache reduction; what remains is the core-gated speedup bar.
+        best = payload["e14_multi_chain"]["parallel_4"]["speedup"]
+        if payload["cpus"] >= 4:
+            if best < SPEEDUP_TARGET:
+                print(
+                    "FAIL: parallel 4 speedup %.2fx below %.1fx on %d cpus"
+                    % (best, SPEEDUP_TARGET, payload["cpus"]),
+                    file=sys.stderr,
+                )
+                return 1
+            print("check ok: parallel 4 speedup %.2fx" % best)
+        else:
+            print(
+                "check ok: equivalence and cache verified; speedup bar "
+                "skipped (%d usable cpu(s), need 4)" % payload["cpus"]
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

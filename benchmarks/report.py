@@ -1,17 +1,22 @@
 """Regenerate every experiment table in one go.
 
 Runs the ``report()`` of each experiment module E1–E14 in order,
-printing the rows recorded in EXPERIMENTS.md, plus the plan-layer
-benchmark (``plan``), which also writes ``BENCH_plan.json``::
+printing the rows recorded in EXPERIMENTS.md, plus the benchmark
+modules (``plan``, ``service``, ``parallel``), which also write their
+``BENCH_*.json`` artifacts.  After the selected reports it writes the
+consolidated headline summary to ``BENCH_SUMMARY.md`` at the repo
+root, built from whichever ``BENCH_*.json`` artifacts exist::
 
-    python benchmarks/report.py            # all experiments + plan bench
+    python benchmarks/report.py            # all experiments + benches
     python benchmarks/report.py e4 e13     # a selection
-    python benchmarks/report.py plan       # just regenerate BENCH_plan.json
+    python benchmarks/report.py parallel   # just BENCH_parallel.json
 """
 
 from __future__ import annotations
 
 import importlib
+import json
+import os
 import sys
 
 EXPERIMENTS = [
@@ -31,11 +36,118 @@ EXPERIMENTS = [
     ("e14", "test_e14_engine_scaling"),
     ("plan", "plan_bench"),
     ("service", "service_bench"),
+    ("parallel", "parallel_bench"),
 ]
+
+#: The benchmark artifacts the consolidated summary reads.
+ARTIFACTS = ("BENCH_plan.json", "BENCH_service.json", "BENCH_parallel.json")
+
+
+def _load(path):
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _plan_lines(payload):
+    e14 = payload["e14_shift_cycle"]
+    return [
+        "- Compiled plans vs reference on E14 (%d classes, semi-naive): "
+        "**%.2fx** (%.2f ms vs %.2f ms)."
+        % (
+            e14["classes"],
+            e14["semi-naive"]["speedup"],
+            e14["semi-naive"]["compiled"]["wall_ms"],
+            e14["semi-naive"]["reference"]["wall_ms"],
+        )
+    ]
+
+
+def _service_lines(payload):
+    healthy = payload["healthy"]["workers-4"]
+    lines = [
+        "- Batch of %d Example 4.1 jobs at 4 workers: **%.1f jobs/s** "
+        "(%.0f ms)."
+        % (healthy["jobs"], healthy["jobs_per_second"], healthy["wall_ms"])
+    ]
+    overhead = payload.get("fault_overhead")
+    if overhead is not None:
+        lines.append(
+            "- Stress fault plan overhead at 4 workers: **%.2fx** wall time."
+            % overhead
+        )
+    return lines
+
+
+def _parallel_lines(payload):
+    scaling = payload["e14_multi_chain"]
+    lines = [
+        "- Sharded rounds on the multi-chain E14 workload (%d chains, "
+        "%d usable cpus): sequential %.0f ms, parallel 2 **%.2fx**, "
+        "parallel 4 **%.2fx**."
+        % (
+            scaling["chains"],
+            payload["cpus"],
+            scaling["sequential"]["wall_ms"],
+            scaling["parallel_2"]["speedup"],
+            scaling["parallel_4"]["speedup"],
+        )
+    ]
+    for key, label in (
+        ("coverage_cache_example41", "Example 4.1 naive"),
+        ("coverage_cache_e14", "E14 naive"),
+    ):
+        ablation = payload[key]
+        lines.append(
+            "- Coverage cache on %s: %d of %d `implied_by_union` calls "
+            "avoided." % (
+                label,
+                ablation["implied_by_union_saved"],
+                ablation["uncached"]["misses"],
+            )
+        )
+    return lines
+
+
+_SECTIONS = (
+    ("BENCH_plan.json", "Plan layer", _plan_lines),
+    ("BENCH_service.json", "Query service", _service_lines),
+    ("BENCH_parallel.json", "Parallel fixpoint & coverage cache", _parallel_lines),
+)
+
+
+def write_summary(path="BENCH_SUMMARY.md"):
+    """Write the consolidated headline summary from the ``BENCH_*.json``
+    artifacts that exist next to ``path`` (missing ones are skipped)."""
+    base = os.path.dirname(os.path.abspath(path))
+    chunks = [
+        "# Benchmark summary",
+        "",
+        "Headline numbers from the `BENCH_*.json` artifacts; regenerate "
+        "with `python benchmarks/report.py plan service parallel`.",
+        "",
+    ]
+    found = False
+    for artifact, title, render in _SECTIONS:
+        payload = _load(os.path.join(base, artifact))
+        if payload is None:
+            continue
+        found = True
+        chunks.append("## %s (`%s`)" % (title, artifact))
+        chunks.append("")
+        chunks.extend(render(payload))
+        chunks.append("")
+    if not found:
+        return None
+    with open(path, "w") as handle:
+        handle.write("\n".join(chunks))
+    return path
 
 
 def main(argv=None):
-    """Run the selected (default: all) experiment reports."""
+    """Run the selected (default: all) experiment reports, then refresh
+    the consolidated summary."""
     wanted = {name.lower() for name in (argv or [])[0:]} or None
     for key, module_name in EXPERIMENTS:
         if wanted is not None and key not in wanted:
@@ -43,6 +155,9 @@ def main(argv=None):
         module = importlib.import_module(module_name)
         module.report()
         print()
+    written = write_summary()
+    if written is not None:
+        print("consolidated summary -> %s" % written)
     return 0
 
 

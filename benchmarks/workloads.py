@@ -44,6 +44,41 @@ def shift_cycle_workload(period, shift, offset=0):
     return program, edb
 
 
+def multi_chain_workload(chains=6, period=48, shift=2, data_per_chain=4):
+    """E14's 48-class shift cycle, widened for sharding: ``chains``
+    independent recursive predicates over one period-``period`` seed
+    each, with ``data_per_chain`` data constants riding along.
+
+    A single shift cycle fires one clause variant per semi-naive round
+    — nothing to shard — so the parallel benchmark runs this variant:
+    per round there are ``chains`` independent firings (one per
+    chain's recursive clause), each deriving ``data_per_chain`` tuples,
+    and a per-chain self-join doubles the work once a chain's classes
+    start accumulating.  The closed form per chain still has
+    ``period / gcd(period, shift)`` residue classes (Theorem 4.2's
+    bound is the seed period), so rounds and totals match E14's shape.
+    """
+    edb_parts = []
+    program_parts = []
+    for chain in range(chains):
+        rows = "".join(
+            ' (%dn+%d; "c%d");' % (period, (chain * 5 + item) % period, item)
+            for item in range(data_per_chain)
+        )
+        edb_parts.append("relation seed%d[1; 1] {%s }" % (chain, rows))
+        program_parts.append("p%d(t; X) <- seed%d(t; X)." % (chain, chain))
+        program_parts.append(
+            "p%d(t + %d; X) <- p%d(t; X)." % (chain, shift, chain)
+        )
+        program_parts.append(
+            "meet%d(t; X, Y) <- p%d(t; X), p%d(t; Y)." % (chain, chain, chain)
+        )
+    return (
+        parse_program("\n".join(program_parts)),
+        parse_database("\n".join(edb_parts)),
+    )
+
+
 def point_seed_workload(shift):
     """The non-closing workload of Section 4.4: a single time point
     propagated by ``+shift`` — periods stay 1, constraint safety is

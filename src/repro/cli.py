@@ -229,12 +229,16 @@ def _emit_json_line(report, out):
 def _cmd_run(args, out):
     program = parse_program(_read(args.program))
     edb = parse_database(_read(args.edb))
+    if args.parallel < 1:
+        raise _UsageError("--parallel must be a positive process count")
     engine = DeductiveEngine(
         program,
         edb,
         strategy=args.strategy,
         patience=args.patience,
         on_give_up="partial" if args.partial else "raise",
+        parallelism=args.parallel,
+        coverage_cache=not args.no_coverage_cache,
     )
     if args.checkpoint_every is not None:
         if args.checkpoint_every < 1:
@@ -613,6 +617,7 @@ def _build_service(args):
         ),
         default_deadline=args.deadline,
         work_dir=args.work_dir,
+        max_parallelism=args.max_parallelism,
     )
 
 
@@ -790,6 +795,20 @@ def build_parser():
     )
     run.add_argument("--patience", type=int, default=10)
     run.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each round's clause firings across N processes "
+        "(default 1: sequential; the model is identical either way)",
+    )
+    run.add_argument(
+        "--no-coverage-cache",
+        action="store_true",
+        help="disable the cross-round coverage cache (ablation; results "
+        "are identical, only implied_by_union call counts change)",
+    )
+    run.add_argument(
         "--partial",
         action="store_true",
         help="print the partial model instead of failing on give-up "
@@ -954,6 +973,14 @@ def _add_service(parser):
         "--work-dir",
         metavar="PATH",
         help="directory for per-job checkpoints (temporary by default)",
+    )
+    parser.add_argument(
+        "--max-parallelism",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on per-job shard parallelism "
+        "(default: cpu count divided by --workers)",
     )
     parser.add_argument(
         "--fault-plan",

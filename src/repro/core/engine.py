@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.evaluation import ProgramEvaluator
-from repro.core.safety import coverage_test, free_signatures, is_free_extension_safe
+from repro.core.safety import (
+    CoverageChecker,
+    coverage_test,
+    free_signatures,
+    is_free_extension_safe,
+)
 from repro.runtime.checkpoint import (
     Checkpoint,
     engine_fingerprint,
@@ -236,6 +241,20 @@ class DeductiveEngine:
         Clause-evaluation backend: ``"compiled"`` (default; the plan
         layer of :mod:`repro.plan`) or ``"reference"`` (the
         paper-literal product-then-select oracle).
+    parallelism:
+        Number of processes evaluating each round's clause-variant
+        firings (default 1: the sequential path, untouched).  With
+        ``parallelism >= 2`` the firings are sharded across a process
+        pool (:mod:`repro.plan.shard`) and merged in sequential firing
+        order, so the model, the stats, and the checkpoint fingerprints
+        are bit-identical to a sequential run; budget deadlines are
+        enforced at shard boundaries instead of between firings.
+    coverage_cache:
+        Memoize coverage verdicts across rounds on the growing IDB
+        relations (default True; ``"paper"`` safety mode only).  The
+        cache changes which tests call ``implied_by_union`` — never
+        their outcome; pass False for the exact call-for-call
+        behavior of earlier releases.
 
     >>> from repro.core import DeductiveEngine, parse_program
     >>> from repro.gdb import parse_database
@@ -262,6 +281,8 @@ class DeductiveEngine:
         patience=10,
         on_give_up="raise",
         evaluation="compiled",
+        parallelism=1,
+        coverage_cache=True,
     ):
         if strategy not in ("naive", "semi-naive"):
             raise ValueError("strategy must be 'naive' or 'semi-naive'")
@@ -274,8 +295,16 @@ class DeductiveEngine:
         self.max_rounds = max_rounds
         self.patience = patience
         self.on_give_up = on_give_up
+        self.coverage_cache = bool(coverage_cache)
         self._covered = coverage_test(safety)
-        self.evaluator = ProgramEvaluator(program, edb, evaluation=evaluation)
+        self.evaluator = ProgramEvaluator(
+            program, edb, evaluation=evaluation, parallelism=parallelism
+        )
+
+    @property
+    def parallelism(self):
+        """The configured shard count (1 = sequential)."""
+        return self.evaluator.parallelism
 
     # -- public API -------------------------------------------------------
 
@@ -284,7 +313,12 @@ class DeductiveEngine:
         text, strategy, safety mode, and the compiled plans must all
         match for a resume — a plan-layer change that would alter
         derivation order invalidates old checkpoints instead of
-        silently replaying differently."""
+        silently replaying differently.
+
+        ``parallelism`` and ``coverage_cache`` are deliberately *not*
+        hashed: neither changes a single derived tuple, so a checkpoint
+        written by a sequential run resumes under a parallel one (and
+        vice versa) with the same fingerprint."""
         return engine_fingerprint(
             str(self.program),
             str(self.edb),
@@ -327,6 +361,7 @@ class DeductiveEngine:
         stats = EvaluationStats(strategy=self.strategy, safety_mode=self.safety)
         started = time.perf_counter()
         meter = budget.start() if budget is not None else None
+        checker = CoverageChecker(self.safety, use_cache=self.coverage_cache)
         env = self.evaluator.initial_environment()
         known_signatures = {
             name: free_signatures(env[name]) for name in self.evaluator.intensional
@@ -404,6 +439,7 @@ class DeductiveEngine:
                     checkpoint_every=checkpoint_every,
                     checkpoint_path=checkpoint_path,
                     run_started=started,
+                    checker=checker,
                 )
                 last_signature_growth = stats.signature_stable_round
                 if hooks.SINKS:
@@ -446,6 +482,9 @@ class DeductiveEngine:
                 partial_model=self._partial_model(env, stats),
                 stats=stats,
             ) from error
+        finally:
+            # Shard workers live for one run; a later run restarts them.
+            self.evaluator.close_parallel()
 
         stats.elapsed_seconds = stats.prior_elapsed_seconds + (
             time.perf_counter() - started
@@ -503,6 +542,7 @@ class DeductiveEngine:
         checkpoint_every=None,
         checkpoint_path=None,
         run_started=None,
+        checker=None,
     ):
         """Fixpoint over one stratum's clauses; returns True when the
         stratum reached constraint safety, False on give-up/cap.
@@ -513,6 +553,16 @@ class DeductiveEngine:
         (and round events) carry live elapsed time."""
         if last_growth is None:
             last_growth = stats.rounds
+        if checker is None:
+            checker = CoverageChecker(self.safety, use_cache=self.coverage_cache)
+        parallel = self.evaluator.parallelism > 1
+        pending_update = None
+        if parallel:
+            # Workers replicate the stratum context once, then stay in
+            # sync from the per-round accepted-tuple updates.
+            self.evaluator.parallel_begin_stratum(
+                stratum_index, env, complements, delta
+            )
         while rounds_done < self.max_rounds:
             rounds_done += 1
             stats.rounds += 1
@@ -531,34 +581,57 @@ class DeductiveEngine:
             fault_point("round")
             if meter is not None:
                 meter.charge_round()
-            if self.strategy == "naive" or delta is None:
-                derived = self.evaluator.naive_round(
-                    env, evaluators=evaluators, complements=complements, meter=meter
+            seminaive = self.strategy != "naive" and delta is not None
+            if parallel:
+                tasks = self.evaluator.round_tasks(
+                    evaluators, delta if seminaive else None
                 )
-            else:
+                derived = self.evaluator.parallel_round(
+                    evaluators, tasks, pending_update, meter=meter
+                )
+                pending_update = None
+            elif seminaive:
                 derived = self.evaluator.seminaive_round(
                     env, delta, evaluators=evaluators, complements=complements,
                     meter=meter,
+                )
+            else:
+                derived = self.evaluator.naive_round(
+                    env, evaluators=evaluators, complements=complements, meter=meter
                 )
             stats.derived_tuples_per_round.append(
                 sum(len(ts) for ts in derived.values())
             )
 
+            if observing:
+                cache_hits, cache_misses = checker.hits, checker.misses
             fresh = {}
             seen_keys = set()
             for predicate, tuples in derived.items():
+                relation = env[predicate]
+                snapshot = relation.tuples  # one snapshot per sweep
                 for gt in tuples:
                     key = (predicate, gt.canonical_key())
                     if key in seen_keys:
                         continue
                     seen_keys.add(key)
-                    if self._covered(gt, env[predicate]):
+                    if checker.covered(gt, relation, snapshot):
                         continue
                     fresh.setdefault(predicate, []).append(gt)
 
             accepted = sum(len(ts) for ts in fresh.values())
             stats.new_tuples_per_round.append(accepted)
             if observing:
+                hooks.emit(
+                    "coverage.cache",
+                    {
+                        "round": stats.rounds,
+                        "stratum": stratum_index,
+                        "enabled": checker.use_cache,
+                        "hits": checker.hits - cache_hits,
+                        "misses": checker.misses - cache_misses,
+                    },
+                )
                 hooks.emit(
                     "engine.round",
                     {
@@ -585,6 +658,11 @@ class DeductiveEngine:
             if grew_signatures:
                 last_growth = stats.rounds
             delta = fresh
+            if parallel:
+                # Workers apply this in the same (predicate, tuple)
+                # order the parent just did, keeping replicas
+                # bit-identical.
+                pending_update = list(fresh.items())
 
             if meter is not None:
                 meter.charge_accepted(accepted)
@@ -636,6 +714,7 @@ class DeductiveEngine:
         result)."""
         limit = max_rounds or self.max_rounds
         meter = budget.start() if budget is not None else None
+        checker = CoverageChecker(self.safety, use_cache=self.coverage_cache)
         env = self.evaluator.initial_environment()
         round_number = 0
         for evaluators in self.evaluator.stratum_evaluators:
@@ -650,12 +729,14 @@ class DeductiveEngine:
                 fresh = {}
                 seen_keys = set()
                 for predicate, tuples in derived.items():
+                    relation = env[predicate]
+                    snapshot = relation.tuples
                     for gt in tuples:
                         key = (predicate, gt.canonical_key())
                         if key in seen_keys:
                             continue
                         seen_keys.add(key)
-                        if self._covered(gt, env[predicate]):
+                        if checker.covered(gt, relation, snapshot):
                             continue
                         fresh.setdefault(predicate, []).append(gt)
                 if not fresh:

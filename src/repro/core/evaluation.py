@@ -40,13 +40,26 @@ class ProgramEvaluator:
     ``"reference"`` (the paper-literal oracle).  Plans are compiled in
     either mode — the plan fingerprint stamps checkpoints and feeds
     ``repro explain`` regardless of which evaluator runs.
+
+    ``parallelism > 1`` shards each round's clause-variant firings
+    across a process pool (:mod:`repro.plan.shard`); the merged result
+    is bit-identical to the sequential round (see
+    :meth:`parallel_round`), and ``parallelism=1`` (the default) never
+    touches the pool machinery at all.
     """
 
-    def __init__(self, program, edb, evaluation="compiled"):
+    def __init__(self, program, edb, evaluation="compiled", parallelism=1):
         if evaluation not in _EVALUATION_MODES:
             raise ValueError(
                 "evaluation must be one of %s" % (_EVALUATION_MODES,)
             )
+        if parallelism is None:
+            parallelism = 1
+        parallelism = int(parallelism)
+        if parallelism < 1:
+            raise ValueError("parallelism must be a positive worker count")
+        self.parallelism = parallelism
+        self._shard_pool = None
         program.validate()
         self.program = program
         self.edb = edb
@@ -210,4 +223,79 @@ class ProgramEvaluator:
                     derived.setdefault(evaluator.head_predicate, []).extend(
                         relation.tuples
                     )
+        return derived
+
+    # -- parallel round execution ----------------------------------------
+
+    def round_tasks(self, evaluators, delta):
+        """The round's clause-variant firings as ``(clause index,
+        delta position | None)`` pairs, **in the exact order the
+        sequential loops fire them** — the shard merge replays this
+        order, which is what makes the parallel round bit-identical.
+
+        ``delta=None`` describes a naive round (one task per clause);
+        otherwise one task per intensional body position whose
+        predicate has a delta.
+        """
+        tasks = []
+        for index, evaluator in enumerate(evaluators):
+            if delta is None:
+                tasks.append((index, None))
+                continue
+            for position in evaluator.intensional_positions:
+                atom = evaluator.normalized.body_atoms[position]
+                if atom.predicate in delta:
+                    tasks.append((index, position))
+        return tasks
+
+    def shard_pool(self):
+        """The lazily created process pool (``parallelism >= 2`` only)."""
+        if self._shard_pool is None:
+            from repro.plan.shard import ShardPool
+
+            self._shard_pool = ShardPool(
+                str(self.program),
+                str(self.edb),
+                self.evaluation,
+                self.parallelism,
+                plan_fingerprint=self.plan_fingerprint(),
+            )
+        return self._shard_pool
+
+    def close_parallel(self):
+        """Tear down the shard pool; a later parallel round restarts it."""
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
+
+    def parallel_begin_stratum(self, stratum_index, env, complements, delta):
+        """Ship the stratum context to every worker (see
+        :meth:`repro.plan.shard.ShardPool.begin_stratum`)."""
+        self.shard_pool().begin_stratum(
+            stratum_index, env, complements, delta, self.intensional
+        )
+
+    def parallel_round(self, evaluators, tasks, update, meter=None):
+        """One sharded round: evaluate ``tasks`` across the pool and
+        merge deterministically.
+
+        The meter is consulted at the shard boundaries: one deadline
+        tick per task before dispatch, then the per-task derived-work
+        charges in sequential task order during the merge — the same
+        totals (and the same ``budget.charge`` event order) as the
+        sequential round, with the deadline enforced between shards
+        instead of between firings.
+        """
+        if meter is not None:
+            for _ in tasks:
+                meter.tick_clause()
+        per_task = self.shard_pool().run_round(tasks, update)
+        derived = {}
+        for (index, _position), tuples in zip(tasks, per_task):
+            if meter is not None and tuples:
+                meter.charge_derived(len(tuples))
+            if tuples:
+                derived.setdefault(
+                    evaluators[index].head_predicate, []
+                ).extend(tuples)
         return derived

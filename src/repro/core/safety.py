@@ -30,12 +30,18 @@ def free_signatures(relation):
     return {gt.free_signature() for gt in relation.tuples}
 
 
-def covered_paper(gt, relation):
+def covered_paper(gt, relation, snapshot=None):
     """The paper's constraint-safety coverage test for one tuple:
     is ``constraints(gt)`` implied by the disjunction of the
     constraints of the tuples of ``relation`` with the same free
-    extension?"""
+    extension?  ``snapshot`` is accepted for signature parity with
+    :func:`covered_semantic` (the signature index already makes the
+    lookup per-sweep cheap)."""
     fault_point("coverage")
+    return _covered_paper_uncached(gt, relation)
+
+
+def _covered_paper_uncached(gt, relation):
     same_signature = [
         existing.constraints
         for existing in relation.tuples_with_signature(gt.free_signature())
@@ -45,12 +51,17 @@ def covered_paper(gt, relation):
     return gt.constraints.implied_by_union(same_signature)
 
 
-def covered_semantic(gt, relation):
+def covered_semantic(gt, relation, snapshot=None):
     """Exact extension coverage: ``gt ⊆ relation`` (same data tuples
     may have different lrps).  Strictly stronger than
-    :func:`covered_paper`; used as an ablation (experiment E8)."""
+    :func:`covered_paper`; used as an ablation (experiment E8).
+
+    ``snapshot`` is the relation's tuple sequence, taken once per
+    coverage sweep by the callers — relations are immutable, so
+    ``relation.tuples`` itself is the snapshot and no per-derived-tuple
+    copy is ever needed."""
     fault_point("coverage")
-    remaining = gt.subtract(list(relation.tuples))
+    remaining = gt.subtract(relation.tuples if snapshot is None else snapshot)
     return all(piece.is_empty() for piece in remaining)
 
 
@@ -70,14 +81,73 @@ def coverage_test(mode):
         ) from None
 
 
+class CoverageChecker:
+    """The engine's per-run coverage test, with the cross-round cache.
+
+    In ``"paper"`` mode with ``use_cache`` the checker memoizes each
+    verdict on the relation's :meth:`~repro.gdb.relation.
+    GeneralizedRelation.coverage_cache`, keyed by the derived tuple's
+    free signature and constraint canonical key.  Because the engine's
+    relations grow monotonically (``with_tuples`` carries the cache
+    forward, dropping only the stale negatives of touched signatures),
+    a tuple re-derived in a later round — the common case on the road
+    to the fixpoint — answers from the memo without touching
+    ``implied_by_union`` at all.
+
+    ``hits``/``misses`` count memo outcomes (with the cache off, every
+    test is a miss); the engine emits them per round as
+    ``coverage.cache`` events on the observability bus.  The
+    ``coverage`` fault-injection site fires once per test either way,
+    so fault plans behave identically with the cache on or off.
+    """
+
+    def __init__(self, mode="paper", use_cache=True):
+        coverage_test(mode)  # validate the mode name eagerly
+        self.mode = mode
+        self.use_cache = bool(use_cache) and mode == "paper"
+        self.hits = 0
+        self.misses = 0
+
+    def covered(self, gt, relation, snapshot=None):
+        """Is ``gt`` covered by ``relation`` under this checker's mode?"""
+        fault_point("coverage")
+        if self.mode != "paper":
+            self.misses += 1
+            remaining = gt.subtract(
+                relation.tuples if snapshot is None else snapshot
+            )
+            return all(piece.is_empty() for piece in remaining)
+        if not self.use_cache:
+            self.misses += 1
+            return _covered_paper_uncached(gt, relation)
+        signature = gt.free_signature()
+        cache = relation.coverage_cache()
+        verdicts = cache.get(signature)
+        key = gt.constraints.canonical_key()
+        if verdicts is not None:
+            cached = verdicts.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        self.misses += 1
+        result = _covered_paper_uncached(gt, relation)
+        if verdicts is None:
+            verdicts = cache[signature] = {}
+        verdicts[key] = result
+        return result
+
+
 def is_constraint_safe(derived, env, mode="paper"):
     """True when every derived tuple is covered by the environment —
-    the stopping condition of Theorem 4.3."""
+    the stopping condition of Theorem 4.3.  The relation's tuple
+    sequence is snapshotted once per predicate (one sweep), not per
+    derived tuple."""
     test = coverage_test(mode)
     for predicate, tuples in derived.items():
         relation = env[predicate]
+        snapshot = relation.tuples
         for gt in tuples:
-            if not test(gt, relation):
+            if not test(gt, relation, snapshot):
                 return False
     return True
 

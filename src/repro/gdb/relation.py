@@ -36,7 +36,15 @@ class GeneralizedRelation:
     True
     """
 
-    __slots__ = ("temporal_arity", "data_arity", "tuples", "_data_indexes", "_sig_index")
+    __slots__ = (
+        "temporal_arity",
+        "data_arity",
+        "tuples",
+        "_data_indexes",
+        "_sig_index",
+        "_coverage_cache",
+        "coverage_generation",
+    )
 
     def __init__(self, temporal_arity, data_arity, tuples=()):
         self.temporal_arity = temporal_arity
@@ -44,6 +52,8 @@ class GeneralizedRelation:
         self.tuples = tuple(tuples)
         self._data_indexes = None
         self._sig_index = None
+        self._coverage_cache = None
+        self.coverage_generation = 0
         for gt in self.tuples:
             self._check(gt)
 
@@ -58,6 +68,8 @@ class GeneralizedRelation:
         relation.tuples = tuple(tuples)
         relation._data_indexes = None
         relation._sig_index = None
+        relation._coverage_cache = None
+        relation.coverage_generation = 0
         return relation
 
     def _check(self, gt):
@@ -94,13 +106,36 @@ class GeneralizedRelation:
         Only the new tuples are schema-checked (the existing ones were
         checked when this relation was built), so growing a relation by
         a delta is O(len(delta)), not O(len(relation)).
+
+        The coverage cache (see :meth:`coverage_cache`) is the one
+        cache that survives the "mutation": inserts only ever *add*
+        tuples, so a positive coverage verdict stays valid forever and
+        a negative one only goes stale for the free signatures the new
+        tuples carry.  The grown relation therefore inherits every
+        cached verdict except the negatives of touched signatures, and
+        its generation counter is bumped so observers can see the
+        insert happened.
         """
         gts = tuple(gts)
         for gt in gts:
             self._check(gt)
-        return GeneralizedRelation._trusted(
+        grown = GeneralizedRelation._trusted(
             self.temporal_arity, self.data_arity, self.tuples + gts
         )
+        grown.coverage_generation = self.coverage_generation + 1
+        cache = self._coverage_cache
+        if cache:
+            touched = {gt.free_signature() for gt in gts}
+            inherited = {}
+            for signature, verdicts in cache.items():
+                if signature in touched:
+                    kept = {key: True for key, value in verdicts.items() if value}
+                    if kept:
+                        inherited[signature] = kept
+                else:
+                    inherited[signature] = dict(verdicts)
+            grown._coverage_cache = inherited
+        return grown
 
     # -- structure ------------------------------------------------------------
 
@@ -171,6 +206,24 @@ class GeneralizedRelation:
     def tuples_with_signature(self, signature):
         """The tuples whose free extension matches ``signature``."""
         return self.signature_index().get(signature, [])
+
+    def coverage_cache(self):
+        """The cross-round coverage memo:
+        ``{free signature: {constraint canonical key: covered?}}``.
+
+        Written by the engine's coverage test (see
+        :class:`repro.core.safety.CoverageChecker`): a verdict recorded
+        here is valid for this exact relation value.  Unlike the lazy
+        indexes above it is *carried across* :meth:`with_tuples` —
+        inserts are monotone, so positive verdicts survive and only the
+        negatives of the inserted tuples' signatures are dropped.  That
+        carry-over is what lets unchanged signatures skip
+        ``implied_by_union`` entirely from round to round.
+        """
+        cache = self._coverage_cache
+        if cache is None:
+            cache = self._coverage_cache = {}
+        return cache
 
     # -- algebra ------------------------------------------------------------------
 

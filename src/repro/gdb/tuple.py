@@ -119,7 +119,7 @@ class GeneralizedTuple:
     True
     """
 
-    __slots__ = ("lrps", "data", "constraints", "_hash")
+    __slots__ = ("lrps", "data", "constraints", "_hash", "_free_signature")
 
     def __init__(self, lrps, data=(), constraints=None):
         self.lrps = tuple(lrps)
@@ -133,6 +133,7 @@ class GeneralizedTuple:
             )
         self.constraints = constraints
         self._hash = None
+        self._free_signature = None
 
     # -- basic structure ---------------------------------------------------
 
@@ -151,8 +152,17 @@ class GeneralizedTuple:
         return GeneralizedTuple(self.lrps, self.data)
 
     def free_signature(self):
-        """Hashable signature of the free extension: (lrps, data)."""
-        return (self.lrps, self.data)
+        """Hashable signature of the free extension: (lrps, data).
+
+        Both the coverage tests and the relation signature index look
+        this up for every derived tuple, so the pair (and therefore the
+        hash of its shared element tuples) is built once and memoized —
+        the tuple is immutable, the signature can never change.
+        """
+        signature = self._free_signature
+        if signature is None:
+            signature = self._free_signature = (self.lrps, self.data)
+        return signature
 
     def contains_point(self, times, data=()):
         """True when the ground tuple ``(times, data)`` belongs to the

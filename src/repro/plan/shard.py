@@ -1,0 +1,366 @@
+"""Process-pool sharding of one T_GP round (``parallelism > 1``).
+
+Within a round, every clause-variant firing reads only the *previous*
+environment (plus the last round's delta), so the firings of one round
+are embarrassingly parallel.  The GIL makes threads useless for this
+CPU-bound work, so the shards are **processes**: each worker rebuilds
+the compiled plans from the program/EDB *texts* (the same canonical
+texts the engine fingerprint hashes — the worker verifies its plan
+fingerprint against the parent's at startup), replicates the growing
+IDB environment from the accepted-tuple updates the parent broadcasts
+each round, and evaluates the task subset it is handed.
+
+Determinism is by construction, not by luck:
+
+* the parent enumerates the round's tasks in exactly the sequential
+  firing order (stratum clause order, then intensional body position
+  order) and reassembles worker results by global task index, so the
+  merged ``{predicate: [tuples]}`` dict is element-for-element the one
+  the sequential round would have built;
+* tuples and relations cross the process boundary as their canonical
+  JSON forms (:meth:`~repro.gdb.tuple.GeneralizedTuple.to_json_dict`),
+  the same representation checkpoints rely on for bit-identical
+  resume, so worker-side evaluation sees value-identical inputs in the
+  same order.
+
+Observability sinks and fault hooks are parent-side concerns: workers
+clear :data:`repro.util.hooks.SINKS` and the fault hook at startup, so
+plan-operator events and injected faults keep their sequential
+semantics (they fire where the budget is metered — in the parent — or
+not at all).
+
+The pool prefers the ``fork`` start method (cheap, copy-on-write) and
+falls back to ``spawn`` where fork is unavailable; set
+``REPRO_PARALLEL_START_METHOD`` to override.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.util.errors import EvaluationError
+
+
+class ShardError(EvaluationError):
+    """A shard worker failed or disagreed with the parent's plans."""
+
+
+def _start_method(override=None):
+    method = override or os.environ.get("REPRO_PARALLEL_START_METHOD")
+    if method:
+        return method
+    return (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else multiprocessing.get_start_method(allow_none=False)
+    )
+
+
+def _relation_payload(relation):
+    return relation.to_json_dict()
+
+
+def _tuples_payload(tuples):
+    return [gt.to_json_dict() for gt in tuples]
+
+
+class ShardPool:
+    """``parallelism`` worker processes evaluating round shards.
+
+    The pool is built lazily from the *texts* of the program and EDB
+    (``str(program)`` / ``str(edb)`` round-trip through the parsers —
+    the same property the engine fingerprint depends on) so the
+    snapshot shipped to workers is trivially picklable under any
+    multiprocessing start method.
+    """
+
+    def __init__(
+        self,
+        program_text,
+        edb_text,
+        evaluation,
+        parallelism,
+        plan_fingerprint=None,
+        start_method=None,
+    ):
+        if parallelism < 2:
+            raise ValueError("a shard pool needs parallelism >= 2")
+        self.program_text = program_text
+        self.edb_text = edb_text
+        self.evaluation = evaluation
+        self.parallelism = parallelism
+        self.expected_fingerprint = plan_fingerprint
+        self.start_method = _start_method(start_method)
+        self._workers = []  # [(process, connection)]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def started(self):
+        return bool(self._workers)
+
+    def ensure_started(self):
+        if self._workers:
+            return
+        context = multiprocessing.get_context(self.start_method)
+        bootstrap = {
+            "program": self.program_text,
+            "edb": self.edb_text,
+            "evaluation": self.evaluation,
+        }
+        for index in range(self.parallelism):
+            parent_end, child_end = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_end, bootstrap),
+                name="repro-shard-%d" % index,
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._workers.append((process, parent_end))
+        for process, connection in self._workers:
+            ready = self._receive(connection, process)
+            fingerprint = ready.get("plan_fingerprint")
+            if (
+                self.expected_fingerprint is not None
+                and fingerprint != self.expected_fingerprint
+            ):
+                self.close()
+                raise ShardError(
+                    "shard worker compiled different plans than the parent "
+                    "(plan fingerprint mismatch %r != %r) — the program/EDB "
+                    "texts do not round-trip" % (fingerprint, self.expected_fingerprint)
+                )
+
+    def close(self):
+        """Stop the workers; safe to call repeatedly."""
+        for process, connection in self._workers:
+            try:
+                connection.send({"op": "stop"})
+            except (OSError, ValueError):
+                pass
+        for process, connection in self._workers:
+            try:
+                connection.close()
+            except OSError:
+                pass
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._workers = []
+
+    # -- round protocol ---------------------------------------------------
+
+    def begin_stratum(self, stratum_index, env, complements, delta, intensional):
+        """Broadcast the stratum context: the current IDB relations
+        (which a resume may have pre-populated), the negated-predicate
+        complements, and the in-flight delta (``None`` outside a
+        mid-stratum resume)."""
+        self.ensure_started()
+        message = {
+            "op": "stratum",
+            "stratum": stratum_index,
+            "env": {
+                name: _relation_payload(env[name]) for name in intensional
+            },
+            "complements": {
+                name: _relation_payload(relation)
+                for name, relation in complements.items()
+            },
+            "delta": None
+            if delta is None
+            else {name: _tuples_payload(tuples) for name, tuples in delta.items()},
+        }
+        self._broadcast(message)
+
+    def run_round(self, tasks, update):
+        """Evaluate ``tasks`` (global sequential order) across the
+        workers and return the per-task derived tuple lists, reassembled
+        in that same order.
+
+        ``update`` is the previous round's accepted-tuple delta as an
+        ordered ``[(predicate, [tuples])]`` list (or ``None`` for the
+        first round of a stratum); every worker applies it to its
+        replica environment — in the parent's insertion order — before
+        evaluating, which also makes it the round's semi-naive delta.
+        """
+        from repro.gdb.tuple import GeneralizedTuple
+
+        update_payload = (
+            None
+            if update is None
+            else [
+                [name, _tuples_payload(tuples)] for name, tuples in update
+            ]
+        )
+        workers = self._workers
+        count = len(workers)
+        for shard, (process, connection) in enumerate(workers):
+            self._send(
+                connection,
+                process,
+                {
+                    "op": "round",
+                    # Round-robin keeps shard loads level when task
+                    # costs are skewed toward one end of the list.
+                    "tasks": [list(task) for task in tasks[shard::count]],
+                    "update": update_payload,
+                },
+            )
+        merged = [None] * len(tasks)
+        for shard, (process, connection) in enumerate(workers):
+            reply = self._receive(connection, process)
+            for offset, tuples_json in enumerate(reply["results"]):
+                merged[shard + offset * count] = [
+                    GeneralizedTuple.from_json_dict(payload)
+                    for payload in tuples_json
+                ]
+        return merged
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _broadcast(self, message):
+        for process, connection in self._workers:
+            self._send(connection, process, message)
+        for process, connection in self._workers:
+            self._receive(connection, process)
+
+    def _send(self, connection, process, message):
+        try:
+            connection.send(message)
+        except (OSError, ValueError) as error:
+            raise ShardError(
+                "shard worker %s is gone: %s" % (process.name, error)
+            ) from error
+
+    def _receive(self, connection, process):
+        try:
+            reply = connection.recv()
+        except (EOFError, OSError) as error:
+            raise ShardError(
+                "shard worker %s died mid-round (exit code %r)"
+                % (process.name, process.exitcode)
+            ) from error
+        if not reply.get("ok"):
+            raise ShardError(
+                "shard worker %s failed: %s"
+                % (process.name, reply.get("error", "unknown error"))
+            )
+        return reply
+
+
+def _worker_main(connection, bootstrap):
+    """Shard worker loop: rebuild the evaluator, replicate the
+    environment, answer round requests until told to stop."""
+    # Observability and fault injection belong to the parent; a forked
+    # worker must not double-report to inherited sinks or re-fire
+    # injected faults.
+    from repro.util import hooks
+
+    hooks.SINKS = ()
+    hooks.FAULT_HOOK = None
+
+    from repro.core.evaluation import ProgramEvaluator
+    from repro.core.parser import parse_program
+    from repro.gdb.parser import parse_database
+    from repro.gdb.relation import GeneralizedRelation
+    from repro.gdb.tuple import GeneralizedTuple
+
+    try:
+        program = parse_program(bootstrap["program"])
+        edb = parse_database(bootstrap["edb"])
+        evaluator = ProgramEvaluator(
+            program, edb, evaluation=bootstrap["evaluation"]
+        )
+        env = evaluator.initial_environment()
+        connection.send(
+            {"ok": True, "plan_fingerprint": evaluator.plan_fingerprint()}
+        )
+    except Exception as error:  # pragma: no cover - startup failure path
+        try:
+            connection.send({"ok": False, "error": repr(error)})
+        finally:
+            connection.close()
+        return
+
+    stratum_index = 0
+    complements = {}
+    delta = None  # {predicate: [GeneralizedTuple]}
+
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        op = message.get("op")
+        if op == "stop":
+            break
+        try:
+            if op == "stratum":
+                stratum_index = message["stratum"]
+                for name, payload in message["env"].items():
+                    env[name] = GeneralizedRelation.from_json_dict(payload)
+                complements = {
+                    name: GeneralizedRelation.from_json_dict(payload)
+                    for name, payload in message["complements"].items()
+                }
+                delta = None
+                if message["delta"] is not None:
+                    delta = {
+                        name: [
+                            GeneralizedTuple.from_json_dict(item)
+                            for item in tuples
+                        ]
+                        for name, tuples in message["delta"].items()
+                    }
+                connection.send({"ok": True})
+            elif op == "round":
+                if message["update"] is not None:
+                    delta = {}
+                    for name, tuples_json in message["update"]:
+                        tuples = [
+                            GeneralizedTuple.from_json_dict(item)
+                            for item in tuples_json
+                        ]
+                        env[name] = env[name].with_tuples(tuples)
+                        delta[name] = tuples
+                delta_env = None
+                if delta is not None:
+                    delta_env = {
+                        name: GeneralizedRelation(
+                            *evaluator.schemas[name], tuples=tuples
+                        )
+                        for name, tuples in delta.items()
+                    }
+                evaluators = evaluator.stratum_evaluators[stratum_index]
+                results = []
+                for index, position in message["tasks"]:
+                    clause = evaluators[index]
+                    if position is None:
+                        relation = clause.evaluate(env, complements=complements)
+                    else:
+                        relation = clause.evaluate(
+                            env,
+                            delta=delta_env,
+                            delta_position=position,
+                            complements=complements,
+                        )
+                    results.append(
+                        [gt.to_json_dict() for gt in relation.tuples]
+                    )
+                connection.send({"ok": True, "results": results})
+            else:
+                connection.send(
+                    {"ok": False, "error": "unknown op %r" % (op,)}
+                )
+        except Exception as error:
+            try:
+                connection.send({"ok": False, "error": repr(error)})
+            except (OSError, ValueError):
+                break
+    try:
+        connection.close()
+    except OSError:
+        pass

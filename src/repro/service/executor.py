@@ -59,11 +59,25 @@ class AttemptOutcome:
 
 
 class JobExecutor:
-    """Runs single attempts; owns the per-job checkpoint files."""
+    """Runs single attempts; owns the per-job checkpoint files.
 
-    def __init__(self, work_dir=None, checkpoint_every=1):
+    ``max_parallelism`` caps what any one job's ``parallelism`` request
+    may claim — the service sets it from its worker-pool size so
+    concurrent jobs cannot multiply shard processes past the host.
+    """
+
+    def __init__(self, work_dir=None, checkpoint_every=1, max_parallelism=None):
         self.work_dir = work_dir
         self.checkpoint_every = checkpoint_every
+        self.max_parallelism = max_parallelism
+
+    def effective_parallelism(self, spec):
+        """The shard count this job actually runs with: its request,
+        clamped to the executor cap (both default to 1/sequential)."""
+        requested = spec.parallelism or 1
+        if self.max_parallelism is not None:
+            return max(1, min(requested, self.max_parallelism))
+        return requested
 
     def checkpoint_path(self, spec):
         """Where ``run`` attempts for this job checkpoint (``None``
@@ -107,6 +121,7 @@ class JobExecutor:
             patience=spec.patience,
             on_give_up="partial",
             evaluation=backend,
+            parallelism=self.effective_parallelism(spec),
         )
         path = self.checkpoint_path(spec)
         resume_from = path if path is not None and os.path.exists(path) else None

@@ -10,6 +10,12 @@ for every admitted job: ``ok``, ``partial`` (typed degraded result),
 resilience trace (``attempts``, ``backend``, ``degradation``,
 ``resumed``) so batch consumers can see *how* an answer was produced,
 not just what it is.
+
+``run`` jobs may request sharded round evaluation with
+``parallelism``; the service caps the request against its own
+worker-pool capacity (see :class:`~repro.service.pool.QueryService`),
+because ``workers`` engine threads each forking ``N`` shard processes
+would otherwise oversubscribe the host.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ class JobSpec:
     patience: int = 10
     strategy: str = "semi-naive"
     window: Optional[Tuple[int, int]] = None
+    parallelism: Optional[int] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -61,6 +68,8 @@ class JobSpec:
             )
         if not self.job_id:
             raise ValueError("job_id must be non-empty")
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValueError("parallelism must be a positive process count")
 
     def program_key(self):
         """A stable digest identifying this job's *program* — the unit
@@ -91,6 +100,7 @@ class JobSpec:
             patience=payload.get("patience", 10),
             strategy=payload.get("strategy", "semi-naive"),
             window=None if window is None else (int(window[0]), int(window[1])),
+            parallelism=payload.get("parallelism"),
         )
 
 

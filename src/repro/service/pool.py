@@ -209,6 +209,11 @@ class QueryService:
         Extra seconds past a job's deadline before the supervisor
         declares the worker hung and abandons it (jobs without any
         deadline are never declared hung).
+    max_parallelism:
+        Cap on any one job's requested shard ``parallelism``.  Defaults
+        to ``cpu_count // workers`` (at least 1) so ``workers``
+        concurrent jobs forking shard pools cannot oversubscribe the
+        host.
     sleeper / clock:
         Injectable for tests.
     metrics:
@@ -235,11 +240,22 @@ class QueryService:
         sleeper=None,
         clock=None,
         metrics=None,
+        max_parallelism=None,
     ):
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if queue_limit < 1:
             raise ValueError("queue_limit must be positive")
+        if max_parallelism is None:
+            # Default cap: split the host's cores across the engine
+            # workers, so `workers` jobs each forking their shard pool
+            # cannot oversubscribe the machine.
+            max_parallelism = max(
+                1, (os.cpu_count() or 1) // max(1, workers)
+            )
+        elif max_parallelism < 1:
+            raise ValueError("max_parallelism must be positive")
+        self.max_parallelism = max_parallelism
         self.configured_workers = workers
         self.queue_limit = queue_limit
         self.retry = retry or RetryPolicy()
@@ -257,7 +273,9 @@ class QueryService:
             os.makedirs(work_dir, exist_ok=True)
         self.work_dir = work_dir
         self.executor = JobExecutor(
-            work_dir=work_dir, checkpoint_every=checkpoint_every
+            work_dir=work_dir,
+            checkpoint_every=checkpoint_every,
+            max_parallelism=max_parallelism,
         )
 
         self._queue = collections.deque()

@@ -1,0 +1,267 @@
+"""Parallel sharded rounds and the cross-round coverage cache.
+
+The contract under test is exact reproduction: ``parallelism > 1``
+shards the firings of each T_GP round across worker processes, and
+the merged result — model, per-round stats, checkpoint payloads — is
+*identical* to the sequential run, not merely equivalent.  The
+Hypothesis property drives that over random stratified programs; the
+unit tests pin the coverage-cache semantics (hits on re-tests,
+invalidation on insert, events on the bus) and the service-level
+parallelism cap.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeductiveEngine, parse_program
+from repro.core.safety import CoverageChecker
+from repro.gdb import parse_database
+from repro.service.executor import JobExecutor
+from repro.service.jobs import JobSpec
+from repro.util import hooks
+
+from tests.test_plan_property import edb, program_text
+
+EXAMPLE_41_EDB = """
+relation course[2; 1] {
+  (168n+8, 168n+10; "database") where T2 = T1 + 2;
+}
+"""
+
+EXAMPLE_41_PROGRAM = """
+problems(t1 + 2, t2 + 2; "database") <- course(t1, t2; "database").
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+
+def _run(text, strategy, parallelism, checkpoint_path=None, **kwargs):
+    engine = DeductiveEngine(
+        parse_program(text),
+        edb(),
+        strategy=strategy,
+        parallelism=parallelism,
+        max_rounds=40,
+        patience=4,
+        on_give_up="partial",
+        **kwargs
+    )
+    model = engine.run(
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=1 if checkpoint_path else None,
+    )
+    return engine, model
+
+
+def _checkpoint_payload(path):
+    """The checkpoint JSON with wall-clock fields normalized (they are
+    the only run-to-run nondeterminism in the format).  ``None`` when
+    the run never accepted a tuple and so never snapshotted."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        payload = json.load(handle)
+    for key in (
+        "elapsed_seconds",
+        "prior_elapsed_seconds",
+        "segment_elapsed_seconds",
+    ):
+        payload["stats"][key] = 0.0
+    return payload
+
+
+@settings(max_examples=12, deadline=None)
+@given(program_text(), st.sampled_from(["naive", "semi-naive"]))
+def test_parallel_reproduces_sequential(tmp_path_factory, text, strategy):
+    base = tmp_path_factory.mktemp("parallel-prop")
+    seq_path = os.path.join(str(base), "seq.ckpt.json")
+    par_path = os.path.join(str(base), "par.ckpt.json")
+    seq_engine, sequential = _run(text, strategy, 1, checkpoint_path=seq_path)
+    par_engine, parallel = _run(text, strategy, 2, checkpoint_path=par_path)
+    assert par_engine.fingerprint() == seq_engine.fingerprint()
+    assert parallel.predicates() == sequential.predicates()
+    for name in sequential.predicates():
+        assert parallel.relation(name).equivalent(sequential.relation(name))
+    # Stronger than equivalence: the merged derivations are replayed in
+    # sequential order, so the canonical texts and the whole per-round
+    # history match exactly — including give-up/partial outcomes.
+    assert str(parallel) == str(sequential)
+    assert parallel.stats.to_dict().keys() == sequential.stats.to_dict().keys()
+    assert (
+        parallel.stats.new_tuples_per_round
+        == sequential.stats.new_tuples_per_round
+    )
+    assert (
+        parallel.stats.derived_tuples_per_round
+        == sequential.stats.derived_tuples_per_round
+    )
+    assert parallel.stats.gave_up == sequential.stats.gave_up
+    assert _checkpoint_payload(par_path) == _checkpoint_payload(seq_path)
+
+
+def test_parallel_example41_trace_shape():
+    """The paper's Example 4.1 still closes in 8 rounds when sharded."""
+    engine = DeductiveEngine(
+        parse_program(EXAMPLE_41_PROGRAM),
+        parse_database(EXAMPLE_41_EDB),
+        strategy="naive",
+        parallelism=2,
+    )
+    model = engine.run()
+    assert model.stats.rounds == 8
+    assert model.stats.constraint_safe
+
+
+def test_parallelism_validation():
+    program = parse_program("p(t; X) <- a(t; X).")
+    with pytest.raises(ValueError):
+        DeductiveEngine(program, edb(), parallelism=0)
+    engine = DeductiveEngine(program, edb(), parallelism=None)
+    assert engine.parallelism == 1
+
+
+# -- coverage cache ---------------------------------------------------------
+
+
+def _single_tuple(text):
+    return parse_database(text).relation("r")
+
+
+def test_coverage_cache_hits_on_retest():
+    relation = _single_tuple("relation r[1; 0] { (2n) where T1 >= 0; }")
+    candidate = _single_tuple(
+        "relation r[1; 0] { (2n+4) where T1 >= 0; }"
+    ).tuples[0]
+    checker = CoverageChecker("paper")
+    assert checker.covered(candidate, relation)
+    assert (checker.hits, checker.misses) == (0, 1)
+    assert checker.covered(candidate, relation)
+    assert (checker.hits, checker.misses) == (1, 1)
+
+
+def test_coverage_cache_disabled_never_hits():
+    relation = _single_tuple("relation r[1; 0] { (2n) where T1 >= 0; }")
+    candidate = _single_tuple(
+        "relation r[1; 0] { (2n+4) where T1 >= 0; }"
+    ).tuples[0]
+    checker = CoverageChecker("paper", use_cache=False)
+    assert checker.covered(candidate, relation)
+    assert checker.covered(candidate, relation)
+    assert (checker.hits, checker.misses) == (0, 2)
+    assert relation._coverage_cache is None
+
+
+def test_coverage_cache_invalidated_by_insert():
+    """A negative verdict must not survive an insert that touches its
+    signature — the inserted tuple may be exactly what covers it."""
+    relation = _single_tuple("relation r[1; 0] { (4n) where T1 >= 0; }")
+    candidate = _single_tuple(
+        "relation r[1; 0] { (4n+2) where T1 >= 0; }"
+    ).tuples[0]
+    checker = CoverageChecker("paper")
+    assert not checker.covered(candidate, relation)
+    grown = relation.with_tuples([candidate])
+    assert grown.coverage_generation == relation.coverage_generation + 1
+    assert checker.covered(candidate, grown)
+    # The re-test on the grown relation recomputed (miss), then caches.
+    assert checker.misses == 2
+    assert checker.covered(candidate, grown)
+    assert checker.hits == 1
+
+
+def test_coverage_cache_positive_verdicts_survive_other_inserts():
+    """True verdicts are monotone (coverage only grows), so an insert
+    at a *different* signature keeps them warm."""
+    relation = _single_tuple(
+        'relation r[1; 1] { (2n; "x") where T1 >= 0; }'
+    )
+    covered = _single_tuple(
+        'relation r[1; 1] { (2n+4; "x") where T1 >= 0; }'
+    ).tuples[0]
+    other = _single_tuple(
+        'relation r[1; 1] { (3n; "y") where T1 >= 0; }'
+    ).tuples[0]
+    checker = CoverageChecker("paper")
+    assert checker.covered(covered, relation)
+    grown = relation.with_tuples([other])
+    assert checker.covered(covered, grown)
+    assert (checker.hits, checker.misses) == (1, 1)
+
+
+def test_coverage_cache_events_and_model_identity():
+    """Example 4.1 naive: the cache cuts ``implied_by_union`` work
+    (misses) without changing the model, and the sweep emits
+    ``coverage.cache`` events with the per-round deltas."""
+    program = parse_program(EXAMPLE_41_PROGRAM)
+    database = parse_database(EXAMPLE_41_EDB)
+
+    def run(coverage_cache):
+        events = []
+        hooks.subscribe(
+            lambda kind, fields: events.append(dict(fields))
+            if kind == "coverage.cache"
+            else None
+        )
+        try:
+            engine = DeductiveEngine(
+                program,
+                database,
+                strategy="naive",
+                coverage_cache=coverage_cache,
+            )
+            model = engine.run()
+        finally:
+            hooks.SINKS = ()
+        return model, events
+
+    cached_model, cached_events = run(True)
+    uncached_model, uncached_events = run(False)
+    assert str(cached_model) == str(uncached_model)
+    assert all(event["enabled"] for event in cached_events)
+    assert not any(event["enabled"] for event in uncached_events)
+    cached_hits = sum(event["hits"] for event in cached_events)
+    cached_misses = sum(event["misses"] for event in cached_events)
+    uncached_hits = sum(event["hits"] for event in uncached_events)
+    uncached_misses = sum(event["misses"] for event in uncached_events)
+    assert uncached_hits == 0
+    assert cached_hits > 0
+    assert cached_misses < uncached_misses
+    # Same number of coverage decisions either way — the cache changes
+    # how they are answered, never how many are asked.
+    assert cached_hits + cached_misses == uncached_misses
+
+
+def test_free_signature_is_memoized():
+    relation = _single_tuple("relation r[1; 0] { (2n) where T1 >= 0; }")
+    gt = relation.tuples[0]
+    assert gt._free_signature is None
+    first = gt.free_signature()
+    assert gt._free_signature is first
+    assert gt.free_signature() is first
+
+
+# -- service-level parallelism cap ------------------------------------------
+
+
+def test_job_spec_parallelism_roundtrip_and_validation():
+    spec = JobSpec.from_json_dict(
+        {"id": "j", "kind": "run", "program": "x", "parallelism": 3}
+    )
+    assert spec.parallelism == 3
+    with pytest.raises(ValueError):
+        JobSpec(job_id="j", kind="run", parallelism=0)
+
+
+def test_executor_caps_job_parallelism():
+    executor = JobExecutor(max_parallelism=2)
+    capped = JobSpec(job_id="j", kind="run", parallelism=8)
+    modest = JobSpec(job_id="k", kind="run", parallelism=1)
+    default = JobSpec(job_id="l", kind="run")
+    assert executor.effective_parallelism(capped) == 2
+    assert executor.effective_parallelism(modest) == 1
+    assert executor.effective_parallelism(default) == 1
+    uncapped = JobExecutor()
+    assert uncapped.effective_parallelism(capped) == 8

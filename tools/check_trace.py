@@ -27,6 +27,7 @@ REQUIRED_FIELDS = {
     "plan.operator": ("op", "out", "duration_s"),
     "checkpoint.write": ("path", "bytes", "duration_s"),
     "budget.charge": ("dimension", "amount", "total"),
+    "coverage.cache": ("round", "stratum", "enabled", "hits", "misses"),
     "service.job": ("phase", "job_id"),
 }
 
