@@ -31,6 +31,7 @@ import sys
 import time
 
 from repro.core import DeductiveEngine
+from repro.runtime.faults import FaultPlan
 from repro.util import hooks
 
 from workloads import example_41, multi_chain_workload, shift_cycle_workload
@@ -38,6 +39,13 @@ from workloads import example_41, multi_chain_workload, shift_cycle_workload
 REPS = 3
 PARALLELISMS = (2, 4)
 SPEEDUP_TARGET = 1.5
+
+#: The faulted-recovery scenario: SIGKILL one shard worker at the
+#: FAULT_AT-th dispatch (worker 2 of round 2 at parallelism 2) and
+#: measure what healing costs against the clean parallel run.
+FAULT_SITE = "shard_worker_crash"
+FAULT_AT = 4
+FAULT_PARALLELISM = 2
 
 
 def _usable_cpus():
@@ -88,7 +96,8 @@ def _assert_equivalent(name, sequential, parallel):
 
 def _scaling(name, program, edb, strategy="semi-naive"):
     """Sequential vs every parallelism level, with equivalence and
-    fingerprint cross-checks."""
+    fingerprint cross-checks.  Returns the sequential model (for
+    further cross-checks) alongside the results table."""
     results = {}
     sequential, results["sequential"] = _entry(
         lambda: DeductiveEngine(program, edb, strategy=strategy)
@@ -108,7 +117,52 @@ def _scaling(name, program, edb, strategy="semi-naive"):
             results["sequential"]["wall_ms"] / entry["wall_ms"], 2
         )
         results["parallel_%d" % parallelism] = entry
-    return results
+    return sequential, results
+
+
+def _faulted_recovery(name, program, edb, sequential, scaling):
+    """SIGKILL one shard worker mid-run and price the recovery.
+
+    The pool must heal (respawn + in-round retry) rather than degrade,
+    and the healed model must stay equivalent to the sequential one.
+    The recorded overhead is the faulted wall time over the clean
+    ``parallel_2`` wall time from the scaling table — the cost of one
+    lost worker amortized across the whole run.
+    """
+    lost = []
+
+    def sink(kind, fields):
+        if kind == "shard.worker" and fields.get("phase") == "lost":
+            lost.append(fields.get("reason"))
+
+    best = float("inf")
+    model = None
+    for _ in range(REPS):
+        del lost[:]
+        engine = DeductiveEngine(
+            program, edb, strategy="semi-naive", parallelism=FAULT_PARALLELISM
+        )
+        plan = FaultPlan.inject(FAULT_SITE, at=FAULT_AT)
+        with plan.installed(), hooks.subscribed(sink):
+            start = time.perf_counter()
+            model = engine.run()
+        best = min(best, (time.perf_counter() - start) * 1000)
+    assert model.stats.shard_degraded is None, (
+        "%s: a single worker kill must heal, not degrade" % name
+    )
+    assert lost, "%s: the fault plan never cost a worker" % name
+    _assert_equivalent(name, sequential, model)
+    clean_ms = scaling["parallel_%d" % FAULT_PARALLELISM]["wall_ms"]
+    return {
+        "parallelism": FAULT_PARALLELISM,
+        "fault_site": FAULT_SITE,
+        "fault_at": FAULT_AT,
+        "wall_ms": round(best, 3),
+        "clean_wall_ms": clean_ms,
+        "recovery_overhead": round(best / clean_ms, 2),
+        "workers_lost": len(lost),
+        "healed": True,
+    }
 
 
 class _CacheCounter:
@@ -182,9 +236,12 @@ def run(quick=False):
     program, edb = multi_chain_workload(
         chains=chains, period=period, shift=2, data_per_chain=data_per_chain
     )
+    sequential, scaling = _scaling("e14-multi-chain", program, edb)
     payload["e14_multi_chain"] = dict(
-        {"chains": chains, "classes": period // 2},
-        **_scaling("e14-multi-chain", program, edb)
+        {"chains": chains, "classes": period // 2}, **scaling
+    )
+    payload["faulted_recovery"] = _faulted_recovery(
+        "e14-faulted", program, edb, sequential, scaling
     )
     program, edb = example_41()
     payload["coverage_cache_example41"] = _cache_ablation(
@@ -239,6 +296,21 @@ def _print_summary(payload):
                 entry["wall_ms"],
                 entry["speedup"],
                 entry["rounds"],
+            )
+        )
+    faulted = payload.get("faulted_recovery")
+    if faulted is not None:
+        print(
+            "Faulted recovery — %s at dispatch %d, parallel %d: "
+            "%.2f ms vs %.2f ms clean (%.2fx), %d worker(s) lost, healed"
+            % (
+                faulted["fault_site"],
+                faulted["fault_at"],
+                faulted["parallelism"],
+                faulted["wall_ms"],
+                faulted["clean_wall_ms"],
+                faulted["recovery_overhead"],
+                faulted["workers_lost"],
             )
         )
     print("Coverage cache — implied_by_union calls (cached vs uncached)")

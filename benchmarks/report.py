@@ -94,6 +94,19 @@ def _parallel_lines(payload):
             scaling["parallel_4"]["speedup"],
         )
     ]
+    faulted = payload.get("faulted_recovery")
+    if faulted is not None:
+        lines.append(
+            "- Shard-worker crash recovery (one `%s` at parallel %d): "
+            "**%.2fx** the clean parallel wall time, %d worker(s) lost "
+            "and healed."
+            % (
+                faulted["fault_site"],
+                faulted["parallelism"],
+                faulted["recovery_overhead"],
+                faulted["workers_lost"],
+            )
+        )
     for key, label in (
         ("coverage_cache_example41", "Example 4.1 naive"),
         ("coverage_cache_e14", "E14 naive"),

@@ -231,6 +231,10 @@ def _cmd_run(args, out):
     edb = parse_database(_read(args.edb))
     if args.parallel < 1:
         raise _UsageError("--parallel must be a positive process count")
+    if args.shard_recv_deadline is not None and args.shard_recv_deadline <= 0:
+        raise _UsageError("--shard-recv-deadline must be positive")
+    if args.shard_max_restarts is not None and args.shard_max_restarts < 0:
+        raise _UsageError("--shard-max-restarts must be >= 0")
     engine = DeductiveEngine(
         program,
         edb,
@@ -239,14 +243,18 @@ def _cmd_run(args, out):
         on_give_up="partial" if args.partial else "raise",
         parallelism=args.parallel,
         coverage_cache=not args.no_coverage_cache,
+        shard_recv_deadline=args.shard_recv_deadline,
+        shard_max_restarts=args.shard_max_restarts,
+        shard_fallback=not args.no_shard_fallback,
     )
     if args.checkpoint_every is not None:
         if args.checkpoint_every < 1:
             raise _UsageError("--checkpoint-every must be a positive round count")
         if args.checkpoint is None:
             raise _UsageError("--checkpoint-every requires --checkpoint PATH")
+    plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
     outcome, code, model, error = "ok", EXIT_OK, None, None
-    with _tracing(args):
+    with _installed_or_noop(plan), _tracing(args):
         try:
             model = engine.run(
                 budget=_budget_from_args(args),
@@ -300,6 +308,12 @@ def _cmd_run(args, out):
         return code
 
     stats = model.stats
+    if stats.shard_degraded is not None:
+        print(
+            "%% shard pool lost, finished sequentially: %s"
+            % stats.shard_degraded.get("reason", "unknown"),
+            file=sys.stderr,
+        )
     print(
         "%% %d strata, %d rounds, constraint safe: %s%s"
         % (
@@ -807,6 +821,32 @@ def build_parser():
         action="store_true",
         help="disable the cross-round coverage cache (ablation; results "
         "are identical, only implied_by_union call counts change)",
+    )
+    run.add_argument(
+        "--shard-recv-deadline",
+        type=float,
+        metavar="SECONDS",
+        help="seconds a silent shard worker is waited on mid-round "
+        "before being declared hung and its tasks retried (default 30)",
+    )
+    run.add_argument(
+        "--shard-max-restarts",
+        type=int,
+        metavar="N",
+        help="shard-worker respawns allowed per run before a lost "
+        "worker stays lost (default 2)",
+    )
+    run.add_argument(
+        "--no-shard-fallback",
+        action="store_true",
+        help="fail the run when the whole shard pool is lost instead "
+        "of finishing it sequentially in-process",
+    )
+    run.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        help="JSON fault plan installed around the run (deterministic "
+        "chaos testing; see repro.runtime.faults)",
     )
     run.add_argument(
         "--partial",

@@ -73,6 +73,14 @@ class EvaluationStats:
     checkpoint (0.0 for fresh runs), and their difference — reported as
     ``segment_elapsed_seconds`` in :meth:`to_dict` — is the
     post-resume segment alone.
+
+    ``shard_degraded`` is ``None`` unless a parallel run lost its whole
+    shard pool beyond healing and downshifted to sequential mid-run; it
+    then carries the reason/restart diagnostics.  :meth:`to_dict`
+    includes the key only when set, so the report and checkpoint
+    payloads of healthy parallel runs stay byte-identical to
+    sequential ones (worker losses that were *healed* never touch the
+    stats — they surface only as ``shard.worker`` trace events).
     """
 
     strategy: str = "semi-naive"
@@ -90,6 +98,7 @@ class EvaluationStats:
     prior_elapsed_seconds: float = 0.0
     resumed_from_round: Optional[int] = None
     checkpoints_written: int = 0
+    shard_degraded: Optional[dict] = None
 
     def total_new_tuples(self):
         """Tuples accepted into the model across all rounds."""
@@ -98,7 +107,7 @@ class EvaluationStats:
     def to_dict(self):
         """A JSON-safe dict of every field (powers the CLI ``--json``
         report and the checkpoint format)."""
-        return {
+        payload = {
             "strategy": self.strategy,
             "safety_mode": self.safety_mode,
             "strata": self.strata,
@@ -119,6 +128,9 @@ class EvaluationStats:
             "resumed_from_round": self.resumed_from_round,
             "checkpoints_written": self.checkpoints_written,
         }
+        if self.shard_degraded is not None:
+            payload["shard_degraded"] = dict(self.shard_degraded)
+        return payload
 
     def restore_progress(self, payload):
         """Adopt the *progress* fields of a checkpointed stats dict.
@@ -248,7 +260,24 @@ class DeductiveEngine:
         pool (:mod:`repro.plan.shard`) and merged in sequential firing
         order, so the model, the stats, and the checkpoint fingerprints
         are bit-identical to a sequential run; budget deadlines are
-        enforced at shard boundaries instead of between firings.
+        enforced at shard boundaries instead of between firings.  The
+        pool is supervised: crashed/hung workers are detected, their
+        task slices retried on survivors or respawned replacements, and
+        the invariant holds no matter which workers die when.
+    shard_recv_deadline:
+        Seconds a silent-but-alive shard worker is waited on mid-round
+        before being declared hung and killed (default
+        :data:`repro.plan.shard.DEFAULT_RECV_DEADLINE`).
+    shard_max_restarts:
+        Shard-worker respawns allowed per run before a lost worker
+        stays lost (default
+        :data:`repro.plan.shard.DEFAULT_MAX_RESTARTS`).
+    shard_fallback:
+        When the whole pool is lost beyond healing, finish the run
+        sequentially in-process instead of failing it (default True;
+        the downshift is recorded in ``stats.shard_degraded`` and as a
+        ``shard.degraded`` event).  With False the loss raises
+        :class:`~repro.util.errors.EvaluationAbortedError`.
     coverage_cache:
         Memoize coverage verdicts across rounds on the growing IDB
         relations (default True; ``"paper"`` safety mode only).  The
@@ -283,6 +312,9 @@ class DeductiveEngine:
         evaluation="compiled",
         parallelism=1,
         coverage_cache=True,
+        shard_recv_deadline=None,
+        shard_max_restarts=None,
+        shard_fallback=True,
     ):
         if strategy not in ("naive", "semi-naive"):
             raise ValueError("strategy must be 'naive' or 'semi-naive'")
@@ -298,7 +330,13 @@ class DeductiveEngine:
         self.coverage_cache = bool(coverage_cache)
         self._covered = coverage_test(safety)
         self.evaluator = ProgramEvaluator(
-            program, edb, evaluation=evaluation, parallelism=parallelism
+            program,
+            edb,
+            evaluation=evaluation,
+            parallelism=parallelism,
+            shard_recv_deadline=shard_recv_deadline,
+            shard_max_restarts=shard_max_restarts,
+            shard_fallback=shard_fallback,
         )
 
     @property
@@ -359,6 +397,9 @@ class DeductiveEngine:
             if checkpoint_path is None:
                 raise ValueError("checkpoint_every requires checkpoint_path")
         stats = EvaluationStats(strategy=self.strategy, safety_mode=self.safety)
+        # A degraded pool belongs to the run that lost it; a fresh run
+        # gets a fresh shot at parallelism.
+        self.evaluator.shard_degraded = None
         started = time.perf_counter()
         meter = budget.start() if budget is not None else None
         checker = CoverageChecker(self.safety, use_cache=self.coverage_cache)
@@ -520,6 +561,16 @@ class DeductiveEngine:
                 },
             )
 
+    def _still_parallel(self, stats):
+        """Re-check the shard pool after a parallel step: an unhealable
+        pool loss flips the evaluator to degraded, and the rest of the
+        run — this round's siblings, later rounds, later strata — runs
+        on the sequential path the parent maintained all along."""
+        if self.evaluator.shard_degraded is not None:
+            stats.shard_degraded = dict(self.evaluator.shard_degraded)
+            return False
+        return True
+
     def _partial_model(self, env, stats):
         """The (possibly partial) model for the current environment."""
         relations = {
@@ -555,7 +606,7 @@ class DeductiveEngine:
             last_growth = stats.rounds
         if checker is None:
             checker = CoverageChecker(self.safety, use_cache=self.coverage_cache)
-        parallel = self.evaluator.parallelism > 1
+        parallel = self.evaluator.parallel_active()
         pending_update = None
         if parallel:
             # Workers replicate the stratum context once, then stay in
@@ -563,6 +614,7 @@ class DeductiveEngine:
             self.evaluator.parallel_begin_stratum(
                 stratum_index, env, complements, delta
             )
+            parallel = self._still_parallel(stats)
         while rounds_done < self.max_rounds:
             rounds_done += 1
             stats.rounds += 1
@@ -587,9 +639,16 @@ class DeductiveEngine:
                     evaluators, delta if seminaive else None
                 )
                 derived = self.evaluator.parallel_round(
-                    evaluators, tasks, pending_update, meter=meter
+                    evaluators,
+                    tasks,
+                    pending_update,
+                    env=env,
+                    complements=complements,
+                    delta=delta if seminaive else None,
+                    meter=meter,
                 )
                 pending_update = None
+                parallel = self._still_parallel(stats)
             elif seminaive:
                 derived = self.evaluator.seminaive_round(
                     env, delta, evaluators=evaluators, complements=complements,

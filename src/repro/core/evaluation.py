@@ -25,6 +25,7 @@ from repro.gdb.relation import GeneralizedRelation
 from repro.plan.compiler import ClausePlan
 from repro.plan.explain import plan_fingerprint
 from repro.plan.reference import ReferenceClauseEvaluator
+from repro.util import hooks
 from repro.util.errors import SchemaError
 
 _EVALUATION_MODES = ("compiled", "reference")
@@ -45,10 +46,24 @@ class ProgramEvaluator:
     across a process pool (:mod:`repro.plan.shard`); the merged result
     is bit-identical to the sequential round (see
     :meth:`parallel_round`), and ``parallelism=1`` (the default) never
-    touches the pool machinery at all.
+    touches the pool machinery at all.  The pool is supervised:
+    ``shard_recv_deadline`` / ``shard_max_restarts`` tune hang
+    detection and the respawn cap, and with ``shard_fallback`` (the
+    default) an unhealable pool downshifts the rest of the run to
+    in-process sequential evaluation — recorded in
+    :attr:`shard_degraded` — instead of failing it.
     """
 
-    def __init__(self, program, edb, evaluation="compiled", parallelism=1):
+    def __init__(
+        self,
+        program,
+        edb,
+        evaluation="compiled",
+        parallelism=1,
+        shard_recv_deadline=None,
+        shard_max_restarts=None,
+        shard_fallback=True,
+    ):
         if evaluation not in _EVALUATION_MODES:
             raise ValueError(
                 "evaluation must be one of %s" % (_EVALUATION_MODES,)
@@ -59,6 +74,13 @@ class ProgramEvaluator:
         if parallelism < 1:
             raise ValueError("parallelism must be a positive worker count")
         self.parallelism = parallelism
+        self.shard_recv_deadline = shard_recv_deadline
+        self.shard_max_restarts = shard_max_restarts
+        self.shard_fallback = bool(shard_fallback)
+        #: ``None`` while sharding is healthy (or unused); after a
+        #: mid-run downshift, a dict describing why (reason,
+        #: restarts_used, pending_tasks).
+        self.shard_degraded = None
         self._shard_pool = None
         program.validate()
         self.program = program
@@ -259,6 +281,8 @@ class ProgramEvaluator:
                 self.evaluation,
                 self.parallelism,
                 plan_fingerprint=self.plan_fingerprint(),
+                recv_deadline=self.shard_recv_deadline,
+                max_restarts=self.shard_max_restarts,
             )
         return self._shard_pool
 
@@ -268,14 +292,51 @@ class ProgramEvaluator:
             self._shard_pool.close()
             self._shard_pool = None
 
+    def parallel_active(self):
+        """True while sharded rounds are in effect: ``parallelism >= 2``
+        and the pool has not been degraded away mid-run."""
+        return self.parallelism > 1 and self.shard_degraded is None
+
+    def _shard_degrade(self, error, pending_tasks=0):
+        """Record the downshift to sequential, announce it, and drop
+        the dead pool.  From here on :meth:`parallel_active` is False
+        and the engine runs the remaining rounds in-process."""
+        self.shard_degraded = {
+            "reason": str(error),
+            "restarts_used": getattr(error, "restarts_used", 0),
+            "pending_tasks": pending_tasks,
+        }
+        if hooks.SINKS:
+            hooks.emit("shard.degraded", dict(self.shard_degraded))
+        self.close_parallel()
+
     def parallel_begin_stratum(self, stratum_index, env, complements, delta):
         """Ship the stratum context to every worker (see
-        :meth:`repro.plan.shard.ShardPool.begin_stratum`)."""
-        self.shard_pool().begin_stratum(
-            stratum_index, env, complements, delta, self.intensional
-        )
+        :meth:`repro.plan.shard.ShardPool.begin_stratum`).  An
+        unhealable pool loss here degrades to sequential (the caller
+        re-checks :meth:`parallel_active`) unless ``shard_fallback``
+        is off."""
+        from repro.plan.shard import ShardPoolLostError
 
-    def parallel_round(self, evaluators, tasks, update, meter=None):
+        try:
+            self.shard_pool().begin_stratum(
+                stratum_index, env, complements, delta, self.intensional
+            )
+        except ShardPoolLostError as error:
+            if not self.shard_fallback:
+                raise
+            self._shard_degrade(error)
+
+    def parallel_round(
+        self,
+        evaluators,
+        tasks,
+        update,
+        env=None,
+        complements=None,
+        delta=None,
+        meter=None,
+    ):
         """One sharded round: evaluate ``tasks`` across the pool and
         merge deterministically.
 
@@ -285,11 +346,28 @@ class ProgramEvaluator:
         totals (and the same ``budget.charge`` event order) as the
         sequential round, with the deadline enforced between shards
         instead of between firings.
+
+        ``env`` / ``complements`` / ``delta`` are the parent-side round
+        inputs (the parent maintains them whether or not it shards).
+        They are only read on the graceful-degradation path: when the
+        pool is lost beyond healing and ``shard_fallback`` is set, the
+        tasks still missing results are evaluated right here, in task
+        order, against those inputs — producing the identical merged
+        round, since a task is a pure function of them.
         """
+        from repro.plan.shard import ShardPoolLostError
+
         if meter is not None:
             for _ in tasks:
                 meter.tick_clause()
-        per_task = self.shard_pool().run_round(tasks, update)
+        try:
+            per_task = self.shard_pool().run_round(tasks, update)
+        except ShardPoolLostError as error:
+            if not self.shard_fallback or env is None:
+                raise
+            per_task = self._finish_round_sequentially(
+                error, evaluators, tasks, env, complements, delta
+            )
         derived = {}
         for (index, _position), tuples in zip(tasks, per_task):
             if meter is not None and tuples:
@@ -299,3 +377,38 @@ class ProgramEvaluator:
                     evaluators[index].head_predicate, []
                 ).extend(tuples)
         return derived
+
+    def _finish_round_sequentially(
+        self, error, evaluators, tasks, env, complements, delta
+    ):
+        """Complete a pool-lost round in-process: keep every per-task
+        result the pool did deliver, evaluate the rest here."""
+        partial = error.partial
+        if partial is None:
+            partial = [None] * len(tasks)
+        self._shard_degrade(
+            error, pending_tasks=sum(1 for result in partial if result is None)
+        )
+        delta_env = None
+        if delta is not None:
+            delta_env = {
+                name: GeneralizedRelation(*self.schemas[name], tuples=tuples)
+                for name, tuples in delta.items()
+            }
+        per_task = []
+        for (index, position), done in zip(tasks, partial):
+            if done is not None:
+                per_task.append(done)
+                continue
+            evaluator = evaluators[index]
+            if position is None:
+                relation = evaluator.evaluate(env, complements=complements)
+            else:
+                relation = evaluator.evaluate(
+                    env,
+                    delta=delta_env,
+                    delta_position=position,
+                    complements=complements,
+                )
+            per_task.append(list(relation.tuples))
+        return per_task

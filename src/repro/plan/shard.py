@@ -1,4 +1,4 @@
-"""Process-pool sharding of one T_GP round (``parallelism > 1``).
+"""Supervised process-pool sharding of one T_GP round (``parallelism > 1``).
 
 Within a round, every clause-variant firing reads only the *previous*
 environment (plus the last round's delta), so the firings of one round
@@ -23,11 +23,37 @@ Determinism is by construction, not by luck:
   resume, so worker-side evaluation sees value-identical inputs in the
   same order.
 
-Observability sinks and fault hooks are parent-side concerns: workers
-clear :data:`repro.util.hooks.SINKS` and the fault hook at startup, so
-plan-operator events and injected faults keep their sequential
-semantics (they fire where the budget is metered — in the parent — or
-not at all).
+Supervision
+-----------
+Long-running fixpoints on real pods lose workers mid-round, so the
+pool is supervised rather than trusted:
+
+* every receive is deadline-bounded with liveness polling — a dead
+  worker is detected within one poll interval, a *hung* one within
+  ``recv_deadline`` seconds (and is then killed);
+* a round task is a pure function of the broadcast ``(env, delta)``
+  replica, so a failed worker's task slice is simply re-dealt to the
+  survivors (or to a freshly respawned replacement) and the
+  index-keyed merge stays bit-identical to sequential no matter which
+  workers die when;
+* replacements are rehydrated from the stored stratum broadcast plus
+  the per-round accepted-tuple updates they missed — each worker
+  tracks how many updates it has applied (``synced``), and every round
+  dispatch carries exactly the missing suffix;
+* respawns are capped (``max_restarts`` per pool lifetime).  When the
+  pool empties with the cap spent, :class:`ShardPoolLostError` carries
+  the per-task results already collected so the caller can finish the
+  round sequentially instead of failing the run.
+
+Worker loss, respawn, and retry surface as ``shard.worker`` events on
+the bus; the caller emits ``shard.degraded`` when it downshifts.
+Observability sinks and fault hooks are otherwise parent-side
+concerns: workers clear :data:`repro.util.hooks.SINKS` and the fault
+hook at startup, so plan-operator events and injected faults keep
+their sequential semantics.  The parent-side chaos sites
+(``shard_dispatch``, ``shard_worker_crash``, ``shard_worker_hang`` —
+see :mod:`repro.runtime.faults`) let tests kill, wedge, or unplug
+specific workers at exact dispatch counts.
 
 The pool prefers the ``fork`` start method (cheap, copy-on-write) and
 falls back to ``spawn`` where fork is unavailable; set
@@ -38,12 +64,59 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 
-from repro.util.errors import EvaluationError
+from repro.util import hooks
+from repro.util.errors import EvaluationError, ReproError
+from repro.util.hooks import fault_point
+
+#: Seconds a worker may stay silent mid-round before the parent
+#: declares it hung and kills it.  Liveness is polled throughout, so a
+#: worker that *dies* is detected within one poll interval regardless.
+DEFAULT_RECV_DEADLINE = 30.0
+
+#: Worker respawns allowed per pool lifetime before a lost worker
+#: means a lost pool slot (and an empty pool means degradation).
+DEFAULT_MAX_RESTARTS = 2
+
+#: Granularity of the liveness poll inside :meth:`ShardPool._receive`.
+_POLL_INTERVAL = 0.05
+
+#: Floor for the startup-handshake deadline: a worker re-parsing and
+#: re-compiling a large program is slow but not hung.
+_BOOT_DEADLINE = 60.0
 
 
 class ShardError(EvaluationError):
     """A shard worker failed or disagreed with the parent's plans."""
+
+
+class ShardPoolLostError(ShardError):
+    """The pool emptied and could not be healed within the restart cap.
+
+    ``partial`` is the per-task result list collected before the loss
+    (aligned with the round's task list, ``None`` where a result is
+    missing — possibly ``None`` itself when the loss happened outside
+    a round), so the caller can finish the remaining tasks
+    sequentially and keep the run's results bit-identical.
+    """
+
+    def __init__(self, message, partial=None, restarts_used=0):
+        super().__init__(message)
+        self.partial = partial
+        self.restarts_used = restarts_used
+
+
+class _WorkerFailure(Exception):
+    """Internal: one worker failed (``reason``: crash/hang/dispatch).
+
+    Never escapes the pool — it marks the worker for discard-and-retry
+    inside the supervision loop.
+    """
+
+    def __init__(self, reason, detail=""):
+        super().__init__(detail or reason)
+        self.reason = reason
 
 
 def _start_method(override=None):
@@ -65,14 +138,36 @@ def _tuples_payload(tuples):
     return [gt.to_json_dict() for gt in tuples]
 
 
+class _ShardWorker:
+    """One pool slot: the process, the parent pipe end, and how many of
+    the stratum's per-round updates the replica has applied."""
+
+    __slots__ = ("process", "connection", "synced")
+
+    def __init__(self, process, connection):
+        self.process = process
+        self.connection = connection
+        self.synced = 0
+
+    @property
+    def name(self):
+        return self.process.name
+
+
 class ShardPool:
-    """``parallelism`` worker processes evaluating round shards.
+    """``parallelism`` supervised worker processes evaluating round shards.
 
     The pool is built lazily from the *texts* of the program and EDB
     (``str(program)`` / ``str(edb)`` round-trip through the parsers —
     the same property the engine fingerprint depends on) so the
     snapshot shipped to workers is trivially picklable under any
     multiprocessing start method.
+
+    ``recv_deadline`` bounds how long a silent-but-alive worker is
+    waited on mid-round; ``max_restarts`` caps replacement spawns per
+    pool lifetime.  Both default to the module constants when ``None``.
+    The pool is a context manager: ``with ShardPool(...) as pool: ...``
+    guarantees :meth:`close` on exit.
     """
 
     def __init__(
@@ -83,6 +178,8 @@ class ShardPool:
         parallelism,
         plan_fingerprint=None,
         start_method=None,
+        recv_deadline=None,
+        max_restarts=None,
     ):
         if parallelism < 2:
             raise ValueError("a shard pool needs parallelism >= 2")
@@ -92,64 +189,218 @@ class ShardPool:
         self.parallelism = parallelism
         self.expected_fingerprint = plan_fingerprint
         self.start_method = _start_method(start_method)
-        self._workers = []  # [(process, connection)]
+        self.recv_deadline = (
+            DEFAULT_RECV_DEADLINE if recv_deadline is None else float(recv_deadline)
+        )
+        if self.recv_deadline <= 0:
+            raise ValueError("recv_deadline must be positive")
+        self.max_restarts = (
+            DEFAULT_MAX_RESTARTS if max_restarts is None else int(max_restarts)
+        )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self._workers = []  # [_ShardWorker]
+        self._context = None
+        self._spawn_seq = 0
+        self.restarts_used = 0
+        self._round = 0  # rounds dispatched this stratum (for events)
+        # Rehydration state for respawned replacements: the last
+        # stratum broadcast, and every per-round update applied since.
+        self._stratum_message = None
+        self._updates = []
 
     # -- lifecycle --------------------------------------------------------
 
     def started(self):
         return bool(self._workers)
 
-    def ensure_started(self):
-        if self._workers:
-            return
-        context = multiprocessing.get_context(self.start_method)
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _spawn(self):
+        """Start one worker process; the caller still owes a handshake."""
+        if self._context is None:
+            self._context = multiprocessing.get_context(self.start_method)
         bootstrap = {
             "program": self.program_text,
             "edb": self.edb_text,
             "evaluation": self.evaluation,
         }
-        for index in range(self.parallelism):
-            parent_end, child_end = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_worker_main,
-                args=(child_end, bootstrap),
-                name="repro-shard-%d" % index,
-                daemon=True,
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_end, bootstrap),
+            # The sequence number keeps replacement names unique while
+            # preserving the repro-shard- prefix leak tests scan for.
+            name="repro-shard-%d" % self._spawn_seq,
+            daemon=True,
+        )
+        self._spawn_seq += 1
+        process.start()
+        child_end.close()
+        return _ShardWorker(process, parent_end)
+
+    def _handshake(self, worker):
+        """Wait for the worker's ready message and verify its plans.
+
+        Raises :class:`_WorkerFailure` when the worker dies or stalls,
+        :class:`ShardError` on a fingerprint mismatch (a configuration
+        error no respawn can heal).
+        """
+        ready = self._receive(
+            worker, deadline=max(_BOOT_DEADLINE, self.recv_deadline)
+        )
+        fingerprint = ready.get("plan_fingerprint")
+        if (
+            self.expected_fingerprint is not None
+            and fingerprint != self.expected_fingerprint
+        ):
+            raise ShardError(
+                "shard worker compiled different plans than the parent "
+                "(plan fingerprint mismatch %r != %r) — the program/EDB "
+                "texts do not round-trip" % (fingerprint, self.expected_fingerprint)
             )
-            process.start()
-            child_end.close()
-            self._workers.append((process, parent_end))
-        for process, connection in self._workers:
-            ready = self._receive(connection, process)
-            fingerprint = ready.get("plan_fingerprint")
-            if (
-                self.expected_fingerprint is not None
-                and fingerprint != self.expected_fingerprint
-            ):
-                self.close()
-                raise ShardError(
-                    "shard worker compiled different plans than the parent "
-                    "(plan fingerprint mismatch %r != %r) — the program/EDB "
-                    "texts do not round-trip" % (fingerprint, self.expected_fingerprint)
-                )
+
+    def ensure_started(self):
+        if self._workers:
+            return
+        try:
+            for _ in range(self.parallelism):
+                self._workers.append(self._spawn())
+            for worker in list(self._workers):
+                self._handshake(worker)
+        except _WorkerFailure as failure:
+            self.close()
+            raise ShardError(
+                "shard pool startup failed: %s" % failure
+            ) from failure
+        except Exception:
+            self.close()
+            raise
 
     def close(self):
-        """Stop the workers; safe to call repeatedly."""
-        for process, connection in self._workers:
+        """Stop the workers; safe to call repeatedly.
+
+        Escalates per worker: cooperative stop, ``terminate()`` when
+        the join times out, ``kill()`` when even SIGTERM is ignored
+        (a worker wedged in uninterruptible state).  The parent pipe
+        end is closed unconditionally so no descriptor outlives a dead
+        worker.
+        """
+        workers, self._workers = self._workers, []
+        self._stratum_message = None
+        self._updates = []
+        for worker in workers:
             try:
-                connection.send({"op": "stop"})
+                worker.connection.send({"op": "stop"})
             except (OSError, ValueError):
                 pass
-        for process, connection in self._workers:
+        for worker in workers:
             try:
-                connection.close()
+                worker.connection.close()
             except OSError:
                 pass
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5.0)
-        self._workers = []
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+
+    # -- supervision ------------------------------------------------------
+
+    def _discard(self, worker, reason, detail=""):
+        """Forget a failed worker: kill it if needed, close its pipe,
+        and announce the loss on the bus."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=2.0)
+        if hooks.SINKS:
+            hooks.emit(
+                "shard.worker",
+                {
+                    "phase": "lost",
+                    "worker": worker.name,
+                    "reason": reason,
+                    "exitcode": worker.process.exitcode,
+                    "round": self._round,
+                    "detail": detail,
+                },
+            )
+
+    def _heal(self):
+        """Respawn workers up to the restart cap; returns the live list.
+
+        A replacement is rehydrated through the normal bootstrap
+        handshake plus a re-broadcast of the stored stratum context;
+        its ``synced`` counter starts at 0, so its first round dispatch
+        ships every update the stratum has applied so far.  A
+        replacement that itself dies burns its restart credit — that is
+        what bounds a crash-looping pod.
+        """
+        while (
+            len(self._workers) < self.parallelism
+            and self.restarts_used < self.max_restarts
+        ):
+            self.restarts_used += 1
+            worker = None
+            try:
+                worker = self._spawn()
+                self._handshake(worker)
+                if self._stratum_message is not None:
+                    self._send(worker, self._stratum_message)
+                    self._receive(worker)
+            except (_WorkerFailure, OSError) as failure:
+                if worker is not None:
+                    self._discard(worker, "respawn-failed", str(failure))
+                continue
+            self._workers.append(worker)
+            if hooks.SINKS:
+                hooks.emit(
+                    "shard.worker",
+                    {
+                        "phase": "respawn",
+                        "worker": worker.name,
+                        "restarts_used": self.restarts_used,
+                        "round": self._round,
+                    },
+                )
+        return list(self._workers)
+
+    def _inject_worker_faults(self, worker):
+        """The deterministic chaos sites, hit once per worker dispatch.
+
+        A triggered ``shard_worker_crash`` SIGKILLs the worker about to
+        be dispatched to — a real process death, exercising the real
+        broken-pipe/EOF detection.  A triggered ``shard_worker_hang``
+        wedges the worker in a sleep loop, exercising the recv
+        deadline.  Either way the dispatch itself proceeds normally.
+        """
+        if hooks.FAULT_HOOK is None:
+            return
+        try:
+            fault_point("shard_worker_crash")
+        except Exception:
+            worker.process.kill()
+            worker.process.join(timeout=2.0)
+        try:
+            fault_point("shard_worker_hang")
+        except Exception:
+            try:
+                worker.connection.send({"op": "hang"})
+            except (OSError, ValueError):
+                pass
 
     # -- round protocol ---------------------------------------------------
 
@@ -157,7 +408,8 @@ class ShardPool:
         """Broadcast the stratum context: the current IDB relations
         (which a resume may have pre-populated), the negated-predicate
         complements, and the in-flight delta (``None`` outside a
-        mid-stratum resume)."""
+        mid-stratum resume).  The message is retained so replacements
+        spawned mid-stratum can be rehydrated from it."""
         self.ensure_started()
         message = {
             "op": "stratum",
@@ -173,7 +425,33 @@ class ShardPool:
             if delta is None
             else {name: _tuples_payload(tuples) for name, tuples in delta.items()},
         }
-        self._broadcast(message)
+        self._stratum_message = message
+        self._updates = []
+        self._round = 0
+        acked = []
+        for worker in list(self._workers):
+            try:
+                self._send(worker, message)
+            except _WorkerFailure as failure:
+                self._discard(worker, failure.reason, str(failure))
+                continue
+            acked.append(worker)
+        for worker in acked:
+            try:
+                self._receive(worker)
+            except _WorkerFailure as failure:
+                self._discard(worker, failure.reason, str(failure))
+                continue
+            worker.synced = 0
+        if len(self._workers) < self.parallelism:
+            self._heal()
+        if not self._workers:
+            raise ShardPoolLostError(
+                "every shard worker was lost broadcasting stratum %d "
+                "(restart cap %d spent)" % (stratum_index, self.max_restarts),
+                partial=None,
+                restarts_used=self.restarts_used,
+            )
 
     def run_round(self, tasks, update):
         """Evaluate ``tasks`` (global sequential order) across the
@@ -185,70 +463,167 @@ class ShardPool:
         first round of a stratum); every worker applies it to its
         replica environment — in the parent's insertion order — before
         evaluating, which also makes it the round's semi-naive delta.
+
+        The supervision loop deals the still-pending task indices
+        round-robin over the live workers, collects with the deadline,
+        discards failures, and repeats until every index has a result —
+        healing the pool between attempts.  Because results are keyed
+        by global task index and replicas are value-identical, the
+        merged list is the sequential one regardless of failures.
+        Raises :class:`ShardPoolLostError` (carrying the partial
+        results) when the pool empties with the restart cap spent.
         """
         from repro.gdb.tuple import GeneralizedTuple
 
-        update_payload = (
-            None
-            if update is None
-            else [
-                [name, _tuples_payload(tuples)] for name, tuples in update
-            ]
-        )
-        workers = self._workers
-        count = len(workers)
-        for shard, (process, connection) in enumerate(workers):
-            self._send(
-                connection,
-                process,
-                {
-                    "op": "round",
-                    # Round-robin keeps shard loads level when task
-                    # costs are skewed toward one end of the list.
-                    "tasks": [list(task) for task in tasks[shard::count]],
-                    "update": update_payload,
-                },
+        self._round += 1
+        if update is not None:
+            self._updates.append(
+                [[name, _tuples_payload(tuples)] for name, tuples in update]
             )
         merged = [None] * len(tasks)
-        for shard, (process, connection) in enumerate(workers):
-            reply = self._receive(connection, process)
-            for offset, tuples_json in enumerate(reply["results"]):
-                merged[shard + offset * count] = [
-                    GeneralizedTuple.from_json_dict(payload)
-                    for payload in tuples_json
-                ]
+        pending = list(range(len(tasks)))
+        first_attempt = True
+        while pending:
+            workers = list(self._workers)
+            if len(workers) < self.parallelism:
+                workers = self._heal()
+            if not workers:
+                raise ShardPoolLostError(
+                    "shard pool lost with %d of %d round task(s) outstanding "
+                    "(restart cap %d spent)"
+                    % (len(pending), len(tasks), self.max_restarts),
+                    partial=merged,
+                    restarts_used=self.restarts_used,
+                )
+            if not first_attempt and hooks.SINKS:
+                hooks.emit(
+                    "shard.worker",
+                    {
+                        "phase": "retry",
+                        "worker": ",".join(w.name for w in workers),
+                        "round": self._round,
+                        "tasks": len(pending),
+                    },
+                )
+            first_attempt = False
+            count = len(workers)
+            dispatched = []  # [(worker, [global task index])]
+            for slot, worker in enumerate(workers):
+                # Round-robin keeps shard loads level when task costs
+                # are skewed toward one end of the list.
+                indices = pending[slot::count]
+                if not indices:
+                    continue
+                self._inject_worker_faults(worker)
+                try:
+                    self._dispatch(worker, [tasks[i] for i in indices])
+                except _WorkerFailure as failure:
+                    self._discard(worker, failure.reason, str(failure))
+                    continue
+                dispatched.append((worker, indices))
+            completed = set()
+            for worker, indices in dispatched:
+                try:
+                    reply = self._receive(worker)
+                except _WorkerFailure as failure:
+                    self._discard(worker, failure.reason, str(failure))
+                    continue
+                for index, tuples_json in zip(indices, reply["results"]):
+                    merged[index] = [
+                        GeneralizedTuple.from_json_dict(payload)
+                        for payload in tuples_json
+                    ]
+                    completed.add(index)
+            pending = [i for i in pending if i not in completed]
         return merged
 
     # -- plumbing ---------------------------------------------------------
 
-    def _broadcast(self, message):
-        for process, connection in self._workers:
-            self._send(connection, process, message)
-        for process, connection in self._workers:
-            self._receive(connection, process)
-
-    def _send(self, connection, process, message):
+    def _dispatch(self, worker, task_list):
+        """Send one round slice, piggybacking whatever per-round updates
+        this worker's replica has not yet applied (none for a worker
+        that has kept up; the whole stratum history for a fresh
+        replacement)."""
+        missing = self._updates[worker.synced :]
+        message = {
+            "op": "round",
+            "tasks": [list(task) for task in task_list],
+            "updates": missing,
+        }
         try:
-            connection.send(message)
+            fault_point("shard_dispatch")
+            worker.connection.send(message)
+        except (OSError, ValueError, ReproError) as error:
+            # A send that fails because the process died is a crash;
+            # pipe trouble with a live worker is dispatch failure.
+            reason = "dispatch" if worker.process.is_alive() else "crash"
+            raise _WorkerFailure(
+                reason, "shard worker %s is gone: %s" % (worker.name, error)
+            ) from error
+        worker.synced = len(self._updates)
+
+    def _send(self, worker, message):
+        try:
+            worker.connection.send(message)
         except (OSError, ValueError) as error:
-            raise ShardError(
-                "shard worker %s is gone: %s" % (process.name, error)
+            raise _WorkerFailure(
+                "dispatch", "shard worker %s is gone: %s" % (worker.name, error)
             ) from error
 
-    def _receive(self, connection, process):
-        try:
-            reply = connection.recv()
-        except (EOFError, OSError) as error:
-            raise ShardError(
-                "shard worker %s died mid-round (exit code %r)"
-                % (process.name, process.exitcode)
-            ) from error
-        if not reply.get("ok"):
-            raise ShardError(
-                "shard worker %s failed: %s"
-                % (process.name, reply.get("error", "unknown error"))
-            )
-        return reply
+    def _receive(self, worker, deadline=None):
+        """Deadline-bounded receive with liveness polling.
+
+        Raises :class:`_WorkerFailure` (reason ``crash``) as soon as
+        the worker process is observed dead with nothing left to read,
+        or (reason ``hang``) when the deadline expires on a live but
+        silent worker — which is then killed so its slot can be healed.
+        Worker-reported evaluation errors (``ok: False``) raise
+        :class:`ShardError`: they are deterministic, so a retry
+        elsewhere would fail identically.
+        """
+        if deadline is None:
+            deadline = self.recv_deadline
+        connection = worker.connection
+        process = worker.process
+        expires = time.monotonic() + deadline
+        while True:
+            remaining = expires - time.monotonic()
+            try:
+                if connection.poll(min(_POLL_INTERVAL, max(0.0, remaining))):
+                    reply = connection.recv()
+                    if not reply.get("ok"):
+                        raise ShardError(
+                            "shard worker %s failed: %s"
+                            % (worker.name, reply.get("error", "unknown error"))
+                        )
+                    return reply
+            except (EOFError, OSError) as error:
+                raise _WorkerFailure(
+                    "crash",
+                    "shard worker %s died mid-round (exit code %r)"
+                    % (worker.name, process.exitcode),
+                ) from error
+            if not process.is_alive():
+                # Dead — but drain a reply it may have flushed before
+                # exiting rather than discarding finished work.
+                try:
+                    if connection.poll(0):
+                        continue
+                except (EOFError, OSError):
+                    pass
+                raise _WorkerFailure(
+                    "crash",
+                    "shard worker %s died mid-round (exit code %r)"
+                    % (worker.name, process.exitcode),
+                )
+            if remaining <= 0:
+                process.kill()
+                process.join(timeout=2.0)
+                raise _WorkerFailure(
+                    "hang",
+                    "shard worker %s unresponsive for %.1fs (killed)"
+                    % (worker.name, deadline),
+                )
 
 
 def _worker_main(connection, bootstrap):
@@ -297,6 +672,9 @@ def _worker_main(connection, bootstrap):
         op = message.get("op")
         if op == "stop":
             break
+        if op == "hang":  # chaos testing: wedge until killed
+            while True:  # pragma: no cover - exits only by SIGKILL
+                time.sleep(60.0)
         try:
             if op == "stratum":
                 stratum_index = message["stratum"]
@@ -317,9 +695,12 @@ def _worker_main(connection, bootstrap):
                     }
                 connection.send({"ok": True})
             elif op == "round":
-                if message["update"] is not None:
+                # Apply every update this replica has missed, in
+                # parent order; the last one is the round's semi-naive
+                # delta (a replica that kept up gets exactly one).
+                for update in message["updates"]:
                     delta = {}
-                    for name, tuples_json in message["update"]:
+                    for name, tuples_json in update:
                         tuples = [
                             GeneralizedTuple.from_json_dict(item)
                             for item in tuples_json

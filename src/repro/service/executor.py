@@ -46,6 +46,10 @@ class AttemptOutcome:
     ``outcome`` is ``"ok"``, ``"gave-up"``, or ``"budget-exceeded"``
     (the latter two map to the ``partial`` job state); ``resumed``
     reports whether this attempt continued from a checkpoint.
+    ``shard_degraded`` is True when a parallel attempt lost its whole
+    shard pool and finished sequentially in-process — the result is
+    still exact, so the attempt completes (no retry is burned) and the
+    service annotates the job's degradation ladder instead.
     """
 
     outcome: str
@@ -56,6 +60,7 @@ class AttemptOutcome:
     error: Optional[BaseException] = None
     resumed: bool = False
     window: Optional[dict] = None
+    shard_degraded: bool = False
 
 
 class JobExecutor:
@@ -141,7 +146,9 @@ class JobExecutor:
                 resume_from = None
                 model = engine.run(resume_from=None, **run_kwargs)
         except BudgetExceededError as error:
-            return self._budget_outcome(spec, backend, error)
+            outcome = self._budget_outcome(spec, backend, error)
+            outcome.shard_degraded = engine.evaluator.shard_degraded is not None
+            return outcome
         outcome = "gave-up" if model.stats.gave_up else "ok"
         return AttemptOutcome(
             outcome=outcome,
@@ -151,6 +158,7 @@ class JobExecutor:
             stats=model.stats.to_dict(),
             resumed=model.stats.resumed_from_round is not None,
             window=self._model_window(spec, model),
+            shard_degraded=engine.evaluator.shard_degraded is not None,
         )
 
     def _run_query(self, spec, budget):

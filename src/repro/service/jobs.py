@@ -114,8 +114,11 @@ class JobResult:
     clause-evaluation backend produced the answer (``compiled`` or, a
     rung down the degradation ladder, ``reference``); ``degradation``
     lists the rungs taken (``"reference-backend"``,
-    ``"partial-model"``).  ``resumed`` is True when any retry resumed
-    from the job's checkpoint instead of restarting from round 0.
+    ``"partial-model"``, and ``"shard-sequential"`` when a parallel
+    attempt lost its shard pool and finished sequentially in-process —
+    the result is still exact, so the state stays ``ok``).  ``resumed``
+    is True when any retry resumed from the job's checkpoint instead
+    of restarting from round 0.
     ``model`` keeps the in-memory model object for library callers; the
     JSON form carries ``model_text``.
     """

@@ -515,6 +515,7 @@ class QueryService:
                     "resumed",
                     "degraded_backend",
                     "degraded_partial",
+                    "degraded_shard",
                     "shed",
                     "breaker_rejections",
                 )
@@ -803,6 +804,13 @@ class QueryService:
 
     def _finish_outcome(self, job, worker, outcome):
         job.resumed = job.resumed or outcome.resumed
+        if getattr(outcome, "shard_degraded", False):
+            # The attempt lost its shard pool and finished sequentially
+            # in-process — exact result, so no retry is burned; the
+            # downshift is recorded on the degradation ladder instead.
+            if "shard-sequential" not in job.degradation:
+                job.degradation.append("shard-sequential")
+            self._count("degraded_shard")
         if outcome.outcome == "ok":
             state = STATE_OK
         else:

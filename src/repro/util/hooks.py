@@ -36,6 +36,12 @@ Event kinds are dotted names; the canonical vocabulary is
 ``service.job``       job lifecycle: submit / reject / dequeue /
                       attempt / outcome, with retry and degradation
                       annotations
+``shard.worker``      shard-pool supervision: a worker lost (crash /
+                      hang / dispatch failure, with exit code), a
+                      replacement respawned, a task slice retried
+``shard.degraded``    a parallel run lost its whole shard pool beyond
+                      healing and downshifted to sequential: reason,
+                      restarts used, tasks still pending
 ====================  ==================================================
 
 Every event dict carries at least ``phase`` (begin/end or a lifecycle

@@ -29,6 +29,8 @@ REQUIRED_FIELDS = {
     "budget.charge": ("dimension", "amount", "total"),
     "coverage.cache": ("round", "stratum", "enabled", "hits", "misses"),
     "service.job": ("phase", "job_id"),
+    "shard.worker": ("phase", "worker", "round"),
+    "shard.degraded": ("reason", "restarts_used", "pending_tasks"),
 }
 
 #: extra fields required on specific phases.
@@ -37,6 +39,9 @@ PHASE_FIELDS = {
     ("engine.run", "end"): ("outcome",),
     ("engine.round", "end"): ("derived", "accepted", "duration_s"),
     ("service.job", "outcome"): ("state", "outcome", "attempts"),
+    ("shard.worker", "lost"): ("reason", "exitcode"),
+    ("shard.worker", "respawn"): ("restarts_used",),
+    ("shard.worker", "retry"): ("tasks",),
 }
 
 OPERATORS = {"join", "anti-join", "carrier", "projection"}
