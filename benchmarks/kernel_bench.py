@@ -1,0 +1,196 @@
+"""Columnar-kernel benchmark: the batched kernel vs its per-tuple ablation.
+
+Times the E14 shift-cycle workload (semi-naive) with the columnar
+kernel enabled ("after") and disabled ("before" — the ablation runs
+the exact per-tuple loops the kernel replaced, approximating the
+pre-kernel evaluator), cross-checks model equivalence, and measures
+the shard dispatch payload: bytes of a relation broadcast in the old
+one-JSON-object-per-tuple form vs the column-batch form the shard pool
+now ships.  Results go to ``BENCH_kernel.json``::
+
+    python benchmarks/kernel_bench.py              # full (E14 at 48 classes)
+    python benchmarks/kernel_bench.py --quick      # CI smoke (E14 at 12)
+    python benchmarks/kernel_bench.py --check      # exit 1 unless the
+                                                   # kernel is >= 1.5x on E14
+
+The ``report()`` hook makes ``python benchmarks/report.py kernel``
+regenerate the artifact alongside the experiment tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import DeductiveEngine
+from repro.gdb import kernel
+from repro.gdb.store import encode_relation_batch
+
+from workloads import shift_cycle_workload
+
+REPS = 5
+
+#: The regression gate of ``--check`` (CI kernel-bench-smoke job).
+CHECK_SPEEDUP = 1.5
+
+
+def _best_run(make_engine):
+    """Best-of-REPS wall time (ms) and the last model."""
+    best = float("inf")
+    model = None
+    for _ in range(REPS):
+        engine = make_engine()
+        start = time.perf_counter()
+        model = engine.run()
+        best = min(best, (time.perf_counter() - start) * 1000)
+    return best, model
+
+
+def _entry(program, edb, enabled):
+    """One configuration: best wall time plus run invariants."""
+    with kernel.configured(enabled):
+        wall_ms, model = _best_run(
+            lambda: DeductiveEngine(program, edb, strategy="semi-naive")
+        )
+    return model, {
+        "wall_ms": round(wall_ms, 3),
+        "rounds": model.stats.rounds,
+        "accepted_tuples": model.stats.total_new_tuples(),
+        "constraint_safe": model.stats.constraint_safe,
+    }
+
+
+def _e14(classes, shift=1):
+    """E14 before (kernel off) / after (kernel on), with an
+    equivalence cross-check between the two models."""
+    program, edb = shift_cycle_workload(classes, shift)
+    before_model, before = _entry(program, edb, False)
+    after_model, after = _entry(program, edb, True)
+    for predicate in after_model.predicates():
+        assert after_model.relation(predicate).equivalent(
+            before_model.relation(predicate)
+        ), "kernel ablation disagrees on %r" % predicate
+    return {
+        "classes": classes,
+        "shift": shift,
+        "before": before,
+        "after": after,
+        "speedup": round(before["wall_ms"] / after["wall_ms"], 2),
+    }
+
+
+def _dispatch_bytes(classes, shift=1):
+    """Shard broadcast size of the E14 closed form, old wire format
+    (one canonical JSON object per tuple) vs the column-batch codec."""
+    program, edb = shift_cycle_workload(classes, shift)
+    model = DeductiveEngine(program, edb, strategy="semi-naive").run()
+    relation = model.relation("p")
+    per_tuple = len(json.dumps(relation.to_json_dict()))
+    batch = len(json.dumps(encode_relation_batch(relation)))
+    return {
+        "tuples": len(relation.tuples),
+        "per_tuple_bytes": per_tuple,
+        "batch_bytes": batch,
+        "ratio": round(per_tuple / batch, 2),
+    }
+
+
+def run(quick=False):
+    """The full benchmark payload (a JSON-safe dict)."""
+    e14_classes = 12 if quick else 48
+    return {
+        "quick": quick,
+        "e14_shift_cycle": _e14(e14_classes),
+        "e14_dense_shift": _e14(e14_classes, shift=5),
+        "dispatch": _dispatch_bytes(e14_classes),
+        "kernel_caches": kernel.cache_stats(),
+    }
+
+
+def write(payload, path="BENCH_kernel.json"):
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def report():
+    """Regenerate ``BENCH_kernel.json`` and print the summary table
+    (hooked into ``benchmarks/report.py``)."""
+    payload = run()
+    write(payload)
+    _print_summary(payload)
+
+
+def _print_summary(payload):
+    print("Columnar kernel — batched vs per-tuple ablation (wall ms, best of %d)" % REPS)
+    print("%28s %12s %12s %8s" % ("workload", "kernel on", "kernel off", "speedup"))
+    for key, label in (
+        ("e14_shift_cycle", "e14 %d classes shift 1"),
+        ("e14_dense_shift", "e14 %d classes shift 5"),
+    ):
+        entry = payload[key]
+        print(
+            "%28s %12.2f %12.2f %7.2fx"
+            % (
+                label % entry["classes"],
+                entry["after"]["wall_ms"],
+                entry["before"]["wall_ms"],
+                entry["speedup"],
+            )
+        )
+    dispatch = payload["dispatch"]
+    print(
+        "shard dispatch, %d tuples: per-tuple %d B, column batch %d B "
+        "(%.2fx smaller)"
+        % (
+            dispatch["tuples"],
+            dispatch["per_tuple_bytes"],
+            dispatch["batch_bytes"],
+            dispatch["ratio"],
+        )
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the kernel speeds up E14 by at least %.1fx "
+        "and the batch wire format is no larger than per-tuple"
+        % CHECK_SPEEDUP,
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    write(payload, args.out)
+    _print_summary(payload)
+    if args.check:
+        speedup = payload["e14_shift_cycle"]["speedup"]
+        if speedup < CHECK_SPEEDUP:
+            print(
+                "FAIL: kernel speedup %.2fx below the %.1fx gate on E14 "
+                "with %d classes"
+                % (speedup, CHECK_SPEEDUP, payload["e14_shift_cycle"]["classes"]),
+                file=sys.stderr,
+            )
+            return 1
+        if payload["dispatch"]["ratio"] < 1.0:
+            print(
+                "FAIL: column-batch payload larger than per-tuple "
+                "(%.2fx)" % payload["dispatch"]["ratio"],
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "check ok: %.2fx >= %.1fx, dispatch %.2fx smaller"
+            % (speedup, CHECK_SPEEDUP, payload["dispatch"]["ratio"])
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,6 +17,7 @@ from __future__ import annotations
 import importlib
 import json
 import os
+import subprocess
 import sys
 
 EXPERIMENTS = [
@@ -37,10 +38,16 @@ EXPERIMENTS = [
     ("plan", "plan_bench"),
     ("service", "service_bench"),
     ("parallel", "parallel_bench"),
+    ("kernel", "kernel_bench"),
 ]
 
 #: The benchmark artifacts the consolidated summary reads.
-ARTIFACTS = ("BENCH_plan.json", "BENCH_service.json", "BENCH_parallel.json")
+ARTIFACTS = (
+    "BENCH_plan.json",
+    "BENCH_service.json",
+    "BENCH_parallel.json",
+    "BENCH_kernel.json",
+)
 
 
 def _load(path):
@@ -123,10 +130,34 @@ def _parallel_lines(payload):
     return lines
 
 
+def _kernel_lines(payload):
+    e14 = payload["e14_shift_cycle"]
+    dispatch = payload["dispatch"]
+    return [
+        "- Columnar kernel vs per-tuple ablation on E14 (%d classes, "
+        "semi-naive): **%.2fx** (%.2f ms vs %.2f ms)."
+        % (
+            e14["classes"],
+            e14["speedup"],
+            e14["after"]["wall_ms"],
+            e14["before"]["wall_ms"],
+        ),
+        "- Shard dispatch payload (%d tuples): column batches are "
+        "**%.2fx** smaller than per-tuple JSON (%d B vs %d B)."
+        % (
+            dispatch["tuples"],
+            dispatch["ratio"],
+            dispatch["batch_bytes"],
+            dispatch["per_tuple_bytes"],
+        ),
+    ]
+
+
 _SECTIONS = (
     ("BENCH_plan.json", "Plan layer", _plan_lines),
     ("BENCH_service.json", "Query service", _service_lines),
     ("BENCH_parallel.json", "Parallel fixpoint & coverage cache", _parallel_lines),
+    ("BENCH_kernel.json", "Columnar kernel", _kernel_lines),
 )
 
 
@@ -138,7 +169,7 @@ def write_summary(path="BENCH_SUMMARY.md"):
         "# Benchmark summary",
         "",
         "Headline numbers from the `BENCH_*.json` artifacts; regenerate "
-        "with `python benchmarks/report.py plan service parallel`.",
+        "with `python benchmarks/report.py plan service parallel kernel`.",
         "",
     ]
     found = False
@@ -158,9 +189,60 @@ def write_summary(path="BENCH_SUMMARY.md"):
     return path
 
 
+def _last_src_commit_time(base):
+    """Unix time of the last commit touching ``src/``, or None when
+    the tree is not a git checkout (or git is unavailable)."""
+    try:
+        output = subprocess.run(
+            ["git", "log", "-1", "--format=%ct", "--", "src"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if output.returncode != 0 or not output.stdout.strip():
+        return None
+    try:
+        return int(output.stdout.strip())
+    except ValueError:
+        return None
+
+
+def stale_artifacts(base=None):
+    """The ``BENCH_*.json`` artifacts older than the last ``src/``
+    commit — their numbers predate the code they claim to measure."""
+    if base is None:
+        base = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_time = _last_src_commit_time(base)
+    if src_time is None:
+        return []
+    stale = []
+    for artifact in ARTIFACTS:
+        path = os.path.join(base, artifact)
+        if os.path.exists(path) and os.path.getmtime(path) < src_time:
+            stale.append(artifact)
+    return stale
+
+
+def flag_stale_artifacts(base=None, out=sys.stderr):
+    """Print one warning per stale bench artifact; returns the list."""
+    stale = stale_artifacts(base)
+    for artifact in stale:
+        print(
+            "WARNING: %s is older than the last src/ commit — regenerate "
+            "it (python benchmarks/report.py %s)"
+            % (artifact, artifact.replace("BENCH_", "").replace(".json", "")),
+            file=out,
+        )
+    return stale
+
+
 def main(argv=None):
     """Run the selected (default: all) experiment reports, then refresh
     the consolidated summary."""
+    flag_stale_artifacts()
     wanted = {name.lower() for name in (argv or [])[0:]} or None
     for key, module_name in EXPERIMENTS:
         if wanted is not None and key not in wanted:

@@ -14,6 +14,8 @@ paper's Section 4.3 rely on.
 
 from __future__ import annotations
 
+import threading
+
 from repro.util.hooks import fault_point
 
 INF = float("inf")
@@ -36,7 +38,7 @@ class Dbm:
     5
     """
 
-    __slots__ = ("size", "_m", "_closed", "_key")
+    __slots__ = ("size", "_m", "_closed", "_key", "_cid")
 
     def __init__(self, size, matrix=None, closed=False):
         self.size = size
@@ -47,6 +49,7 @@ class Dbm:
             self._m = matrix
         self._closed = closed
         self._key = None
+        self._cid = None
 
     # -- construction ----------------------------------------------------
 
@@ -56,7 +59,12 @@ class Dbm:
         return cls(size)
 
     def copy(self):
-        """An independent copy of this zone."""
+        """An independent copy of this zone.
+
+        The copy is mutable and therefore never carries the original's
+        interned constraint id (``_cid``), which names an immutable
+        table entry.
+        """
         clone = Dbm(self.size, [row[:] for row in self._m], self._closed)
         clone._key = self._key
         return clone
@@ -69,6 +77,7 @@ class Dbm:
             self._m[i][j] = c
             self._closed = False
             self._key = None
+            self._cid = None
 
     def conjoin(self, other):
         """Conjoin another zone over the same variables, in place."""
@@ -81,6 +90,7 @@ class Dbm:
                     row[j] = other_row[j]
                     self._closed = False
                     self._key = None
+                    self._cid = None
 
     # -- canonicalization --------------------------------------------------
 
@@ -135,6 +145,24 @@ class Dbm:
         hi = self._m[i][j]
         lo = -self._m[j][i] if self._m[j][i] is not INF and self._m[j][i] != INF else -INF
         return lo, hi
+
+    def is_trivial(self):
+        """True when no finite bound constrains any variable (the zone
+        is all of ℤ^size).  A plain matrix scan — no closure needed,
+        since an all-INF off-diagonal matrix is already closed and any
+        finite off-diagonal entry survives closure.  A negative
+        diagonal entry is the emptiness marker (``m[0][0] = -1``), so
+        the diagonal must be exactly 0 everywhere."""
+        m = self._m
+        for i in range(self.size + 1):
+            row = m[i]
+            for j in range(self.size + 1):
+                if i == j:
+                    if row[j] != 0:
+                        return False
+                elif row[j] is not INF and row[j] != INF:
+                    return False
+        return True
 
     def canonical_key(self):
         """A hashable canonical form (closed matrix as nested tuples).
@@ -430,39 +458,118 @@ class Dbm:
         return "Dbm(size=%d, %s)" % (self.size, ", ".join(parts) or "true")
 
 
-# -- process-level interning ------------------------------------------------
+# -- process-level interning: the constraint table ---------------------------
 #
 # Identical zones recur constantly during bottom-up evaluation (every
 # derived tuple of the same clause round carries the same handful of
-# canonical zones).  Interning shares one closed instance per canonical
-# key, so canonicalization and key computation happen once per distinct
-# zone and equality checks can short-circuit on identity.  Interned
-# instances must never be mutated; every holder treats its zone as
-# immutable (ConstraintSystem copies before any in-place operation).
+# canonical zones).  The ConstraintTable shares one closed instance per
+# canonical key and assigns it a dense integer id (its ``_cid``), so
+# canonicalization and key computation happen once per distinct zone,
+# equality checks short-circuit on identity, and downstream layers can
+# dedup and index tuples by plain integer compares instead of hashing
+# whole canonical matrices.  Interned instances must never be mutated;
+# every holder treats its zone as immutable (ConstraintSystem copies
+# before any in-place operation).
 
-_INTERN_CACHE = {}
-_INTERN_CAP = 1 << 17
+
+class ConstraintTable:
+    """Process-level intern table: one canonical closed DBM per id.
+
+    Ids are dense (``0 … len-1``) in interning order, so they are only
+    meaningful within one process — the wire/checkpoint formats keep
+    using canonical bounds.  The table is capped; past the cap
+    :meth:`intern` returns the caller's own (closed) zone un-interned
+    with no id, and :meth:`zone_id` falls back to the canonical key,
+    which compares slower but never collides with an integer id.
+
+    Id assignment is lock-guarded (service threads share the process
+    table); the hit path stays lock-free because entries are
+    append-only and never replaced.
+    """
+
+    __slots__ = ("cap", "_ids", "_zones", "_lock")
+
+    def __init__(self, cap=1 << 17):
+        self.cap = cap
+        self._ids = {}      # canonical key -> id
+        self._zones = []    # id -> frozen closed Dbm
+        self._lock = threading.Lock()
+
+    def __len__(self):
+        return len(self._zones)
+
+    def intern(self, zone):
+        """The shared canonical instance for ``zone``'s canonical key.
+
+        The returned DBM is closed and carries its table id in
+        ``_cid``.  On a miss a private copy of ``zone`` is stored, so
+        later mutation of the caller's instance can never corrupt the
+        table.
+        """
+        key = zone.canonical_key()
+        cid = self._ids.get(key)
+        if cid is not None:
+            return self._zones[cid]
+        if len(self._zones) >= self.cap:
+            return zone
+        with self._lock:
+            cid = self._ids.get(key)
+            if cid is not None:
+                return self._zones[cid]
+            if len(self._zones) >= self.cap:
+                return zone
+            frozen = zone.copy()
+            frozen._cid = len(self._zones)
+            self._zones.append(frozen)
+            self._ids[key] = frozen._cid
+            return frozen
+
+    def zone_id(self, zone):
+        """A dedup key for ``zone``: its int id, or the canonical key
+        when the zone never made it into the capped table."""
+        cid = zone._cid
+        if cid is not None:
+            return cid
+        key = zone.canonical_key()
+        cid = self._ids.get(key)
+        return key if cid is None else cid
+
+    def zone_for(self, cid):
+        """The interned zone with table id ``cid``."""
+        return self._zones[cid]
+
+
+CONSTRAINT_TABLE = ConstraintTable()
+
+_BATCH_UNSET = object()
 
 
 def intern_dbm(zone):
-    """The shared canonical instance for ``zone``'s canonical key.
+    """The shared canonical instance for ``zone`` (see ConstraintTable)."""
+    return CONSTRAINT_TABLE.intern(zone)
 
-    The returned DBM is closed.  On a cache miss a private copy of
-    ``zone`` is stored, so later mutation of the caller's instance can
-    never corrupt the cache.  The cache is capped; past the cap the
-    caller's own (closed) zone is returned un-interned.
+
+def canonicalize_batch(zones):
+    """Canonicalize a batch of zones with one closure per distinct zone.
+
+    Returns a list aligned with ``zones``: the interned canonical
+    instance for each satisfiable entry, ``None`` for unsatisfiable
+    ones.  Entries that are structurally identical before closure are
+    closed only once — the batch form of the per-tuple
+    canonicalize/intersect/canonicalize pattern in the plan layer.
     """
-    key = zone.canonical_key()
-    cached = _INTERN_CACHE.get(key)
-    if cached is not None:
-        return cached
-    if len(_INTERN_CACHE) >= _INTERN_CAP:
-        return zone
-    frozen = zone.copy()
-    _INTERN_CACHE[key] = frozen
-    return frozen
+    out = [None] * len(zones)
+    distinct = {}
+    for index, zone in enumerate(zones):
+        pre = (zone.size,) + tuple(map(tuple, zone._m))
+        cached = distinct.get(pre, _BATCH_UNSET)
+        if cached is _BATCH_UNSET:
+            cached = CONSTRAINT_TABLE.intern(zone) if zone.close() else None
+            distinct[pre] = cached
+        out[index] = cached
+    return out
 
 
 def intern_cache_stats():
-    """Size of the process-level DBM interning cache (for tests)."""
-    return {"entries": len(_INTERN_CACHE), "cap": _INTERN_CAP}
+    """Size of the process-level DBM interning table (for tests)."""
+    return {"entries": len(CONSTRAINT_TABLE), "cap": CONSTRAINT_TABLE.cap}

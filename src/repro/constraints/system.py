@@ -9,7 +9,7 @@ exposes exactly the operations the generalized-database algebra needs.
 from __future__ import annotations
 
 from repro.constraints.atoms import Comparison, TemporalTerm, parse_constraint_text
-from repro.constraints.dbm import Dbm, INF, intern_dbm
+from repro.constraints.dbm import CONSTRAINT_TABLE, Dbm, INF, intern_dbm
 
 
 class ConstraintSystem:
@@ -92,7 +92,7 @@ class ConstraintSystem:
 
     def is_trivial(self):
         """True when the constraint is equivalent to ``true``."""
-        return self == ConstraintSystem.top(self.arity)
+        return self._zone.is_trivial()
 
     def satisfied_by(self, values):
         """True when the concrete time vector satisfies the constraints."""
@@ -248,6 +248,17 @@ class ConstraintSystem:
     def canonical_key(self):
         """Hashable canonical form."""
         return (self.arity, self._zone.canonical_key())
+
+    def constraint_id(self):
+        """A compact dedup key for this system's zone.
+
+        The interned table id (an ``int``) in the common case; the full
+        canonical key once the process table has hit its cap.  Two
+        systems of equal arity are equal iff their constraint ids are
+        equal, so integer compares replace matrix-key hashing in dedup
+        paths.
+        """
+        return CONSTRAINT_TABLE.zone_id(self._zone)
 
     def __eq__(self, other):
         if not isinstance(other, ConstraintSystem):

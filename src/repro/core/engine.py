@@ -537,7 +537,19 @@ class DeductiveEngine:
             )
 
         self._emit_run_end(stats, "gave-up" if stats.gave_up else "ok")
-        model = self._partial_model(env, stats)
+        try:
+            model = self._partial_model(env, stats)
+        except (KeyboardInterrupt, SystemExit, PartialResultError):
+            raise
+        except Exception as error:
+            # A fault during final normalization (e.g. an injected
+            # dbm_canonicalize fault whose hit count lands here) gets
+            # the same typed wrapping as one during the rounds.
+            raise EvaluationAbortedError(
+                "evaluation aborted while finalizing the model: %s" % error,
+                partial_model=self._partial_model(env, stats, best_effort=True),
+                stats=stats,
+            ) from error
         if stats.gave_up and self.on_give_up == "raise":
             raise GiveUpError(
                 "bottom-up evaluation did not reach constraint safety "
@@ -571,11 +583,23 @@ class DeductiveEngine:
             return False
         return True
 
-    def _partial_model(self, env, stats):
-        """The (possibly partial) model for the current environment."""
-        relations = {
-            name: env[name].normalize() for name in self.evaluator.intensional
-        }
+    def _partial_model(self, env, stats, best_effort=False):
+        """The (possibly partial) model for the current environment.
+
+        With ``best_effort`` a failure during normalization (a fault
+        plan can fire inside it) degrades to the raw relations instead
+        of propagating — used when the model rides on an error that
+        must not be displaced."""
+        try:
+            relations = {
+                name: env[name].normalize() for name in self.evaluator.intensional
+            }
+        except Exception:
+            if not best_effort:
+                raise
+            relations = {
+                name: env[name] for name in self.evaluator.intensional
+            }
         return Model(relations, stats, edb=self.edb)
 
     def _run_stratum(
@@ -664,19 +688,7 @@ class DeductiveEngine:
 
             if observing:
                 cache_hits, cache_misses = checker.hits, checker.misses
-            fresh = {}
-            seen_keys = set()
-            for predicate, tuples in derived.items():
-                relation = env[predicate]
-                snapshot = relation.tuples  # one snapshot per sweep
-                for gt in tuples:
-                    key = (predicate, gt.canonical_key())
-                    if key in seen_keys:
-                        continue
-                    seen_keys.add(key)
-                    if checker.covered(gt, relation, snapshot):
-                        continue
-                    fresh.setdefault(predicate, []).append(gt)
+            fresh = checker.sweep(derived, env)
 
             accepted = sum(len(ts) for ts in fresh.values())
             stats.new_tuples_per_round.append(accepted)
@@ -785,19 +797,7 @@ class DeductiveEngine:
                 derived = self.evaluator.naive_round(
                     env, evaluators=evaluators, complements=complements, meter=meter
                 )
-                fresh = {}
-                seen_keys = set()
-                for predicate, tuples in derived.items():
-                    relation = env[predicate]
-                    snapshot = relation.tuples
-                    for gt in tuples:
-                        key = (predicate, gt.canonical_key())
-                        if key in seen_keys:
-                            continue
-                        seen_keys.add(key)
-                        if checker.covered(gt, relation, snapshot):
-                            continue
-                        fresh.setdefault(predicate, []).append(gt)
+                fresh = checker.sweep(derived, env)
                 if not fresh:
                     break
                 for predicate, tuples in fresh.items():

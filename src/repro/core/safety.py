@@ -22,6 +22,7 @@ union of all same-data tuples, regardless of free-extension matching.
 
 from __future__ import annotations
 
+from repro.gdb import kernel
 from repro.util.hooks import fault_point
 
 
@@ -42,10 +43,11 @@ def covered_paper(gt, relation, snapshot=None):
 
 
 def _covered_paper_uncached(gt, relation):
-    same_signature = [
-        existing.constraints
-        for existing in relation.tuples_with_signature(gt.free_signature())
-    ]
+    if kernel.ENABLED:
+        candidates = relation.tuples_with_signature_id(gt.kernel_ids()[1])
+    else:
+        candidates = relation.tuples_with_signature(gt.free_signature())
+    same_signature = [existing.constraints for existing in candidates]
     if not same_signature:
         return False
     return gt.constraints.implied_by_union(same_signature)
@@ -120,10 +122,17 @@ class CoverageChecker:
         if not self.use_cache:
             self.misses += 1
             return _covered_paper_uncached(gt, relation)
-        signature = gt.free_signature()
+        if kernel.ENABLED:
+            # Interned ids: the (sid, cid) pair identifies exactly the
+            # same equivalence class as (signature, canonical key) —
+            # equal sids force equal arity, equal cids equal zones —
+            # but compares as two ints.
+            signature, key = gt.row_key()
+        else:
+            signature = gt.free_signature()
+            key = gt.constraints.canonical_key()
         cache = relation.coverage_cache()
         verdicts = cache.get(signature)
-        key = gt.constraints.canonical_key()
         if verdicts is not None:
             cached = verdicts.get(key)
             if cached is not None:
@@ -135,6 +144,32 @@ class CoverageChecker:
             verdicts = cache[signature] = {}
         verdicts[key] = result
         return result
+
+    def sweep(self, derived, env):
+        """One acceptance sweep over a round's derived tuples: dedup
+        within the round (by interned ``row_key`` under the kernel,
+        by canonical key otherwise — the same equivalence classes),
+        test coverage once per distinct tuple against the predicate's
+        current relation, and return the fresh (uncovered) tuples per
+        predicate in derivation order."""
+        fresh = {}
+        seen_keys = set()
+        use_ids = kernel.ENABLED
+        for predicate, tuples in derived.items():
+            relation = env[predicate]
+            snapshot = relation.tuples  # one snapshot per sweep
+            for gt in tuples:
+                key = (
+                    predicate,
+                    gt.row_key() if use_ids else gt.canonical_key(),
+                )
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                if self.covered(gt, relation, snapshot):
+                    continue
+                fresh.setdefault(predicate, []).append(gt)
+        return fresh
 
 
 def is_constraint_safe(derived, env, mode="paper"):

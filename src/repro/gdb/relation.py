@@ -15,7 +15,9 @@ import itertools
 
 from repro.constraints.dbm import Dbm, INF
 from repro.constraints.system import ConstraintSystem
-from repro.gdb.tuple import GeneralizedTuple
+from repro.gdb import kernel
+from repro.gdb.store import ColumnStore
+from repro.gdb.tuple import GeneralizedTuple, signature_id
 from repro.lrp.point import Lrp
 from repro.util.errors import SchemaError
 
@@ -43,6 +45,7 @@ class GeneralizedRelation:
         "_data_indexes",
         "_sig_index",
         "_coverage_cache",
+        "_store",
         "coverage_generation",
     )
 
@@ -53,6 +56,7 @@ class GeneralizedRelation:
         self._data_indexes = None
         self._sig_index = None
         self._coverage_cache = None
+        self._store = None
         self.coverage_generation = 0
         for gt in self.tuples:
             self._check(gt)
@@ -69,8 +73,35 @@ class GeneralizedRelation:
         relation._data_indexes = None
         relation._sig_index = None
         relation._coverage_cache = None
+        relation._store = None
         relation.coverage_generation = 0
         return relation
+
+    # -- columnar backing store -------------------------------------------
+
+    def _kernel_store(self):
+        """The shared :class:`ColumnStore` when this view still covers
+        its full row prefix; None when a sibling growth moved past it
+        (older views then fall back to private per-instance caches)."""
+        store = self._store
+        if store is not None and len(store) == len(self.tuples):
+            return store
+        return None
+
+    def _ensure_store(self):
+        """This view's store, built (or rebuilt after a prefix
+        mismatch) from the current tuples on first need.  The
+        per-instance coverage cache, if any, migrates into it."""
+        store = self._kernel_store()
+        if store is None:
+            store = ColumnStore(
+                self.tuples,
+                generation=self.coverage_generation,
+                coverage=self._coverage_cache,
+            )
+            self._store = store
+            self._coverage_cache = None
+        return store
 
     def _check(self, gt):
         if gt.temporal_arity != self.temporal_arity or gt.data_arity != self.data_arity:
@@ -119,6 +150,19 @@ class GeneralizedRelation:
         gts = tuple(gts)
         for gt in gts:
             self._check(gt)
+        if kernel.ENABLED:
+            # Columnar path: hand the shared store to the grown view.
+            # The append drops stale negative coverage verdicts in
+            # place (no O(n) cache copy) and bumps the one generation
+            # counter both views' bookkeeping mirrors.
+            store = self._ensure_store()
+            store.append(gts)
+            grown = GeneralizedRelation._trusted(
+                self.temporal_arity, self.data_arity, self.tuples + gts
+            )
+            grown._store = store
+            grown.coverage_generation = store.generation
+            return grown
         grown = GeneralizedRelation._trusted(
             self.temporal_arity, self.data_arity, self.tuples + gts
         )
@@ -180,7 +224,16 @@ class GeneralizedRelation:
 
     def data_index(self, column):
         """Hash index on a data column: ``{value: (tuple positions…)}``
-        in tuple order.  Built lazily, cached for the relation's lifetime."""
+        in tuple order.  Served incrementally from the shared column
+        store while this view covers its full row prefix; otherwise
+        built lazily per instance and cached for the relation's
+        lifetime."""
+        if kernel.ENABLED:
+            store = self._kernel_store()
+            if store is None and self._data_indexes is None and self.tuples:
+                store = self._ensure_store()
+            if store is not None:
+                return store.data_index(column)
         if self._data_indexes is None:
             self._data_indexes = {}
         index = self._data_indexes.get(column)
@@ -204,8 +257,31 @@ class GeneralizedRelation:
         return self._sig_index
 
     def tuples_with_signature(self, signature):
-        """The tuples whose free extension matches ``signature``."""
+        """The tuples whose free extension matches ``signature``.
+
+        With the kernel enabled the lookup goes through the store's
+        incremental id-keyed index, so growth re-indexes only the new
+        rows instead of rebuilding from scratch."""
+        if kernel.ENABLED:
+            store = self._kernel_store()
+            if store is None and self._sig_index is None and self.tuples:
+                store = self._ensure_store()
+            if store is not None:
+                return store.tuples_with_signature_id(signature_id(signature))
         return self.signature_index().get(signature, [])
+
+    def tuples_with_signature_id(self, sid):
+        """The tuples whose free signature interned to ``sid`` (store
+        fast path; falls back through the signature object)."""
+        if kernel.ENABLED:
+            store = self._kernel_store()
+            if store is None and self._sig_index is None and self.tuples:
+                store = self._ensure_store()
+            if store is not None:
+                return store.tuples_with_signature_id(sid)
+        from repro.gdb.tuple import signature_of_id
+
+        return self.signature_index().get(signature_of_id(sid), [])
 
     def coverage_cache(self):
         """The cross-round coverage memo:
@@ -220,6 +296,8 @@ class GeneralizedRelation:
         carry-over is what lets unchanged signatures skip
         ``implied_by_union`` entirely from round to round.
         """
+        if kernel.ENABLED:
+            return self._ensure_store().coverage
         cache = self._coverage_cache
         if cache is None:
             cache = self._coverage_cache = {}
@@ -452,12 +530,32 @@ class GeneralizedRelation:
 
     @classmethod
     def from_json_dict(cls, payload):
-        """Rebuild a relation serialized by :meth:`to_json_dict`."""
-        return cls(
-            payload["temporal_arity"],
-            payload["data_arity"],
-            [GeneralizedTuple.from_json_dict(t) for t in payload["tuples"]],
-        )
+        """Rebuild a relation serialized by :meth:`to_json_dict`.
+
+        Constraint systems repeat heavily across a relation's tuples,
+        so each distinct serialized system is decoded (and its zone
+        canonicalized) once and shared — the payload format itself is
+        unchanged.
+        """
+        systems = {}
+        tuples = []
+        for entry in payload["tuples"]:
+            serialized = entry.get("constraints")
+            if serialized is None:
+                constraints = None
+            else:
+                key = (
+                    serialized["arity"],
+                    tuple(tuple(bound) for bound in serialized["bounds"]),
+                )
+                constraints = systems.get(key)
+                if constraints is None:
+                    constraints = systems[key] = ConstraintSystem.from_json_dict(
+                        serialized
+                    )
+            lrps = tuple(Lrp(period, offset) for period, offset in entry["lrps"])
+            tuples.append(GeneralizedTuple(lrps, tuple(entry["data"]), constraints))
+        return cls(payload["temporal_arity"], payload["data_arity"], tuples)
 
     # -- normalization ------------------------------------------------------------------
 
@@ -470,8 +568,11 @@ class GeneralizedRelation:
         """
         seen = set()
         kept = []
+        use_row_keys = kernel.ENABLED
         for gt in self.tuples:
-            key = gt.canonical_key()
+            # row_key is the interned (sid, cid) pair — an integer
+            # compare bijective with canonical_key.
+            key = gt.row_key() if use_row_keys else gt.canonical_key()
             if key in seen:
                 continue
             seen.add(key)

@@ -25,10 +25,12 @@ projection, difference and containment are all exact.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.constraints.dbm import Dbm, INF
 from repro.constraints.system import ConstraintSystem
+from repro.gdb import kernel
 from repro.lrp.congruence import lcm_all
 from repro.lrp.point import Lrp
 
@@ -38,6 +40,78 @@ def _floor_div(a, b):
     if a == INF:
         return INF
     return a // b
+
+
+# -- process-level id interning ---------------------------------------------
+#
+# The columnar kernel keys its template caches and dedup maps by small
+# ids instead of whole structural keys: ``lvid`` names an lrp vector,
+# ``sid`` a free signature ``(lrps, data)``, and ``cid`` (assigned by
+# the constraint table in repro.constraints.dbm) a canonical zone.
+# Ids are dense ints in interning order — process-local, never
+# serialized.  Past the cap the structural key itself is used as the
+# id: it is hashable and equality-correct, just slower to compare.
+
+_ID_CAP = 1 << 20
+_ID_LOCK = threading.Lock()
+_LRP_IDS = {}       # lrp vector -> lvid
+_SIG_IDS = {}       # (lrps, data) -> sid
+_SIGNATURES = []    # sid -> (lrps, data)
+
+
+def _intern_lrp_vector(lrps):
+    lvid = _LRP_IDS.get(lrps)
+    if lvid is not None:
+        return lvid
+    with _ID_LOCK:
+        lvid = _LRP_IDS.get(lrps)
+        if lvid is not None:
+            return lvid
+        if len(_LRP_IDS) >= _ID_CAP:
+            return lrps
+        lvid = len(_LRP_IDS)
+        _LRP_IDS[lrps] = lvid
+        return lvid
+
+
+def _intern_signature(signature):
+    sid = _SIG_IDS.get(signature)
+    if sid is not None:
+        return sid
+    with _ID_LOCK:
+        sid = _SIG_IDS.get(signature)
+        if sid is not None:
+            return sid
+        if len(_SIGNATURES) >= _ID_CAP:
+            return signature
+        sid = len(_SIGNATURES)
+        _SIGNATURES.append(signature)
+        _SIG_IDS[signature] = sid
+        return sid
+
+
+def signature_of_id(sid):
+    """The free signature ``(lrps, data)`` an interned ``sid`` names.
+
+    Past-cap ids *are* the signature and pass through unchanged.
+    """
+    if isinstance(sid, int):
+        return _SIGNATURES[sid]
+    return sid
+
+
+def signature_id(signature):
+    """The interned id of a free signature (interning it if new)."""
+    return _intern_signature(signature)
+
+
+def intern_id_stats():
+    """Sizes of the tuple-layer interning tables (for tests)."""
+    return {
+        "lrp_vectors": len(_LRP_IDS),
+        "signatures": len(_SIGNATURES),
+        "cap": _ID_CAP,
+    }
 
 
 @dataclass(frozen=True)
@@ -119,7 +193,15 @@ class GeneralizedTuple:
     True
     """
 
-    __slots__ = ("lrps", "data", "constraints", "_hash", "_free_signature")
+    __slots__ = (
+        "lrps",
+        "data",
+        "constraints",
+        "_hash",
+        "_free_signature",
+        "_kernel_ids",
+        "_empty",
+    )
 
     def __init__(self, lrps, data=(), constraints=None):
         self.lrps = tuple(lrps)
@@ -134,6 +216,8 @@ class GeneralizedTuple:
         self.constraints = constraints
         self._hash = None
         self._free_signature = None
+        self._kernel_ids = None
+        self._empty = None
 
     # -- basic structure ---------------------------------------------------
 
@@ -163,6 +247,30 @@ class GeneralizedTuple:
         if signature is None:
             signature = self._free_signature = (self.lrps, self.data)
         return signature
+
+    def kernel_ids(self):
+        """The tuple's interned id triple ``(lvid, sid, cid)``.
+
+        ``lvid`` names the lrp vector, ``sid`` the free signature, and
+        ``cid`` the canonical constraint zone (see the module-level
+        interning tables and
+        :data:`repro.constraints.dbm.CONSTRAINT_TABLE`).  The columnar
+        kernel keys its template caches and dedup maps by these; the
+        triple is memoized on the instance.
+        """
+        ids = self._kernel_ids
+        if ids is None:
+            lvid = _intern_lrp_vector(self.lrps)
+            sid = _intern_signature(self.free_signature())
+            ids = self._kernel_ids = (lvid, sid, self.constraints.constraint_id())
+        return ids
+
+    def row_key(self):
+        """Integer dedup key ``(sid, cid)``, bijective with
+        :meth:`canonical_key`: equal signature ids force equal arity,
+        under which equal constraint ids decide zone equality."""
+        ids = self.kernel_ids()
+        return (ids[1], ids[2])
 
     def contains_point(self, times, data=()):
         """True when the ground tuple ``(times, data)`` belongs to the
@@ -243,9 +351,32 @@ class GeneralizedTuple:
         return result
 
     def is_empty(self):
-        """Exact emptiness, taking congruences into account."""
+        """Exact emptiness, taking congruences into account.
+
+        With the kernel enabled the verdict is memoized (the tuple is
+        immutable) and tuples with at most one temporal column take an
+        exact closed form: a one-variable zone is an interval, so the
+        tuple is empty iff the interval is finite and contains no point
+        of the column's residue class.
+        """
+        if not kernel.ENABLED:
+            return self._is_empty_uncached()
+        empty = self._empty
+        if empty is None:
+            empty = self._empty = self._is_empty_uncached()
+        return empty
+
+    def _is_empty_uncached(self):
         if not self.constraints.is_satisfiable():
             return True
+        if kernel.ENABLED and self.temporal_arity <= 1:
+            if self.temporal_arity == 0:
+                return False
+            lo, hi = self.constraints.column_interval(0)
+            if lo == -INF or hi == INF:
+                return False
+            lrp = self.lrps[0]
+            return lo + ((lrp.offset - lo) % lrp.period) > hi
         return not self.aligned()
 
     def sample(self):
@@ -305,7 +436,12 @@ class GeneralizedTuple:
                 if lo == hi and lo != -INF:
                     if lo not in lrps[i]:
                         return None
-        return GeneralizedTuple(tuple(lrps), self.data, self.constraints)
+        lrps = tuple(lrps)
+        if kernel.ENABLED and lrps == self.lrps:
+            # Nothing was refined: keep the original instance (and its
+            # memoized hash / signature / kernel ids).
+            return self
+        return GeneralizedTuple(lrps, self.data, self.constraints)
 
     # -- transformations -------------------------------------------------------
 
@@ -316,12 +452,18 @@ class GeneralizedTuple:
         """
         lrps = list(self.lrps)
         lrps[column] = lrps[column].shift(delta)
+        if kernel.ENABLED and self.constraints.is_trivial():
+            # Shearing an unconstrained zone leaves it unconstrained:
+            # only the lrp offset moves, the system is shared as-is.
+            return GeneralizedTuple(tuple(lrps), self.data, self.constraints)
         return GeneralizedTuple(
             tuple(lrps), self.data, self.constraints.shift_column(column, delta)
         )
 
     def permuted(self, order):
         """Reorder temporal columns: new column ``k`` is old ``order[k]``."""
+        if kernel.ENABLED and list(order) == list(range(self.temporal_arity)):
+            return self
         mapping = {old: new for new, old in enumerate(order)}
         lrps = tuple(self.lrps[old] for old in order)
         constraints = self.constraints.remapped(mapping, len(order))
@@ -374,6 +516,17 @@ class GeneralizedTuple:
         """
         data = tuple(self.data[k] for k in keep_data)
         drop = [k for k in range(self.temporal_arity) if k not in keep_temporal]
+        if kernel.ENABLED and not force_aligned and self.constraints.is_trivial():
+            # Unconstrained zone: every column is independent, so the
+            # projection is plain column selection (dropped columns
+            # quantify away freely) under a fresh trivial zone.
+            lrps = tuple(self.lrps[k] for k in keep_temporal)
+            constraints = (
+                self.constraints
+                if len(keep_temporal) == self.temporal_arity
+                else ConstraintSystem.top(len(keep_temporal))
+            )
+            return [GeneralizedTuple(lrps, data, constraints)]
         base = self.propagate_equalities()
         if base is None:
             return []

@@ -44,6 +44,13 @@ def format_variant(variant, label):
     lines = ["  plan %s:" % label]
     for number, step in enumerate(variant.steps, 1):
         lines.append("    " + _format_step(step, number))
+    joins = [
+        "%s %s" % (step.predicate, step.fast_path)
+        for step in variant.steps
+        if not isinstance(step, CarrierStep)
+    ]
+    if joins:
+        lines.append("    fast path: " + ", ".join(joins))
     projection = variant.projection
     head_cols = ", ".join(
         variant.columns[index] if not offset

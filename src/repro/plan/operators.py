@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 
+from repro.gdb import kernel
 from repro.gdb.relation import GeneralizedRelation
 from repro.gdb.tuple import GeneralizedTuple
 from repro.util import hooks
@@ -49,6 +50,7 @@ class JoinStep:
         "eq_sels",
         "match_pairs",
         "atoms",
+        "token",
         "_cache",
     )
 
@@ -63,7 +65,20 @@ class JoinStep:
         self.eq_sels = tuple(eq_sels)          # (local first col, local dup col)
         self.match_pairs = tuple(match_pairs)  # (global bound col, local col)
         self.atoms = ()                        # Comparisons, combined column space
+        self.token = kernel.next_token()       # template-cache keyspace
         self._cache = None                     # (source relation, restricted tuples)
+
+    @property
+    def fast_path(self):
+        """The join strategy this step executes: ``hash`` when shared
+        data variables bucket the source, ``fused-closure`` when only
+        pushed-down constraint atoms refine the pairs (one closure per
+        distinct template), ``product`` otherwise."""
+        if self.match_pairs:
+            return "hash"
+        if self.atoms:
+            return "fused-closure"
+        return "product"
 
     def source_tuples(self, relation):
         """The source tuples after within-atom selections, cached per
@@ -89,7 +104,7 @@ class JoinStep:
         self._cache = (relation, tuples)
         return tuples
 
-    def apply(self, current, relation):
+    def apply(self, current, relation, stats=None):
         """One join: returns the new working set (possibly empty)."""
         tuples = self.source_tuples(relation)
         if not tuples:
@@ -98,13 +113,11 @@ class JoinStep:
             # First join against the unit tuple: the pair IS the source
             # tuple; only pushed-down constraints need conjoining.
             if not self.atoms:
+                if stats is not None:
+                    stats["size"] = stats.get("size", 0) + len(tuples)
                 return tuples if type(tuples) is list else list(tuples)
-            result = []
-            for b in tuples:
-                refined = b.conjoined(self.atoms)
-                if refined is not None:
-                    result.append(refined)
-            return result
+            refined = kernel.select_batch(tuples, self.atoms, self.token, stats)
+            return [gt for gt in refined if gt is not None]
         if self.match_pairs:
             local_cols = [local for (_, local) in self.match_pairs]
             buckets = {}
@@ -112,40 +125,32 @@ class JoinStep:
                 key = tuple(b.data[c] for c in local_cols)
                 buckets.setdefault(key, []).append(b)
             bound_cols = [bound for (bound, _) in self.match_pairs]
-            result = []
+            pairs = []
             for a in current:
                 key = tuple(a.data[c] for c in bound_cols)
                 for b in buckets.get(key, ()):
-                    joined = a.joined(b, self.atoms)
-                    if joined is not None:
-                        result.append(joined)
-            return result
-        result = []
-        for a in current:
-            for b in tuples:
-                joined = a.joined(b, self.atoms)
-                if joined is not None:
-                    result.append(joined)
-        return result
+                    pairs.append((a, b))
+        else:
+            pairs = [(a, b) for a in current for b in tuples]
+        joined = kernel.join_batch(pairs, self.atoms, self.token, stats)
+        return [gt for gt in joined if gt is not None]
 
 
 class CarrierStep:
     """Append unconstrained carrier columns and conjoin constraints."""
 
-    __slots__ = ("names", "atoms")
+    __slots__ = ("names", "atoms", "token")
 
     def __init__(self, names, atoms):
         self.names = tuple(names)
         self.atoms = tuple(atoms)
+        self.token = kernel.next_token()
 
-    def apply(self, current):
-        result = []
-        count = len(self.names)
-        for a in current:
-            extended = a.extended(count, self.atoms)
-            if extended is not None:
-                result.append(extended)
-        return result
+    def apply(self, current, stats=None):
+        extended = kernel.extend_batch(
+            current, len(self.names), self.atoms, self.token, stats
+        )
+        return [gt for gt in extended if gt is not None]
 
 
 class Projection:
@@ -163,6 +168,8 @@ class Projection:
         "keep_data",
         "constant_slots",
         "head_schema",
+        "sheared",
+        "token",
     )
 
     def __init__(self, keep_temporal, shifts, keep_data, constant_slots,
@@ -172,20 +179,23 @@ class Projection:
         self.keep_data = tuple(keep_data)
         self.constant_slots = tuple(constant_slots)  # (final slot, value)
         self.head_schema = head_schema               # (temporal, data) arities
-
-    def apply(self, current):
-        temporal_arity, data_arity = self.head_schema
-        result = []
-        slots = dict(self.constant_slots)
-        sheared = [
+        self.sheared = tuple(
             (position, offset)
             for position, offset in enumerate(self.shifts)
             if offset
-        ]
-        for gt in current:
-            for projected in gt.project(self.keep_temporal, self.keep_data):
-                for position, offset in sheared:
-                    projected = projected.shift_column(position, offset)
+        )
+        self.token = kernel.next_token()
+
+    def apply(self, current, stats=None):
+        temporal_arity, data_arity = self.head_schema
+        result = []
+        slots = dict(self.constant_slots)
+        batches = kernel.project_batch(
+            current, self.keep_temporal, self.keep_data, self.sheared,
+            self.token, stats,
+        )
+        for projected_batch in batches:
+            for projected in projected_batch:
                 if slots:
                     data = []
                     values = iter(projected.data)
@@ -264,9 +274,10 @@ class PlanVariant:
                 "step": index,
                 "in": 0 if len(current) == 1 and current[0] is _UNIT else len(current),
             }
+            batch_stats = {}
             if type(step) is CarrierStep:
                 fields["op"] = "carrier"
-                current = step.apply(current)
+                current = step.apply(current, batch_stats)
             else:
                 fields["op"] = "anti-join" if step.negated else "join"
                 fields["predicate"] = step.predicate
@@ -280,14 +291,16 @@ class PlanVariant:
                     return empty
                 fields["source"] = len(relation.tuples)
                 fields["selected"] = len(step.source_tuples(relation))
-                current = step.apply(current, relation)
+                current = step.apply(current, relation, batch_stats)
             fields["out"] = len(current)
             fields["duration_s"] = time.perf_counter() - started
             hooks.emit("plan.operator", fields)
+            self._emit_batch(step, index, batch_stats)
             if not current:
                 return empty
         started = time.perf_counter()
-        result = self.projection.apply(current)
+        batch_stats = {}
+        result = self.projection.apply(current, batch_stats)
         hooks.emit(
             "plan.operator",
             {
@@ -301,4 +314,28 @@ class PlanVariant:
                 "duration_s": time.perf_counter() - started,
             },
         )
+        self._emit_batch(self.projection, len(self.steps), batch_stats)
         return result
+
+    def _emit_batch(self, step, index, batch_stats):
+        """One ``kernel.batch`` event per executed step: how many
+        tuples the batch kernel saw and how many rode a memoized
+        template, plus the join fast path taken (``carrier`` /
+        ``projection`` for the non-join steps)."""
+        if type(step) is JoinStep:
+            fast_path = step.fast_path
+        elif type(step) is CarrierStep:
+            fast_path = "carrier"
+        else:
+            fast_path = "projection"
+        hooks.emit(
+            "kernel.batch",
+            {
+                "clause": self.clause,
+                "variant": self.variant_label,
+                "step": index,
+                "size": batch_stats.get("size", 0),
+                "hits": batch_stats.get("hits", 0),
+                "fast_path": fast_path,
+            },
+        )

@@ -17,11 +17,15 @@ Determinism is by construction, not by luck:
   order) and reassembles worker results by global task index, so the
   merged ``{predicate: [tuples]}`` dict is element-for-element the one
   the sequential round would have built;
-* tuples and relations cross the process boundary as their canonical
-  JSON forms (:meth:`~repro.gdb.tuple.GeneralizedTuple.to_json_dict`),
-  the same representation checkpoints rely on for bit-identical
-  resume, so worker-side evaluation sees value-identical inputs in the
-  same order.
+* tuples and relations cross the process boundary as *column batches*
+  (:func:`~repro.gdb.store.encode_tuple_batch`): each distinct
+  constraint system is serialized once into a per-batch dictionary (in
+  its canonical checkpoint JSON form) and rows reference it by index,
+  so worker-side evaluation sees value-identical inputs in the same
+  order while a round's broadcast ships measurably fewer bytes than
+  the old one-JSON-object-per-tuple form (``benchmarks/kernel_bench.py``
+  records the ratio).  Checkpoints keep the per-tuple canonical form —
+  the batch codec is wire-only.
 
 Supervision
 -----------
@@ -66,6 +70,12 @@ import multiprocessing
 import os
 import time
 
+from repro.gdb.store import (
+    decode_relation_batch,
+    decode_tuple_batch,
+    encode_relation_batch,
+    encode_tuple_batch,
+)
 from repro.util import hooks
 from repro.util.errors import EvaluationError, ReproError
 from repro.util.hooks import fault_point
@@ -131,11 +141,11 @@ def _start_method(override=None):
 
 
 def _relation_payload(relation):
-    return relation.to_json_dict()
+    return encode_relation_batch(relation)
 
 
 def _tuples_payload(tuples):
-    return [gt.to_json_dict() for gt in tuples]
+    return encode_tuple_batch(tuples)
 
 
 class _ShardWorker:
@@ -473,8 +483,6 @@ class ShardPool:
         Raises :class:`ShardPoolLostError` (carrying the partial
         results) when the pool empties with the restart cap spent.
         """
-        from repro.gdb.tuple import GeneralizedTuple
-
         self._round += 1
         if update is not None:
             self._updates.append(
@@ -528,11 +536,8 @@ class ShardPool:
                 except _WorkerFailure as failure:
                     self._discard(worker, failure.reason, str(failure))
                     continue
-                for index, tuples_json in zip(indices, reply["results"]):
-                    merged[index] = [
-                        GeneralizedTuple.from_json_dict(payload)
-                        for payload in tuples_json
-                    ]
+                for index, batch in zip(indices, reply["results"]):
+                    merged[index] = decode_tuple_batch(batch)
                     completed.add(index)
             pending = [i for i in pending if i not in completed]
         return merged
@@ -641,7 +646,6 @@ def _worker_main(connection, bootstrap):
     from repro.core.parser import parse_program
     from repro.gdb.parser import parse_database
     from repro.gdb.relation import GeneralizedRelation
-    from repro.gdb.tuple import GeneralizedTuple
 
     try:
         program = parse_program(bootstrap["program"])
@@ -679,19 +683,16 @@ def _worker_main(connection, bootstrap):
             if op == "stratum":
                 stratum_index = message["stratum"]
                 for name, payload in message["env"].items():
-                    env[name] = GeneralizedRelation.from_json_dict(payload)
+                    env[name] = decode_relation_batch(payload)
                 complements = {
-                    name: GeneralizedRelation.from_json_dict(payload)
+                    name: decode_relation_batch(payload)
                     for name, payload in message["complements"].items()
                 }
                 delta = None
                 if message["delta"] is not None:
                     delta = {
-                        name: [
-                            GeneralizedTuple.from_json_dict(item)
-                            for item in tuples
-                        ]
-                        for name, tuples in message["delta"].items()
+                        name: decode_tuple_batch(batch)
+                        for name, batch in message["delta"].items()
                     }
                 connection.send({"ok": True})
             elif op == "round":
@@ -700,11 +701,8 @@ def _worker_main(connection, bootstrap):
                 # delta (a replica that kept up gets exactly one).
                 for update in message["updates"]:
                     delta = {}
-                    for name, tuples_json in update:
-                        tuples = [
-                            GeneralizedTuple.from_json_dict(item)
-                            for item in tuples_json
-                        ]
+                    for name, batch in update:
+                        tuples = decode_tuple_batch(batch)
                         env[name] = env[name].with_tuples(tuples)
                         delta[name] = tuples
                 delta_env = None
@@ -728,9 +726,7 @@ def _worker_main(connection, bootstrap):
                             delta_position=position,
                             complements=complements,
                         )
-                    results.append(
-                        [gt.to_json_dict() for gt in relation.tuples]
-                    )
+                    results.append(encode_tuple_batch(relation.tuples))
                 connection.send({"ok": True, "results": results})
             else:
                 connection.send(

@@ -29,6 +29,10 @@ Event kinds are dotted names; the canonical vocabulary is
 ``engine.round``      one per T_GP round: derived/accepted counts, timing
 ``plan.operator``     one per operator invocation: op, predicate,
                       input/output cardinalities, duration
+``kernel.batch``      one per operator invocation under the columnar
+                      kernel: batch size, template-cache hits, and the
+                      join fast path taken (hash / fused-closure /
+                      product; carrier / projection for those steps)
 ``checkpoint.write``  one per snapshot persisted: path, round, duration
 ``budget.charge``     one per budget charge: dimension, amount, total
 ``coverage.cache``    one per coverage sweep: round, stratum, enabled,

@@ -199,6 +199,9 @@ class TestOtherCommands:
         assert "plan naive:" in output
         assert "plan semi-naive, delta @ body position 0:" in output
         assert "scan course" in output
+        # Each variant reports the join fast path the kernel will take
+        # (hash / fused-closure / product).
+        assert "fast path: course product" in output
         assert "plan fingerprint:" in output
 
     def test_explain_json(self, files):

@@ -25,6 +25,7 @@ REQUIRED_FIELDS = {
     "engine.stratum": ("phase", "stratum"),
     "engine.round": ("phase", "round", "stratum"),
     "plan.operator": ("op", "out", "duration_s"),
+    "kernel.batch": ("clause", "variant", "step", "size", "hits", "fast_path"),
     "checkpoint.write": ("path", "bytes", "duration_s"),
     "budget.charge": ("dimension", "amount", "total"),
     "coverage.cache": ("round", "stratum", "enabled", "hits", "misses"),
@@ -45,6 +46,9 @@ PHASE_FIELDS = {
 }
 
 OPERATORS = {"join", "anti-join", "carrier", "projection"}
+
+#: legal fast_path values on kernel.batch events.
+FAST_PATHS = {"hash", "fused-closure", "product", "carrier", "projection"}
 
 
 def check(path, require_rounds=None, require_kinds=()):
@@ -101,6 +105,10 @@ def check(path, require_rounds=None, require_kinds=()):
         if kind == "plan.operator" and event.get("op") not in OPERATORS:
             problems.append(
                 "line %d: unknown operator %r" % (number, event.get("op"))
+            )
+        if kind == "kernel.batch" and event.get("fast_path") not in FAST_PATHS:
+            problems.append(
+                "line %d: unknown fast_path %r" % (number, event.get("fast_path"))
             )
         if kind == "engine.round" and event.get("phase") == "end":
             round_ends += 1
