@@ -1,0 +1,245 @@
+"""Durable-EDB benchmark: incremental maintenance vs from-scratch.
+
+Commits a stream of single-tuple transactions against an
+:class:`~repro.edb.EdbStore` and times, per transaction, (a) the
+incremental refresh of a :class:`~repro.edb.MaterializedModel` and
+(b) a from-scratch semi-naive fixpoint over the same snapshot — the
+exact recompute the maintainer avoids.  A retraction phase does the
+same for the DRed overdelete/rederive path.  Recovery cost is measured
+by reopening the store with a cold WAL replay and again after a
+checkpoint prunes the log.  Results go to ``BENCH_edb.json``::
+
+    python benchmarks/edb_bench.py              # full (24 insert txns)
+    python benchmarks/edb_bench.py --quick      # CI smoke (8 txns)
+    python benchmarks/edb_bench.py --check      # exit 1 unless maintain
+                                                # beats recompute overall
+
+Every maintained model is cross-checked ``equivalent()`` to its
+from-scratch twin before any number is reported.  The ``report()``
+hook makes ``python benchmarks/report.py edb`` regenerate the
+artifact alongside the experiment tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.core import DeductiveEngine, parse_program
+from repro.edb import EdbStore, MaterializedModel
+from repro.gdb.parser import parse_generalized_tuple
+
+PROGRAM = """
+problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+#: The overall speedup ``--check`` requires (CI benchmark-smoke job).
+CHECK_SPEEDUP = 1.0
+
+
+def _course(index):
+    offset = 7 * (index % 23)
+    return parse_generalized_tuple(
+        '(168n+%d, 168n+%d; "c%d") where T2 = T1 + 2'
+        % (offset, offset + 2, index),
+        2,
+        1,
+    )
+
+
+def _assert_op(index):
+    return {"op": "assert", "relation": "course", "tuple": _course(index)}
+
+
+def _retract_op(index):
+    return {"op": "retract", "relation": "course", "tuple": _course(index)}
+
+
+def _scratch(store):
+    engine = DeductiveEngine(
+        parse_program(PROGRAM), store.snapshot(), strategy="semi-naive"
+    )
+    return engine.run()
+
+
+def _phase(store, maintained, ops_stream):
+    """Apply each ops batch; time maintain vs recompute per txn."""
+    maintain_ms = []
+    scratch_ms = []
+    recomputes = 0
+    for ops in ops_stream:
+        store.apply(ops)
+        start = time.perf_counter()
+        model = maintained.refresh(store)
+        maintain_ms.append((time.perf_counter() - start) * 1000)
+        if maintained.last_report.recomputed:
+            recomputes += 1
+        start = time.perf_counter()
+        scratch = _scratch(store)
+        scratch_ms.append((time.perf_counter() - start) * 1000)
+        assert model.equivalent(scratch), "maintained model diverged"
+    total_maintain = sum(maintain_ms)
+    total_scratch = sum(scratch_ms)
+    return {
+        "txns": len(maintain_ms),
+        "recomputes": recomputes,
+        "maintain": {
+            "total_ms": round(total_maintain, 3),
+            "mean_ms": round(total_maintain / len(maintain_ms), 3),
+            "max_ms": round(max(maintain_ms), 3),
+        },
+        "recompute": {
+            "total_ms": round(total_scratch, 3),
+            "mean_ms": round(total_scratch / len(scratch_ms), 3),
+            "max_ms": round(max(scratch_ms), 3),
+        },
+        "speedup": round(total_scratch / total_maintain, 2),
+    }
+
+
+def _time_reopen(root):
+    start = time.perf_counter()
+    store = EdbStore(root)
+    wall_ms = (time.perf_counter() - start) * 1000
+    store.close()
+    return round(wall_ms, 3)
+
+
+def run(quick=False):
+    """The full benchmark payload (a JSON-safe dict)."""
+    inserts = 8 if quick else 24
+    retracts = max(2, inserts // 3)
+    root = tempfile.mkdtemp(prefix="edb-bench-")
+    try:
+        store = EdbStore(os.path.join(root, "store"))
+        store.apply(
+            [
+                {
+                    "op": "declare",
+                    "relation": "course",
+                    "temporal_arity": 2,
+                    "data_arity": 1,
+                },
+                _assert_op(0),
+            ]
+        )
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)  # first materialization, not timed
+        insert_phase = _phase(
+            store, maintained, ([_assert_op(k)] for k in range(1, inserts + 1))
+        )
+        retract_phase = _phase(
+            store, maintained, ([_retract_op(k)] for k in range(1, retracts + 1))
+        )
+        head_tx = store.head_tx
+        wal_bytes = sum(
+            os.path.getsize(os.path.join(dirpath, name))
+            for dirpath, _, names in os.walk(store.root)
+            for name in names
+        )
+        store.close()
+        replay_ms = _time_reopen(store.root)
+        reopened = EdbStore(store.root)
+        reopened.checkpoint()
+        reopened.close()
+        checkpoint_ms = _time_reopen(store.root)
+        return {
+            "quick": quick,
+            "insert_stream": insert_phase,
+            "retract_stream": retract_phase,
+            "recovery": {
+                "head_tx": head_tx,
+                "store_bytes": wal_bytes,
+                "wal_replay_ms": replay_ms,
+                "from_checkpoint_ms": checkpoint_ms,
+            },
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def write(payload, path="BENCH_edb.json"):
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def report():
+    """Regenerate ``BENCH_edb.json`` and print the summary table
+    (hooked into ``benchmarks/report.py``)."""
+    payload = run()
+    write(payload)
+    _print_summary(payload)
+
+
+def _print_summary(payload):
+    print("Durable EDB — incremental maintain vs from-scratch (wall ms)")
+    print(
+        "%16s %6s %12s %12s %8s %10s"
+        % ("stream", "txns", "maintain", "recompute", "speedup", "recomputes")
+    )
+    for key, label in (
+        ("insert_stream", "inserts"),
+        ("retract_stream", "retracts"),
+    ):
+        entry = payload[key]
+        print(
+            "%16s %6d %12.2f %12.2f %7.2fx %10d"
+            % (
+                label,
+                entry["txns"],
+                entry["maintain"]["total_ms"],
+                entry["recompute"]["total_ms"],
+                entry["speedup"],
+                entry["recomputes"],
+            )
+        )
+    recovery = payload["recovery"]
+    print(
+        "recovery at tx %d: cold WAL replay %.2f ms, after checkpoint "
+        "%.2f ms (%d B on disk)"
+        % (
+            recovery["head_tx"],
+            recovery["wal_replay_ms"],
+            recovery["from_checkpoint_ms"],
+            recovery["store_bytes"],
+        )
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default="BENCH_edb.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless incremental maintenance beats from-scratch "
+        "recompute (>= %.1fx) on the insert stream" % CHECK_SPEEDUP,
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    write(payload, args.out)
+    _print_summary(payload)
+    if args.check:
+        speedup = payload["insert_stream"]["speedup"]
+        if speedup < CHECK_SPEEDUP:
+            print(
+                "FAIL: incremental maintenance %.2fx below the %.1fx gate "
+                "over %d insert txns"
+                % (speedup, CHECK_SPEEDUP, payload["insert_stream"]["txns"]),
+                file=sys.stderr,
+            )
+            return 1
+        print("check ok: maintain %.2fx >= %.1fx" % (speedup, CHECK_SPEEDUP))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

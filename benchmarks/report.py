@@ -39,6 +39,7 @@ EXPERIMENTS = [
     ("service", "service_bench"),
     ("parallel", "parallel_bench"),
     ("kernel", "kernel_bench"),
+    ("edb", "edb_bench"),
 ]
 
 #: The benchmark artifacts the consolidated summary reads.
@@ -47,6 +48,7 @@ ARTIFACTS = (
     "BENCH_service.json",
     "BENCH_parallel.json",
     "BENCH_kernel.json",
+    "BENCH_edb.json",
 )
 
 
@@ -153,11 +155,36 @@ def _kernel_lines(payload):
     ]
 
 
+def _edb_lines(payload):
+    inserts = payload["insert_stream"]
+    recovery = payload["recovery"]
+    return [
+        "- Incremental maintenance over %d insert txns: **%.2fx** vs "
+        "from-scratch recompute (%.1f ms vs %.1f ms, %d recompute "
+        "fallbacks)."
+        % (
+            inserts["txns"],
+            inserts["speedup"],
+            inserts["maintain"]["total_ms"],
+            inserts["recompute"]["total_ms"],
+            inserts["recomputes"],
+        ),
+        "- Recovery at tx %d: cold WAL replay %.2f ms, from checkpoint "
+        "**%.2f ms**."
+        % (
+            recovery["head_tx"],
+            recovery["wal_replay_ms"],
+            recovery["from_checkpoint_ms"],
+        ),
+    ]
+
+
 _SECTIONS = (
     ("BENCH_plan.json", "Plan layer", _plan_lines),
     ("BENCH_service.json", "Query service", _service_lines),
     ("BENCH_parallel.json", "Parallel fixpoint & coverage cache", _parallel_lines),
     ("BENCH_kernel.json", "Columnar kernel", _kernel_lines),
+    ("BENCH_edb.json", "Durable EDB & incremental maintenance", _edb_lines),
 )
 
 
@@ -241,9 +268,30 @@ def flag_stale_artifacts(base=None, out=sys.stderr):
 
 def main(argv=None):
     """Run the selected (default: all) experiment reports, then refresh
-    the consolidated summary."""
-    flag_stale_artifacts()
-    wanted = {name.lower() for name in (argv or [])[0:]} or None
+    the consolidated summary.
+
+    ``--check`` turns stale-artifact warnings into a hard failure
+    (exit 1) — the CI benchmark-smoke job runs ``report.py --check``
+    after regenerating its artifacts so a bench number can never
+    silently predate the code it claims to measure.  With ``--check``
+    and no selections, nothing is re-run: it is a pure staleness gate.
+    """
+    argv = list(argv or [])
+    check = "--check" in argv
+    if check:
+        argv = [name for name in argv if name != "--check"]
+    stale = flag_stale_artifacts()
+    if check and stale and not argv:
+        print(
+            "FAIL: %d stale benchmark artifact(s): %s"
+            % (len(stale), ", ".join(stale)),
+            file=sys.stderr,
+        )
+        return 1
+    wanted = {name.lower() for name in argv} or None
+    if check and wanted is None and not stale:
+        print("check ok: no stale benchmark artifacts")
+        return 0
     for key, module_name in EXPERIMENTS:
         if wanted is not None and key not in wanted:
             continue
@@ -253,6 +301,22 @@ def main(argv=None):
     written = write_summary()
     if written is not None:
         print("consolidated summary -> %s" % written)
+    if check:
+        stale = stale_artifacts()
+        ran = [key for key, _ in EXPERIMENTS if wanted is None or key in wanted]
+        stale = [
+            artifact
+            for artifact in stale
+            if artifact.replace("BENCH_", "").replace(".json", "") in ran
+        ]
+        if stale:
+            print(
+                "FAIL: artifacts still stale after regeneration: %s"
+                % ", ".join(stale),
+                file=sys.stderr,
+            )
+            return 1
+        print("check ok: regenerated artifacts are fresh")
     return 0
 
 

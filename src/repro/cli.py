@@ -36,6 +36,24 @@ introspection and service commands:
     input line, emit one JSON result line per job; a ``health`` line
     answers with the service health snapshot and a ``metrics`` line
     with a Prometheus-style text exposition of the service metrics.
+    ``SIGTERM``/``SIGINT`` trigger a graceful shutdown: the loop stops
+    reading, drains every pending job (each still gets its result
+    line), flushes, and exits 0.
+
+``txn``
+    Transactions against a durable, bi-temporal EDB store
+    (:mod:`repro.edb`): ``txn apply STORE OPS.json`` commits batches of
+    assert/retract/declare operations through the write-ahead log
+    (``--maintain PROGRAM`` keeps a materialized model incrementally
+    up to date after each commit; ``--checkpoint`` snapshots and
+    prunes the log afterwards), ``txn log`` lists committed
+    transactions, ``txn checkpoint`` compacts the store.
+
+``asof``
+    Time travel: ``asof STORE --tx N`` prints the EDB exactly as it
+    stood after transaction ``N`` (visibility ``tx <= N`` and not yet
+    retracted), and ``--program FILE`` runs a full fixpoint over that
+    snapshot — the from-scratch twin of ``txn apply --maintain``.
 
 Observability: ``run``/``query``/``datalog1s``/``templog`` accept
 ``--trace FILE`` (JSONL span trace of the evaluation), ``explain``
@@ -715,7 +733,14 @@ def _emit_metrics(service, out):
     out.flush()
 
 
+class _GracefulShutdown(Exception):
+    """Raised by the ``serve`` signal handlers to unwind the read loop
+    so the service drains and closes instead of dying mid-write."""
+
+
 def _cmd_serve(args, out):
+    import signal
+
     plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
     if args.input is not None:
         stream = open(args.input)
@@ -728,6 +753,7 @@ def _cmd_serve(args, out):
 
     pending = []
     states = set()
+    stopped = {"signal": None}
 
     def flush(block=False):
         while pending:
@@ -739,7 +765,20 @@ def _cmd_serve(args, out):
             _emit_json_line(result.to_json_dict(), out)
             pending.pop(0)
 
-    with _installed_or_noop(plan):
+    def _on_signal(signum, frame):
+        stopped["signal"] = signum
+        raise _GracefulShutdown()
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):
+            # Not the main thread (tests drive main() directly): the
+            # loop still works, just without signal-triggered shutdown.
+            pass
+
+    with _installed_or_noop(plan), _tracing(args):
         with _build_service(args) as service:
             try:
                 for number, line in enumerate(stream, start=1):
@@ -781,14 +820,268 @@ def _cmd_serve(args, out):
                         states.add("rejected")
                     flush()
                 flush(block=True)
+            except _GracefulShutdown:
+                # Drain: every already-submitted job finishes and its
+                # result line is written before the service closes
+                # (flushing metrics) and _tracing closes the recorder.
+                drained = len(pending)
+                try:
+                    flush(block=True)
+                except _GracefulShutdown:
+                    pass  # second signal: stop waiting, close now
+                print(
+                    "%% received signal %s, drained %d pending job(s), "
+                    "shutting down" % (stopped["signal"], drained),
+                    file=sys.stderr,
+                )
             finally:
+                for signum, handler in previous_handlers.items():
+                    try:
+                        signal.signal(signum, handler)
+                    except (ValueError, OSError):
+                        pass
                 if stream is not sys.stdin:
                     stream.close()
+    if stopped["signal"] is not None:
+        return EXIT_OK
     if states & {"failed", "rejected"}:
         return EXIT_ERROR
     if "partial" in states:
         return EXIT_PARTIAL
     return EXIT_OK
+
+
+def _open_store(args):
+    from repro.edb import EdbStore
+
+    kwargs = {}
+    if getattr(args, "segment_bytes", None):
+        if args.segment_bytes < 64:
+            raise _UsageError("--segment-bytes must be at least 64")
+        kwargs["segment_bytes"] = args.segment_bytes
+    return EdbStore.open(args.store, **kwargs)
+
+
+def _load_txn_batches(path):
+    """The ``txn apply`` ops file: one transaction (a JSON list of op
+    objects, or ``{"ops": [...]}``) or several (``{"txns": [[...],
+    ...]}`` or a JSON list of lists)."""
+    try:
+        payload = json.loads(_read(path))
+    except ValueError as error:
+        raise _UsageError("ops file %s is not valid JSON: %s" % (path, error)) from error
+    if isinstance(payload, dict):
+        if "txns" in payload:
+            batches = payload["txns"]
+        else:
+            batches = [payload.get("ops", [])]
+    elif isinstance(payload, list) and payload and all(
+        isinstance(entry, list) for entry in payload
+    ):
+        batches = payload
+    else:
+        batches = [payload]
+    if not isinstance(batches, list) or not all(
+        isinstance(batch, list) for batch in batches
+    ):
+        raise _UsageError("ops file %s: expected op lists" % path)
+    return batches
+
+
+def _cmd_txn_apply(args, out):
+    from repro.edb import MaterializedModel, ops_from_json
+
+    batches = _load_txn_batches(args.ops)
+    plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    maintainer = None
+    if args.maintain:
+        maintainer = MaterializedModel(_read(args.maintain))
+    receipts, reports = [], []
+    model = None
+    with _installed_or_noop(plan), _tracing(args):
+        store = _open_store(args)
+        try:
+            for batch in batches:
+                receipt = store.apply(ops_from_json(store, batch))
+                receipts.append(receipt.to_json_dict())
+                if maintainer is not None:
+                    model = maintainer.refresh(
+                        store, budget=_budget_from_args(args)
+                    )
+                    reports.append(maintainer.last_report.to_json_dict())
+            if args.txn_checkpoint:
+                store.checkpoint()
+        finally:
+            store.close()
+    window = tuple(args.window) if args.window else None
+    if args.json:
+        payload = {
+            "command": "txn-apply",
+            "outcome": "ok",
+            "exit_code": EXIT_OK,
+            "head_tx": store.head_tx,
+            "receipts": receipts,
+            "maintain": reports or None,
+        }
+        if model is not None:
+            from repro.runtime.report import model_summary
+
+            payload["stats"] = model.stats.to_dict()
+            payload["model"] = model_summary(model, window=window)
+        _emit_json(payload, out)
+        return EXIT_OK
+    for receipt in receipts:
+        print(
+            "tx %d: +%d -%d (declared %d, noops %d, %d WAL bytes)"
+            % (
+                receipt["tx"],
+                receipt["asserted"],
+                receipt["retracted"],
+                receipt["declared"],
+                receipt["noops"],
+                receipt["wal_bytes"],
+            ),
+            file=out,
+        )
+    if reports:
+        last = reports[-1]
+        print(
+            "%% maintained to tx %d: %s, %d round(s)"
+            % (
+                last["tx"],
+                "recomputed (%s)" % (last["reason"] or "initial")
+                if last["recomputed"] else
+                "incremental (+%d -%d, overdeleted %d)"
+                % (last["inserted"], last["retracted"], last["overdeleted"]),
+                last["rounds"],
+            ),
+            file=out,
+        )
+    if model is not None:
+        for name in model.predicates():
+            print("%s %s" % (name, model.relation(name).coalesce()), file=out)
+            if window:
+                low, high = window
+                for flat in sorted(model.extension(name, low, high), key=repr):
+                    print("  %s" % (flat,), file=out)
+    return EXIT_OK
+
+
+def _cmd_txn_log(args, out):
+    store = _open_store(args)
+    store.close()
+    txns = store.transactions()
+    if args.json:
+        _emit_json(
+            {
+                "command": "txn-log",
+                "outcome": "ok",
+                "exit_code": EXIT_OK,
+                "head_tx": store.head_tx,
+                "txns": txns,
+            },
+            out,
+        )
+        return EXIT_OK
+    for entry in txns:
+        print(
+            "tx %d: +%d -%d (declared %d)"
+            % (entry["tx"], entry["asserted"], entry["retracted"], entry["declared"]),
+            file=out,
+        )
+    print("%% head tx: %d" % store.head_tx, file=out)
+    return EXIT_OK
+
+
+def _cmd_txn_checkpoint(args, out):
+    store = _open_store(args)
+    try:
+        path = store.checkpoint()
+    finally:
+        store.close()
+    if args.json:
+        _emit_json(
+            {
+                "command": "txn-checkpoint",
+                "outcome": "ok",
+                "exit_code": EXIT_OK,
+                "head_tx": store.head_tx,
+                "path": path,
+            },
+            out,
+        )
+        return EXIT_OK
+    print("checkpoint at tx %d -> %s" % (store.head_tx, path), file=out)
+    return EXIT_OK
+
+
+def _cmd_asof(args, out):
+    store = _open_store(args)
+    store.close()
+    tx = store.head_tx if args.tx is None else args.tx
+    if args.tx is not None and args.tx > store.head_tx:
+        raise _UsageError(
+            "--tx %d is beyond the store head (%d)" % (args.tx, store.head_tx)
+        )
+    snapshot = store.snapshot(tx)
+    window = tuple(args.window) if args.window else None
+    if not args.program:
+        if args.json:
+            _emit_json(
+                {
+                    "command": "asof",
+                    "outcome": "ok",
+                    "exit_code": EXIT_OK,
+                    "tx": tx,
+                    "head_tx": store.head_tx,
+                    "edb": str(snapshot),
+                },
+                out,
+            )
+            return EXIT_OK
+        print("%% EDB as of tx %d (head %d)" % (tx, store.head_tx), file=out)
+        print(str(snapshot), file=out)
+        return EXIT_OK
+    program = parse_program(_read(args.program))
+    engine = DeductiveEngine(program, snapshot)
+    outcome, code, model, error = "ok", EXIT_OK, None, None
+    with _tracing(args):
+        try:
+            model = engine.run(budget=_budget_from_args(args))
+        except GiveUpError as err:
+            outcome, code, model, error = "gave-up", EXIT_PARTIAL, err.partial_model, err
+        except BudgetExceededError as err:
+            outcome, code, model, error = (
+                "budget-exceeded",
+                EXIT_BUDGET,
+                err.partial_model,
+                err,
+            )
+    if args.json:
+        report = run_report(
+            "asof",
+            outcome,
+            code,
+            stats=model.stats if model is not None else None,
+            model=model,
+            error=error,
+            window=window,
+        )
+        report["tx"] = tx
+        _emit_json(report, out)
+        return code
+    if error is not None:
+        print("%s: %s" % (outcome, error), file=sys.stderr)
+    if model is None:
+        return code
+    print("%% model as of tx %d (head %d)" % (tx, store.head_tx), file=out)
+    for name in model.predicates():
+        print("%s %s" % (name, model.relation(name).coalesce()), file=out)
+        if window:
+            low, high = window
+            for flat in sorted(model.extension(name, low, high), key=repr):
+                print("  %s" % (flat,), file=out)
+    return code
 
 
 def build_parser():
@@ -957,7 +1250,93 @@ def build_parser():
         help="read job lines from this file instead of stdin",
     )
     _add_service(serve)
+    _add_trace(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    txn = commands.add_parser(
+        "txn",
+        help="transactions against a durable EDB store (WAL-backed)",
+    )
+    txn_commands = txn.add_subparsers(dest="txn_command", required=True)
+
+    txn_apply = txn_commands.add_parser(
+        "apply",
+        help="commit one or more transactions of declare/assert/retract ops",
+    )
+    txn_apply.add_argument("store", help="store directory (created if absent)")
+    txn_apply.add_argument(
+        "ops",
+        help="JSON ops file: one op list, {'ops': [...]}, {'txns': [[...], "
+        "...]}, or a list of op lists (one transaction each)",
+    )
+    txn_apply.add_argument(
+        "--maintain",
+        metavar="PROGRAM",
+        help="incrementally maintain this program's model across the "
+        "applied transactions and print/report the final model",
+    )
+    txn_apply.add_argument(
+        "--checkpoint",
+        dest="txn_checkpoint",
+        action="store_true",
+        help="write a store checkpoint (and prune covered WAL segments) "
+        "after the last transaction",
+    )
+    txn_apply.add_argument(
+        "--segment-bytes",
+        type=int,
+        metavar="N",
+        help="WAL segment rotation threshold (testing/tuning)",
+    )
+    txn_apply.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        help="install a deterministic fault plan (JSON) for the duration",
+    )
+    _add_window(txn_apply)
+    _add_json(txn_apply)
+    _add_trace(txn_apply)
+    _add_budget(txn_apply)
+    txn_apply.set_defaults(handler=_cmd_txn_apply)
+
+    txn_log = txn_commands.add_parser(
+        "log", help="list the store's committed transactions"
+    )
+    txn_log.add_argument("store", help="store directory")
+    _add_json(txn_log)
+    txn_log.set_defaults(handler=_cmd_txn_log)
+
+    txn_ckpt = txn_commands.add_parser(
+        "checkpoint",
+        help="snapshot the fact history and prune covered WAL segments",
+    )
+    txn_ckpt.add_argument("store", help="store directory")
+    _add_json(txn_ckpt)
+    txn_ckpt.set_defaults(handler=_cmd_txn_checkpoint)
+
+    asof = commands.add_parser(
+        "asof",
+        help="query a durable EDB store as of a transaction "
+        "(tx <= N and not retracted by N)",
+    )
+    asof.add_argument("store", help="store directory")
+    asof.add_argument(
+        "--tx",
+        type=int,
+        metavar="N",
+        help="the transaction to view as of (default: the store head)",
+    )
+    asof.add_argument(
+        "--program",
+        metavar="FILE",
+        help="evaluate this deductive program over the as-of snapshot "
+        "(default: print the snapshot EDB itself)",
+    )
+    _add_window(asof)
+    _add_json(asof)
+    _add_trace(asof)
+    _add_budget(asof)
+    asof.set_defaults(handler=_cmd_asof)
 
     return parser
 

@@ -47,6 +47,7 @@ from repro.util.errors import (
     BudgetExceededError,
     CheckpointError,
     EvaluationAbortedError,
+    EvaluationError,
     GiveUpError,
     PartialResultError,
 )
@@ -81,6 +82,13 @@ class EvaluationStats:
     payloads of healthy parallel runs stay byte-identical to
     sequential ones (worker losses that were *healed* never touch the
     stats — they surface only as ``shard.worker`` trace events).
+
+    ``maintain_degraded`` is the incremental maintainer's rung on the
+    same ladder (:mod:`repro.edb.maintain`): ``None`` unless a delta
+    batch fell back to a from-scratch recompute, in which case it
+    carries the reason (schema change, rederive budget, negation) and
+    the batch's delta counts; again included in :meth:`to_dict` only
+    when set.
     """
 
     strategy: str = "semi-naive"
@@ -99,6 +107,7 @@ class EvaluationStats:
     resumed_from_round: Optional[int] = None
     checkpoints_written: int = 0
     shard_degraded: Optional[dict] = None
+    maintain_degraded: Optional[dict] = None
 
     def total_new_tuples(self):
         """Tuples accepted into the model across all rounds."""
@@ -130,6 +139,8 @@ class EvaluationStats:
         }
         if self.shard_degraded is not None:
             payload["shard_degraded"] = dict(self.shard_degraded)
+        if self.maintain_degraded is not None:
+            payload["maintain_degraded"] = dict(self.maintain_degraded)
         return payload
 
     def restore_progress(self, payload):
@@ -555,6 +566,138 @@ class DeductiveEngine:
                 "bottom-up evaluation did not reach constraint safety "
                 "within its budget (%d rounds, free signatures stable "
                 "since round %d)" % (stats.rounds, last_signature_growth),
+                partial_model=model,
+                stats=stats,
+            )
+        return model
+
+    def maintain(self, relations, delta=None, budget=None):
+        """Continue the fixpoint from a warm intensional state instead
+        of the empty one — the engine entry point of incremental
+        maintenance (:mod:`repro.edb.maintain`).
+
+        ``relations`` maps intensional predicate names to relations
+        that are a *sound under-approximation* of the least fixpoint
+        over this engine's (already updated) EDB: the previous
+        materialization when only inserts happened, or the
+        DRed-surviving state after overdeletion.  ``delta`` maps
+        predicate names — intensional **or extensional** — to the
+        tuples that are new relative to the state ``relations`` was
+        computed against; those tuples must already be present in the
+        EDB/``relations`` (the semi-naive invariant).  The first round
+        then fires each clause at every body position holding a delta
+        predicate (:meth:`ProgramEvaluator.maintenance_round`); later
+        rounds are ordinary semi-naive rounds over the fresh tuples.
+        ``delta=None`` instead makes the first round a full naive
+        round — the DRed rederivation restart.
+
+        Only single-stratum programs without negation can be grown
+        from a warm state (non-monotone strata would have to be
+        recomputed anyway); anything else raises
+        :class:`~repro.util.errors.EvaluationError`, which the
+        maintainer treats as "recompute from scratch".  Give-up,
+        budget, and abort behavior mirror :meth:`run`.
+        """
+        if self.evaluator.stratum_count() > 1:
+            raise EvaluationError(
+                "incremental maintenance requires a single stratum "
+                "(program has %d)" % self.evaluator.stratum_count()
+            )
+        for evaluator in self.evaluator.evaluators:
+            if evaluator.normalized.negated_atoms:
+                raise EvaluationError(
+                    "incremental maintenance cannot warm-start clauses "
+                    "with negation: %s" % evaluator.normalized
+                )
+        stats = EvaluationStats(strategy="semi-naive", safety_mode=self.safety)
+        stats.strata = 1
+        started = time.perf_counter()
+        meter = budget.start() if budget is not None else None
+        checker = CoverageChecker(self.safety, use_cache=self.coverage_cache)
+        env = self.evaluator.initial_environment()
+        for name, relation in relations.items():
+            if name not in self.evaluator.intensional:
+                raise EvaluationError(
+                    "maintained state carries unknown intensional "
+                    "predicate %r" % name
+                )
+            env[name] = relation
+        known_signatures = {
+            name: free_signatures(env[name]) for name in self.evaluator.intensional
+        }
+        evaluators = self.evaluator.stratum_evaluators[0]
+        last_growth = 0
+        if delta is not None:
+            delta = {name: list(tuples) for name, tuples in delta.items() if tuples}
+            if not delta:
+                # Nothing changed relative to the warm state.
+                stats.constraint_safe = True
+                stats.elapsed_seconds = time.perf_counter() - started
+                return self._partial_model(env, stats)
+        try:
+            while stats.rounds < self.max_rounds:
+                stats.rounds += 1
+                fault_point("round")
+                if meter is not None:
+                    meter.charge_round()
+                if delta is None:
+                    derived = self.evaluator.naive_round(
+                        env, evaluators=evaluators, meter=meter
+                    )
+                else:
+                    derived = self.evaluator.maintenance_round(env, delta, meter=meter)
+                stats.derived_tuples_per_round.append(
+                    sum(len(ts) for ts in derived.values())
+                )
+                fresh = checker.sweep(derived, env)
+                accepted = sum(len(ts) for ts in fresh.values())
+                stats.new_tuples_per_round.append(accepted)
+                if not fresh:
+                    stats.constraint_safe = True
+                    stats.signature_stable_round = last_growth
+                    break
+                grew_signatures = False
+                for predicate, tuples in fresh.items():
+                    env[predicate] = env[predicate].with_tuples(tuples)
+                    for gt in tuples:
+                        if gt.free_signature() not in known_signatures[predicate]:
+                            known_signatures[predicate].add(gt.free_signature())
+                            grew_signatures = True
+                if grew_signatures:
+                    last_growth = stats.rounds
+                delta = fresh
+                if meter is not None:
+                    meter.charge_accepted(accepted)
+                if (
+                    self.patience is not None
+                    and stats.rounds - last_growth >= self.patience
+                ):
+                    break
+        except BudgetExceededError as error:
+            stats.budget_exceeded = True
+            stats.elapsed_seconds = time.perf_counter() - started
+            error.partial_model = self._partial_model(env, stats)
+            error.stats = stats
+            raise
+        except (KeyboardInterrupt, SystemExit, PartialResultError):
+            raise
+        except Exception as error:
+            stats.elapsed_seconds = time.perf_counter() - started
+            raise EvaluationAbortedError(
+                "maintenance aborted during round %d: %s" % (stats.rounds, error),
+                partial_model=self._partial_model(env, stats, best_effort=True),
+                stats=stats,
+            ) from error
+        stats.elapsed_seconds = time.perf_counter() - started
+        if stats.signature_stable_round is None:
+            stats.signature_stable_round = last_growth
+        if not stats.constraint_safe:
+            stats.gave_up = True
+        model = self._partial_model(env, stats)
+        if stats.gave_up and self.on_give_up == "raise":
+            raise GiveUpError(
+                "incremental maintenance did not reach constraint safety "
+                "within its budget (%d rounds)" % stats.rounds,
                 partial_model=model,
                 stats=stats,
             )

@@ -247,6 +247,46 @@ class ProgramEvaluator:
                     )
         return derived
 
+    def maintenance_round(self, env, delta, meter=None):
+        """One delta-propagation round for incremental maintenance:
+        each clause fires once per body position — intensional *or
+        extensional* — whose predicate has a delta.
+
+        Regular semi-naive rounds never read a delta at an extensional
+        position (the EDB is immutable during a run), so the plan
+        variants for those positions are compiled lazily on first use
+        and cached outside the fingerprinted variant set (see
+        :meth:`~repro.plan.compiler.ClausePlan.maintenance_variant`).
+        When the delta holds only intensional predicates this fires
+        exactly the same variants, in the same order, as
+        :meth:`seminaive_round` — the maintainer's inner rounds are
+        ordinary semi-naive rounds.
+        """
+        derived = {}
+        delta_env = {
+            name: GeneralizedRelation(*self.schemas[name], tuples=tuples)
+            for name, tuples in delta.items()
+        }
+        for evaluator in self.evaluators:
+            for position, atom in enumerate(evaluator.normalized.body_atoms):
+                if atom.predicate not in delta_env:
+                    continue
+                if meter is not None:
+                    meter.tick_clause()
+                relation = evaluator.evaluate(
+                    env,
+                    delta=delta_env,
+                    delta_position=position,
+                    complements=None,
+                )
+                if meter is not None and relation.tuples:
+                    meter.charge_derived(len(relation.tuples))
+                if relation.tuples:
+                    derived.setdefault(evaluator.head_predicate, []).extend(
+                        relation.tuples
+                    )
+        return derived
+
     # -- parallel round execution ----------------------------------------
 
     def round_tasks(self, evaluators, delta):

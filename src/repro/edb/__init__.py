@@ -1,0 +1,36 @@
+"""Durable, crash-safe EDB with incremental model maintenance.
+
+Layers, bottom up:
+
+* :mod:`repro.edb.wal` — append-only CRC-framed write-ahead log
+  segments with torn-tail recovery;
+* :mod:`repro.edb.store` — :class:`EdbStore`, the bi-temporal fact
+  store (``tx`` / ``retracted_by``) committing WAL-first, with round
+  checkpoints and as-of snapshots;
+* :mod:`repro.edb.maintain` — :class:`MaterializedModel`, keeping a
+  program's T_GP fixpoint live under inserts (warm semi-naive
+  propagation) and retractions (DRed overdelete/rederive), degrading
+  to a from-scratch recompute when the incremental path is unsound or
+  over budget.
+"""
+
+from repro.edb.maintain import (
+    MAINTAINERS,
+    MaintainerCache,
+    MaintainReport,
+    MaterializedModel,
+)
+from repro.edb.store import EdbStore, Fact, TxnReceipt, ops_from_json
+from repro.edb.wal import Wal
+
+__all__ = [
+    "EdbStore",
+    "Fact",
+    "TxnReceipt",
+    "ops_from_json",
+    "Wal",
+    "MaterializedModel",
+    "MaintainReport",
+    "MaintainerCache",
+    "MAINTAINERS",
+]

@@ -314,6 +314,21 @@ class ClausePlan:
         self.label = str(normalized)
         for variant in self.variants.values():
             variant.clause = self.label
+        # Delta variants for *extensional* body positions, compiled
+        # lazily by the incremental maintainer (EDB deltas).  Kept out
+        # of ``self.variants`` so the plan fingerprint — which renders
+        # that dict — is identical whether or not maintenance ever ran.
+        self._maintenance_variants = {}
+
+    def maintenance_variant(self, position):
+        """The delta variant seeded at an extensional body
+        ``position``, compiled on first use (see ``__init__``)."""
+        variant = self._maintenance_variants.get(position)
+        if variant is None:
+            variant = compile_variant(self.normalized, position)
+            variant.clause = self.label
+            self._maintenance_variants[position] = variant
+        return variant
 
     def _validate(self):
         atoms = list(self.normalized.body_atoms) + list(
@@ -338,7 +353,12 @@ class ClausePlan:
                 "clause %s negates %s but no complements were supplied"
                 % (self.normalized, ", ".join(sorted(self.negated_predicates)))
             )
-        variant = self.variants[delta_position if delta is not None else None]
+        if delta is None:
+            variant = self.variants[None]
+        else:
+            variant = self.variants.get(delta_position)
+            if variant is None:
+                variant = self.maintenance_variant(delta_position)
 
         def relation_for(step):
             if step.negated:

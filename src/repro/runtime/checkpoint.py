@@ -16,7 +16,10 @@ else raises
 :class:`~repro.util.errors.CheckpointError` instead of silently
 computing garbage.  Writes are atomic (temp file + rename) so a crash
 during a write — the ``checkpoint_write`` fault site injects exactly
-that — can never leave a truncated checkpoint behind.
+that — can never leave a truncated checkpoint behind, and each file
+carries a sha256 ``digest`` of its own payload that
+:func:`load_checkpoint` re-verifies, so bit rot after a clean write is
+refused with a typed error instead of resumed from.
 """
 
 from __future__ import annotations
@@ -173,7 +176,9 @@ def write_checkpoint(path, checkpoint):
     """
     fault_point("checkpoint_write")
     started = time.perf_counter() if hooks.SINKS else None
-    payload = json.dumps(checkpoint.to_json_dict(), indent=None, sort_keys=False)
+    body = checkpoint.to_json_dict()
+    body["digest"] = _payload_digest(body)
+    payload = json.dumps(body, indent=None, sort_keys=False)
     tmp_path = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
     try:
         with open(tmp_path, "w") as handle:
@@ -213,8 +218,28 @@ def _fsync_directory(directory):
         os.close(dir_fd)
 
 
+def _payload_digest(body):
+    """sha256 of the checkpoint body serialized exactly as it is
+    written (digest key excluded).  ``json.load`` preserves key order,
+    so re-serializing a loaded body reproduces the written text."""
+    text = json.dumps(
+        {k: v for k, v in body.items() if k != "digest"},
+        indent=None,
+        sort_keys=False,
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def load_checkpoint(path):
-    """Load and validate a checkpoint written by :func:`write_checkpoint`."""
+    """Load and validate a checkpoint written by :func:`write_checkpoint`.
+
+    Every failure becomes a typed :class:`CheckpointError` carrying the
+    path (and the byte offset of the damage, when the JSON decoder can
+    report one).  Checkpoints written with a ``digest`` header have
+    their sha256 payload digest re-verified, so silent single-bit
+    corruption is refused rather than resumed from; digest-less
+    checkpoints from older versions still load.
+    """
     if _TMP_SUFFIX_RE.search(os.path.basename(path)):
         raise CheckpointError(
             "%s is a leftover temporary checkpoint file (a crash interrupted "
@@ -226,12 +251,21 @@ def load_checkpoint(path):
             payload = json.load(handle)
     except OSError as error:
         raise CheckpointError(
-            "cannot read checkpoint %s: %s" % (path, error)
+            "cannot read checkpoint: %s" % error, path=path
         ) from error
     except ValueError as error:
         raise CheckpointError(
-            "checkpoint %s is not valid JSON: %s" % (path, error)
+            "checkpoint is not valid JSON: %s" % error,
+            path=path,
+            offset=getattr(error, "pos", None),
         ) from error
     if not isinstance(payload, dict):
-        raise CheckpointError("checkpoint %s is not a JSON object" % path)
+        raise CheckpointError("checkpoint is not a JSON object", path=path)
+    digest = payload.pop("digest", None)
+    if digest is not None and digest != _payload_digest(payload):
+        raise CheckpointError(
+            "checkpoint payload does not match its sha256 digest "
+            "(the file was corrupted after being written)",
+            path=path,
+        )
     return Checkpoint.from_json_dict(payload)

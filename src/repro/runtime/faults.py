@@ -52,6 +52,21 @@ Instrumented sites
     worker in a sleep loop instead, exercising the deadline-bounded
     receive (the parent kills the hung worker once the deadline
     expires and retries its slice).
+``wal_append``
+    :meth:`repro.edb.wal.Wal.append` after framing a record but
+    *before* any byte reaches the segment file — a fault here loses
+    the whole record, never half of it (torn writes are modeled by
+    SIGKILL mid-process instead, see ``"sigkill"`` below).
+``wal_fsync``
+    :meth:`repro.edb.wal.Wal.sync` before the ``fsync`` call — the
+    window where a record is in the OS page cache but not durable.
+``wal_rotate``
+    :meth:`repro.edb.wal.Wal.rotate` before the new segment is
+    created, between sealing the old segment and opening the next.
+``maintain_delta``
+    Entry of :meth:`repro.edb.maintain.MaterializedModel.apply_delta`
+    — before the incremental maintainer touches the model, so a fault
+    leaves the previous materialization intact.
 
 Fault classification
 --------------------
@@ -64,6 +79,8 @@ property of the injected plan, not of timing.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -85,6 +102,10 @@ SITES = (
     "shard_dispatch",
     "shard_worker_crash",
     "shard_worker_hang",
+    "wal_append",
+    "wal_fsync",
+    "wal_rotate",
+    "maintain_delta",
 )
 
 
@@ -119,6 +140,16 @@ class TransientFaultError(InjectedFaultError):
         )
 
 
+class ProcessKillFault:
+    """Sentinel error for :data:`ERROR_NAMES` ``"sigkill"``: instead
+    of raising, the firing spec SIGKILLs the *current process*.
+
+    This is how crash-recovery smokes model a real torn write: the
+    process dies with no chance to unwind, leaving whatever bytes the
+    kernel had accepted.  Only meaningful under the CLI (a test that
+    installed the plan in-process would kill the test runner)."""
+
+
 #: Names accepted by :meth:`FaultPlan.from_json_dict` for the ``error``
 #: field of a spec.
 ERROR_NAMES = {
@@ -126,6 +157,7 @@ ERROR_NAMES = {
     "transient": TransientFaultError,
     "worker-died": WorkerDiedError,
     "runtime": RuntimeError,
+    "sigkill": ProcessKillFault,
 }
 
 
@@ -175,6 +207,8 @@ class FaultSpec:
             error = self.error
             if error is None:
                 raise InjectedFaultError(self.site, hit)
+            if error is ProcessKillFault:
+                os.kill(os.getpid(), signal.SIGKILL)
             if isinstance(error, type):
                 if issubclass(error, InjectedFaultError):
                     raise error(self.site, hit)

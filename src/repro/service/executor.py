@@ -106,6 +106,8 @@ class JobExecutor:
             return self._run_deductive(spec, backend, budget)
         if spec.kind == "query":
             return self._run_query(spec, budget)
+        if spec.kind == "maintain":
+            return self._run_maintain(spec, backend, budget)
         return self._run_periodic(spec, budget)
 
     # -- per-kind attempts ------------------------------------------------
@@ -183,6 +185,30 @@ class JobExecutor:
             model=answers,
             model_text=str(answers.relation),
             window=window,
+        )
+
+    def _run_maintain(self, spec, backend, budget):
+        # Imported here so the service layer stays importable without
+        # the edb subsystem loaded for jobs that never use it.
+        from repro.edb import MAINTAINERS, EdbStore
+
+        maintainer = MAINTAINERS.get(spec.store, spec.program, evaluation=backend)
+        store = EdbStore(spec.store)
+        try:
+            try:
+                model = maintainer.refresh(store, budget=budget)
+            except BudgetExceededError as error:
+                return self._budget_outcome(spec, backend, error)
+        finally:
+            store.close()
+        outcome = "gave-up" if model.stats.gave_up else "ok"
+        return AttemptOutcome(
+            outcome=outcome,
+            backend=backend,
+            model=model,
+            model_text=str(model),
+            stats=model.stats.to_dict(),
+            window=self._model_window(spec, model),
         )
 
     def _run_periodic(self, spec, budget):

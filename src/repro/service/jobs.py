@@ -24,8 +24,10 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-#: The front ends a job may target.
-KINDS = ("run", "query", "datalog1s", "templog")
+#: The front ends a job may target.  ``maintain`` jobs refresh a
+#: materialized model over a durable EDB store (:mod:`repro.edb`)
+#: instead of evaluating inline sources.
+KINDS = ("run", "query", "datalog1s", "templog", "maintain")
 
 #: Terminal job states.  Every admitted job reaches exactly one.
 STATE_OK = "ok"
@@ -40,10 +42,14 @@ class JobSpec:
     """One unit of service work.
 
     ``program`` holds the inline program text for ``run`` /
-    ``datalog1s`` / ``templog`` jobs, ``edb`` the generalized-database
-    text for ``run`` / ``query`` jobs, and ``query`` the FO formula
-    for ``query`` jobs.  ``deadline_seconds`` is the job's wall-clock
-    budget across *all* attempts; each attempt runs under an
+    ``datalog1s`` / ``templog`` / ``maintain`` jobs, ``edb`` the
+    generalized-database text for ``run`` / ``query`` jobs, and
+    ``query`` the FO formula for ``query`` jobs.  ``maintain`` jobs
+    name a durable EDB ``store`` directory instead of an inline EDB:
+    the service refreshes the (process-cached) materialized model of
+    ``program`` over that store to its current head.
+    ``deadline_seconds`` is the job's wall-clock budget across *all*
+    attempts; each attempt runs under an
     :class:`~repro.runtime.budget.EvaluationBudget` whose deadline is
     the time still remaining.
     """
@@ -53,6 +59,7 @@ class JobSpec:
     program: str = ""
     edb: str = ""
     query: str = ""
+    store: str = ""
     deadline_seconds: Optional[float] = None
     max_rounds: Optional[int] = None
     patience: int = 10
@@ -68,6 +75,8 @@ class JobSpec:
             )
         if not self.job_id:
             raise ValueError("job_id must be non-empty")
+        if self.kind == "maintain" and not self.store:
+            raise ValueError("maintain jobs require a store directory")
         if self.parallelism is not None and self.parallelism < 1:
             raise ValueError("parallelism must be a positive process count")
 
@@ -76,7 +85,7 @@ class JobSpec:
         the circuit breaker trips on (two jobs evaluating the same
         sources share one breaker)."""
         digest = hashlib.sha256()
-        for chunk in (self.kind, self.program, self.edb, self.query):
+        for chunk in (self.kind, self.program, self.edb, self.query, self.store):
             digest.update(chunk.encode("utf-8"))
             digest.update(b"\x00")
         return digest.hexdigest()[:16]
@@ -95,6 +104,7 @@ class JobSpec:
             program=payload.get("program", ""),
             edb=payload.get("edb", ""),
             query=payload.get("query", ""),
+            store=payload.get("store", ""),
             deadline_seconds=payload.get("deadline_seconds"),
             max_rounds=payload.get("max_rounds"),
             patience=payload.get("patience", 10),

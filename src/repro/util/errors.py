@@ -104,7 +104,56 @@ class EvaluationAbortedError(PartialResultError):
 
 class CheckpointError(ReproError):
     """A checkpoint file is missing, corrupt, or belongs to a
-    different program/configuration than the resuming engine."""
+    different program/configuration than the resuming engine.
+
+    ``path`` and ``offset`` (byte offset of the failure inside the
+    file, when known) locate the damage for operators.
+    """
+
+    def __init__(self, message, path=None, offset=None):
+        self.path = path
+        self.offset = offset
+        if path is not None:
+            where = str(path)
+            if offset is not None:
+                where = "%s at byte %d" % (where, offset)
+            message = "%s (%s)" % (message, where)
+        super().__init__(message)
+
+
+class EdbError(ReproError):
+    """Base class of errors raised by the durable EDB layer
+    (:mod:`repro.edb`)."""
+
+
+class WalError(EdbError):
+    """The write-ahead log could not be read or written."""
+
+
+class WalCorruptError(WalError):
+    """A WAL segment holds a record that fails its CRC or framing
+    check *before* the final record — damage that torn-tail
+    truncation cannot explain, so the store refuses to open rather
+    than silently dropping committed transactions.
+
+    ``path`` and ``offset`` locate the first bad byte.
+    """
+
+    def __init__(self, message, path=None, offset=None):
+        self.path = path
+        self.offset = offset
+        if path is not None:
+            where = str(path)
+            if offset is not None:
+                where = "%s at byte %d" % (where, offset)
+            message = "%s (%s)" % (message, where)
+        super().__init__(message)
+
+
+class TransactionError(EdbError):
+    """A transaction batch was rejected before anything was written:
+    an op referencing an undeclared relation, a retract matching no
+    live fact, or a malformed op object.  The store is unchanged."""
 
 
 class ServiceError(ReproError):

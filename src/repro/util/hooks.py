@@ -46,6 +46,13 @@ Event kinds are dotted names; the canonical vocabulary is
 ``shard.degraded``    a parallel run lost its whole shard pool beyond
                       healing and downshifted to sequential: reason,
                       restarts used, tasks still pending
+``edb.txn``           one per committed EDB transaction: tx id, op
+                      counts, WAL bytes appended
+``edb.recover``       one per store open: checkpoint tx, transactions
+                      replayed from the WAL, torn bytes truncated
+``maintain.delta``    one per materialized-model refresh: delta sizes,
+                      rounds, and whether (and why) the incremental
+                      path degraded to a from-scratch recompute
 ====================  ==================================================
 
 Every event dict carries at least ``phase`` (begin/end or a lifecycle

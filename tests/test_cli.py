@@ -513,3 +513,297 @@ class TestServeCommand:
         assert by_id["job-2"]["state"] == "ok"
         assert by_id["q1"]["state"] == "ok"
         assert by_id["job-4"]["state"] == "rejected"
+
+
+@pytest.fixture
+def txn_files(tmp_path):
+    """Ops files for the durable-store commands."""
+    declare = [
+        {
+            "op": "declare",
+            "relation": "course",
+            "temporal_arity": 2,
+            "data_arity": 1,
+        },
+        {
+            "op": "assert",
+            "relation": "course",
+            "tuple": '(168n+8, 168n+10; "database") where T2 = T1 + 2',
+        },
+    ]
+    more = [
+        {
+            "op": "assert",
+            "relation": "course",
+            "tuple": '(168n+20, 168n+22; "logic") where T2 = T1 + 2',
+        },
+    ]
+    retract = [
+        {
+            "op": "retract",
+            "relation": "course",
+            "tuple": '(168n+20, 168n+22; "logic") where T2 = T1 + 2',
+        },
+    ]
+    paths = {"store": str(tmp_path / "store")}
+    for name, payload in (
+        ("seed.json", declare),
+        ("more.json", more),
+        ("retract.json", retract),
+        ("multi.json", {"txns": [declare, more]}),
+    ):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        paths[name] = str(path)
+    program = tmp_path / "problems.dtl"
+    program.write_text(PROGRAM)
+    paths["program"] = str(program)
+    return paths
+
+
+class TestTxn:
+    def test_apply_and_log(self, txn_files):
+        code, output = run_cli(
+            ["txn", "apply", txn_files["store"], txn_files["seed.json"]]
+        )
+        assert code == 0
+        assert "tx 1: +1" in output
+        code, output = run_cli(["txn", "log", txn_files["store"]])
+        assert code == 0
+        assert "head tx: 1" in output
+
+    def test_apply_multiple_txns_json(self, txn_files):
+        code, output = run_cli(
+            [
+                "txn",
+                "apply",
+                txn_files["store"],
+                txn_files["multi.json"],
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["head_tx"] == 2
+        assert [r["tx"] for r in report["receipts"]] == [1, 2]
+
+    def test_apply_with_maintain_window(self, txn_files):
+        run_cli(["txn", "apply", txn_files["store"], txn_files["seed.json"]])
+        code, output = run_cli(
+            [
+                "txn",
+                "apply",
+                txn_files["store"],
+                txn_files["more.json"],
+                "--maintain",
+                txn_files["program"],
+                "--window",
+                "0",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "% maintained to tx 2" in output
+        assert "problems" in output
+
+    def test_apply_maintain_json_matches_asof(self, txn_files):
+        run_cli(["txn", "apply", txn_files["store"], txn_files["seed.json"]])
+        code, maintained = run_cli(
+            [
+                "txn",
+                "apply",
+                txn_files["store"],
+                txn_files["more.json"],
+                "--maintain",
+                txn_files["program"],
+                "--window",
+                "0",
+                "120",
+                "--json",
+            ]
+        )
+        assert code == 0
+        code, scratch = run_cli(
+            [
+                "asof",
+                txn_files["store"],
+                "--program",
+                txn_files["program"],
+                "--window",
+                "0",
+                "120",
+                "--json",
+            ]
+        )
+        assert code == 0
+        maintained_model = json.loads(maintained)["model"]["predicates"]
+        scratch_model = json.loads(scratch)["model"]["predicates"]
+        assert maintained_model["problems"]["window"] == scratch_model[
+            "problems"
+        ]["window"]
+
+    def test_checkpoint(self, txn_files):
+        run_cli(["txn", "apply", txn_files["store"], txn_files["multi.json"]])
+        code, output = run_cli(
+            ["txn", "checkpoint", txn_files["store"], "--json"]
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["head_tx"] == 2
+        assert os.path.exists(report["path"])
+
+    def test_invalid_ops_file(self, txn_files, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        code, _ = run_cli(["txn", "apply", txn_files["store"], str(bad)])
+        assert code == 2
+
+    def test_rejected_transaction_is_an_error(self, txn_files):
+        run_cli(["txn", "apply", txn_files["store"], txn_files["seed.json"]])
+        # Retract of a tuple that is not live: typed error, exit 1.
+        code, _ = run_cli(
+            ["txn", "apply", txn_files["store"], txn_files["retract.json"]]
+        )
+        assert code == 1
+
+
+class TestAsof:
+    def seed(self, txn_files):
+        run_cli(["txn", "apply", txn_files["store"], txn_files["seed.json"]])
+        run_cli(["txn", "apply", txn_files["store"], txn_files["more.json"]])
+        run_cli(["txn", "apply", txn_files["store"], txn_files["retract.json"]])
+
+    def test_edb_snapshots_differ_by_tx(self, txn_files):
+        self.seed(txn_files)
+        _, at1 = run_cli(["asof", txn_files["store"], "--tx", "1"])
+        _, at2 = run_cli(["asof", txn_files["store"], "--tx", "2"])
+        _, head = run_cli(["asof", txn_files["store"]])
+        assert "logic" not in at1
+        assert "logic" in at2
+        # The retraction hides the tuple at head but not at tx 2.
+        assert "logic" not in head
+        assert "head 3" in head
+
+    def test_program_over_snapshot(self, txn_files):
+        self.seed(txn_files)
+        code, output = run_cli(
+            [
+                "asof",
+                txn_files["store"],
+                "--tx",
+                "2",
+                "--program",
+                txn_files["program"],
+                "--window",
+                "0",
+                "60",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(output)
+        assert report["tx"] == 2
+        assert report["outcome"] == "ok"
+        assert report["model"]["predicates"]["problems"]["window"]["tuples"]
+
+    def test_tx_beyond_head_is_usage_error(self, txn_files):
+        self.seed(txn_files)
+        code, _ = run_cli(["asof", txn_files["store"], "--tx", "99"])
+        assert code == 2
+
+
+class TestTxnCrashRecovery:
+    def test_sigkill_fault_mid_append_loses_only_uncommitted(
+        self, txn_files, tmp_path
+    ):
+        import subprocess
+        import sys
+
+        run_cli(["txn", "apply", txn_files["store"], txn_files["seed.json"]])
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps([{"site": "wal_append", "at": 1, "error": "sigkill"}])
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+                "txn",
+                "apply",
+                txn_files["store"],
+                txn_files["more.json"],
+                "--fault-plan",
+                str(plan),
+            ],
+            env=env,
+            capture_output=True,
+            timeout=60,
+        )
+        assert proc.returncode == -9  # SIGKILL mid-commit
+        # Recovery: the store reopens cleanly with only tx 1 committed,
+        # and the killed transaction can simply be re-applied.
+        code, output = run_cli(["txn", "log", txn_files["store"], "--json"])
+        assert code == 0
+        assert json.loads(output)["head_tx"] == 1
+        code, _ = run_cli(
+            ["txn", "apply", txn_files["store"], txn_files["more.json"]]
+        )
+        assert code == 0
+
+
+class TestServeShutdown:
+    def test_sigterm_drains_and_exits_zero(self, files, tmp_path):
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+                "serve",
+                "--workers",
+                "1",
+            ],
+            env=env,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        job = json.dumps(
+            {
+                "id": "j1",
+                "kind": "run",
+                "program_file": files["program.dtl"],
+                "edb_file": files["edb.gdb"],
+            }
+        )
+        proc.stdin.write(job + "\n")
+        proc.stdin.flush()
+        # Give the job time to be submitted, then interrupt the loop.
+        time.sleep(1.0)
+        proc.send_signal(signal.SIGTERM)
+        try:
+            stdout, stderr = proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+        assert proc.returncode == 0
+        assert "shutting down" in stderr
+        # The submitted job was drained: its result line was written.
+        lines = [json.loads(line) for line in stdout.splitlines() if line]
+        assert any(r.get("job_id") == "j1" and r["state"] == "ok" for r in lines)

@@ -1,0 +1,266 @@
+"""Incremental model maintenance: after every delta batch the
+maintained model must be ``equivalent()`` to a from-scratch fixpoint
+over the same snapshot — whether the refresh took the warm insert
+path, DRed overdelete/rederive, or degraded to a recompute.
+"""
+
+import pytest
+
+from repro.core import DeductiveEngine, parse_program
+from repro.edb import MAINTAINERS, EdbStore, MaintainerCache, MaterializedModel
+from repro.gdb.parser import parse_generalized_tuple
+from repro.runtime.faults import FaultPlan, InjectedFaultError
+from repro.util import hooks
+
+PROGRAM = """
+problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
+problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
+"""
+
+NEGATION = """
+quiet(t) <- slot(t), not busy(t).
+"""
+
+COURSE = '(168n+8, 168n+10; "database") where T2 = T1 + 2'
+LOGIC = '(168n+20, 168n+22; "logic") where T2 = T1 + 2'
+ALGEBRA = '(168n+60, 168n+62; "algebra") where T2 = T1 + 2'
+
+
+def gt(text, ta=2, da=1):
+    return parse_generalized_tuple(text, ta, da)
+
+
+def declare_course():
+    return {
+        "op": "declare",
+        "relation": "course",
+        "temporal_arity": 2,
+        "data_arity": 1,
+    }
+
+
+def assert_course(text):
+    return {"op": "assert", "relation": "course", "tuple": gt(text)}
+
+
+def retract_course(text):
+    return {"op": "retract", "relation": "course", "tuple": gt(text)}
+
+
+def scratch_model(store, tx=None, program=PROGRAM):
+    engine = DeductiveEngine(parse_program(program), store.snapshot(tx))
+    return engine.run()
+
+
+@pytest.fixture
+def store(tmp_path):
+    handle = EdbStore(str(tmp_path / "store"))
+    handle.apply([declare_course(), assert_course(COURSE)])
+    yield handle
+    handle.close()
+
+
+class TestInsertMaintenance:
+    def test_first_refresh_materializes(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        model = maintained.refresh(store)
+        assert model.equivalent(scratch_model(store))
+        assert maintained.last_report.recomputed is True
+        assert maintained.last_report.reason is None
+        # A first materialization is not a degradation.
+        assert model.stats.maintain_degraded is None
+
+    def test_insert_delta_is_incremental_and_equivalent(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)
+        scratch_rounds = maintained.last_report.rounds
+        store.apply([assert_course(LOGIC)])
+        model = maintained.refresh(store)
+        assert maintained.last_report.recomputed is False
+        assert maintained.last_report.inserted == 1
+        assert maintained.last_report.rounds <= scratch_rounds
+        assert model.equivalent(scratch_model(store))
+        assert model.stats.maintain_degraded is None
+
+    def test_covered_insert_converges_in_one_round(self, store):
+        # A course inside an already-derived residue class: all of its
+        # problems derivations are covered, so the warm fixpoint closes
+        # after a single round instead of re-walking the mod-168 cycle.
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)
+        scratch_rounds = maintained.last_report.rounds
+        store.apply(
+            [assert_course('(168n+32, 168n+34; "database") where T2 = T1 + 2')]
+        )
+        model = maintained.refresh(store)
+        assert maintained.last_report.recomputed is False
+        assert maintained.last_report.rounds < scratch_rounds
+        assert model.equivalent(scratch_model(store))
+
+    def test_refresh_at_head_is_noop(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        first = maintained.refresh(store)
+        assert maintained.refresh(store) is first
+
+    def test_cancelled_delta_keeps_model(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        first = maintained.refresh(store)
+        store.apply([assert_course(LOGIC)])
+        store.apply([retract_course(LOGIC)])
+        model = maintained.refresh(store)
+        assert model is first
+        assert maintained.last_report.rounds == 0
+        assert maintained.tx == store.head_tx
+
+
+class TestRetractionMaintenance:
+    def test_dred_equivalent_to_scratch(self, store):
+        store.apply([assert_course(LOGIC)])
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)
+        store.apply([retract_course(LOGIC)])
+        model = maintained.refresh(store)
+        assert maintained.last_report.recomputed is False
+        assert maintained.last_report.retracted == 1
+        assert maintained.last_report.overdeleted > 0
+        assert model.equivalent(scratch_model(store))
+
+    def test_retract_everything(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)
+        store.apply([retract_course(COURSE)])
+        model = maintained.refresh(store)
+        assert model.equivalent(scratch_model(store))
+        low, high = 0, 400
+        assert list(model.extension("problems", low, high)) == []
+
+    def test_mixed_insert_and_retract(self, store):
+        store.apply([assert_course(LOGIC)])
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)
+        store.apply([retract_course(LOGIC), assert_course(ALGEBRA)])
+        model = maintained.refresh(store)
+        assert model.equivalent(scratch_model(store))
+
+    def test_rederive_budget_degrades_to_recompute(self, store):
+        maintained = MaterializedModel(PROGRAM, rederive_budget=0)
+        maintained.refresh(store)
+        store.apply([retract_course(COURSE)])
+        model = maintained.refresh(store)
+        assert maintained.last_report.recomputed is True
+        assert maintained.last_report.reason == "rederive-budget"
+        assert model.stats.maintain_degraded["reason"] == "rederive-budget"
+        assert model.equivalent(scratch_model(store))
+
+
+class TestDegradation:
+    def test_schema_change_recomputes(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)
+        store.apply(
+            [
+                {
+                    "op": "declare",
+                    "relation": "extra",
+                    "temporal_arity": 1,
+                    "data_arity": 0,
+                },
+                assert_course(LOGIC),
+            ]
+        )
+        model = maintained.refresh(store)
+        assert maintained.last_report.reason == "schema-change"
+        assert model.stats.maintain_degraded["reason"] == "schema-change"
+        assert model.equivalent(scratch_model(store))
+
+    def test_negation_recomputes(self, tmp_path):
+        store = EdbStore(str(tmp_path / "store"))
+        store.apply(
+            [
+                {"op": "declare", "relation": "slot", "temporal_arity": 1, "data_arity": 0},
+                {"op": "declare", "relation": "busy", "temporal_arity": 1, "data_arity": 0},
+                {"op": "assert", "relation": "slot", "tuple": gt("(24n)", 1, 0)},
+            ]
+        )
+        maintained = MaterializedModel(NEGATION)
+        maintained.refresh(store)
+        store.apply([{"op": "assert", "relation": "busy", "tuple": gt("(24n+12)", 1, 0)}])
+        model = maintained.refresh(store)
+        assert maintained.last_report.reason == "not-maintainable"
+        assert model.equivalent(scratch_model(store, program=NEGATION))
+        store.close()
+
+    def test_asof_before_model_recomputes(self, store):
+        store.apply([assert_course(LOGIC)])
+        maintained = MaterializedModel(PROGRAM)
+        maintained.refresh(store)
+        model = maintained.refresh(store, tx=1)
+        assert maintained.last_report.reason == "as-of-before-model"
+        assert model.equivalent(scratch_model(store, tx=1))
+        # The materialization now tracks tx=1 and can roll forward.
+        model = maintained.refresh(store)
+        assert model.equivalent(scratch_model(store))
+
+
+class TestFaultSite:
+    def test_maintain_delta_fault_leaves_model_intact(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        before = maintained.refresh(store)
+        store.apply([assert_course(LOGIC)])
+        plan = FaultPlan.inject("maintain_delta", at=1)
+        with plan.installed():
+            with pytest.raises(InjectedFaultError):
+                maintained.refresh(store)
+        # The fault fired before the model was touched: the previous
+        # materialization (and its tx) survive, and a retry catches up.
+        assert maintained.model is before
+        assert maintained.tx == 1
+        model = maintained.refresh(store)
+        assert model.equivalent(scratch_model(store))
+
+
+class TestEvents:
+    def test_maintain_delta_event(self, store):
+        maintained = MaterializedModel(PROGRAM)
+        events = []
+        with hooks.subscribed(lambda kind, fields: events.append((kind, fields))):
+            maintained.refresh(store)
+            store.apply([assert_course(LOGIC)])
+            maintained.refresh(store)
+        deltas = [fields for kind, fields in events if kind == "maintain.delta"]
+        assert len(deltas) == 2
+        assert deltas[0]["recomputed"] is True
+        assert deltas[1]["recomputed"] is False
+        assert deltas[1]["inserted"] == 1
+        assert deltas[1]["tx"] == 2
+
+
+class TestMaintainerCache:
+    def test_shared_per_store_and_program(self, tmp_path):
+        cache = MaintainerCache()
+        a = cache.get("/x", PROGRAM)
+        assert cache.get("/x", PROGRAM) is a
+        assert cache.get("/y", PROGRAM) is not a
+        assert cache.get("/x", NEGATION) is not a
+        assert len(cache) == 3
+
+    def test_invalidate_by_root(self):
+        cache = MaintainerCache()
+        cache.get("/x", PROGRAM)
+        cache.get("/y", PROGRAM)
+        cache.invalidate("/x")
+        assert len(cache) == 1
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_commits_need_no_invalidation(self, store):
+        cache = MaintainerCache()
+        maintained = cache.get(store.root, PROGRAM)
+        maintained.refresh(store)
+        store.apply([assert_course(LOGIC)])
+        # The same cached entry simply catches up by transaction id.
+        model = cache.get(store.root, PROGRAM).refresh(store)
+        assert model.equivalent(scratch_model(store))
+
+    def test_module_level_cache_exists(self):
+        assert isinstance(MAINTAINERS, MaintainerCache)

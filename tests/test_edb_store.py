@@ -1,0 +1,354 @@
+"""The durable bi-temporal EDB store: WAL-first commits, transaction
+receipts, visibility windows, checkpointing, and end-to-end recovery.
+
+The resilience contract: a fault or crash anywhere inside a commit
+leaves either the whole transaction or none of it; reopening the store
+replays the log and lands on exactly the committed prefix.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.edb import EdbStore, ops_from_json
+from repro.gdb.parser import parse_generalized_tuple
+from repro.runtime.faults import FaultPlan
+from repro.util import hooks
+from repro.util.errors import (
+    EdbError,
+    TransactionError,
+    WalCorruptError,
+    WalError,
+)
+
+COURSE = '(168n+8, 168n+10; "database") where T2 = T1 + 2'
+LOGIC = '(168n+20, 168n+22; "logic") where T2 = T1 + 2'
+
+
+def gt(text, ta=2, da=1):
+    return parse_generalized_tuple(text, ta, da)
+
+
+def declare_course():
+    return {
+        "op": "declare",
+        "relation": "course",
+        "temporal_arity": 2,
+        "data_arity": 1,
+    }
+
+
+def assert_course(text=COURSE):
+    return {"op": "assert", "relation": "course", "tuple": gt(text)}
+
+
+def retract_course(text=COURSE):
+    return {"op": "retract", "relation": "course", "tuple": gt(text)}
+
+
+def extension(db, name, low, high):
+    return sorted(db.relation(name).extension(low, high))
+
+
+@pytest.fixture
+def store(tmp_path):
+    handle = EdbStore(str(tmp_path / "store"))
+    yield handle
+    handle.close()
+
+
+class TestTransactions:
+    def test_receipt_counts(self, store):
+        receipt = store.apply([declare_course(), assert_course()])
+        assert receipt.tx == 1
+        assert (receipt.declared, receipt.asserted, receipt.retracted) == (1, 1, 0)
+        assert receipt.wal_bytes > 0
+        assert store.head_tx == 1
+
+    def test_idempotent_ops_are_noops(self, store):
+        store.apply([declare_course(), assert_course()])
+        receipt = store.apply([declare_course(), assert_course()])
+        assert receipt.noops == 2
+        # Nothing durable happened: the tx counter did not advance.
+        assert receipt.tx == 1
+        assert store.head_tx == 1
+
+    def test_redeclare_with_other_arity_rejected(self, store):
+        store.apply([declare_course()])
+        with pytest.raises(TransactionError):
+            store.apply(
+                [
+                    {
+                        "op": "declare",
+                        "relation": "course",
+                        "temporal_arity": 1,
+                        "data_arity": 1,
+                    }
+                ]
+            )
+        assert store.head_tx == 1
+
+    def test_assert_needs_declared_relation(self, store):
+        with pytest.raises(TransactionError):
+            store.apply([assert_course()])
+        assert store.head_tx == 0
+
+    def test_arity_mismatch_rejected(self, store):
+        store.apply([declare_course()])
+        with pytest.raises(TransactionError):
+            store.apply(
+                [{"op": "assert", "relation": "course", "tuple": gt("(n)", 1, 0)}]
+            )
+
+    def test_retract_without_live_fact_rejected(self, store):
+        store.apply([declare_course()])
+        with pytest.raises(TransactionError):
+            store.apply([retract_course()])
+        assert store.head_tx == 1
+
+    def test_retract_of_same_txn_assert_rejected(self, store):
+        store.apply([declare_course()])
+        with pytest.raises(TransactionError):
+            store.apply([assert_course(), retract_course()])
+        # Validation rejected the batch before anything was written.
+        assert store.head_tx == 1
+
+    def test_failed_validation_leaves_store_untouched(self, store):
+        store.apply([declare_course()])
+        with pytest.raises(TransactionError):
+            store.apply([assert_course(), {"op": "bogus"}])
+        assert extension(store.snapshot(), "course", 0, 200) == []
+
+    def test_transaction_log(self, store):
+        store.apply([declare_course(), assert_course()])
+        store.apply([assert_course(LOGIC)])
+        store.apply([retract_course()])
+        log = store.transactions()
+        assert [entry["tx"] for entry in log] == [1, 2, 3]
+        assert log[0]["declared"] == 1
+        assert log[1]["asserted"] == 1
+        assert log[2]["retracted"] == 1
+
+
+class TestVisibility:
+    def test_asof_snapshots(self, store):
+        store.apply([declare_course(), assert_course()])
+        store.apply([assert_course(LOGIC)])
+        store.apply([retract_course()])
+        at1 = extension(store.snapshot(1), "course", 0, 200)
+        at2 = extension(store.snapshot(2), "course", 0, 200)
+        at3 = extension(store.snapshot(3), "course", 0, 200)
+        assert len(at1) < len(at2)
+        assert at3 != at2
+        # Retraction hides the fact going forward but not in history.
+        assert extension(store.snapshot(2), "course", 0, 200) == at2
+
+    def test_snapshot_excludes_later_declares(self, store):
+        store.apply([declare_course(), assert_course()])
+        store.apply(
+            [
+                {
+                    "op": "declare",
+                    "relation": "late",
+                    "temporal_arity": 1,
+                    "data_arity": 0,
+                }
+            ]
+        )
+        assert "late" not in store.snapshot(1).names()
+        assert "late" in store.snapshot(2).names()
+
+    def test_delta_between(self, store):
+        store.apply([declare_course(), assert_course()])
+        store.apply([assert_course(LOGIC)])
+        store.apply([retract_course()])
+        inserts, retracts, declares = store.delta_between(1, 3)
+        assert [str(t) for t in inserts["course"]] == [str(gt(LOGIC))]
+        assert [str(t) for t in retracts["course"]] == [str(gt(COURSE))]
+        assert declares is False
+        _, _, declares = store.delta_between(0, 1)
+        assert declares is True
+
+    def test_delta_cancels_inside_window(self, store):
+        store.apply([declare_course(), assert_course()])
+        store.apply([assert_course(LOGIC)])
+        store.apply([retract_course(LOGIC)])
+        inserts, retracts, _ = store.delta_between(1, 3)
+        # Born and retracted inside the window: no net change.
+        assert inserts == {}
+        assert retracts == {}
+
+    def test_reversed_window_rejected(self, store):
+        with pytest.raises(EdbError):
+            store.delta_between(2, 1)
+
+
+class TestRecovery:
+    def test_reopen_replays_wal(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = EdbStore(root)
+        store.apply([declare_course(), assert_course()])
+        store.apply([assert_course(LOGIC)])
+        store.apply([retract_course()])
+        before = extension(store.snapshot(), "course", 0, 200)
+        store.close()
+        reopened = EdbStore(root)
+        assert reopened.head_tx == 3
+        assert extension(reopened.snapshot(), "course", 0, 200) == before
+        assert [e["tx"] for e in reopened.transactions()] == [1, 2, 3]
+        # History survives too, not just the head state.
+        assert extension(reopened.snapshot(2), "course", 0, 200) != before
+        reopened.close()
+
+    def test_checkpoint_prunes_and_recovers(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = EdbStore(root)
+        store.apply([declare_course(), assert_course()])
+        store.apply([assert_course(LOGIC)])
+        before_ckpt = extension(store.snapshot(1), "course", 0, 200)
+        store.checkpoint()
+        store.apply([retract_course()])
+        store.close()
+        # Sealed segments below the checkpoint are gone; only the
+        # post-checkpoint tail remains to replay.
+        segments = os.listdir(os.path.join(root, "wal"))
+        assert len(segments) == 1
+        reopened = EdbStore(root)
+        assert reopened.head_tx == 3
+        assert [e["tx"] for e in reopened.transactions()] == [1, 2, 3]
+        # As-of history from before the checkpoint is still queryable.
+        assert extension(reopened.snapshot(1), "course", 0, 200) == before_ckpt
+        reopened.close()
+
+    def test_checkpoint_digest_tamper_detected(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = EdbStore(root)
+        store.apply([declare_course(), assert_course()])
+        store.checkpoint()
+        store.close()
+        path = os.path.join(root, "checkpoint.json")
+        with open(path) as handle:
+            wrapper = json.load(handle)
+        wrapper["payload"] = wrapper["payload"].replace('"tx":1', '"tx":9')
+        with open(path, "w") as handle:
+            json.dump(wrapper, handle)
+        with pytest.raises(EdbError):
+            EdbStore(root)
+
+    def test_torn_tail_loses_only_last_txn(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = EdbStore(root)
+        store.apply([declare_course(), assert_course()])
+        store.apply([assert_course(LOGIC)])
+        store.close()
+        wal_dir = os.path.join(root, "wal")
+        segment = sorted(os.listdir(wal_dir))[-1]
+        path = os.path.join(wal_dir, segment)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 4)  # tear into the final frame
+        reopened = EdbStore(root)
+        assert reopened.head_tx == 1
+        assert extension(reopened.snapshot(), "course", 0, 200) == extension(
+            reopened.snapshot(1), "course", 0, 200
+        )
+        reopened.close()
+
+    def test_out_of_order_wal_refused(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = EdbStore(root)
+        store.apply([declare_course(), assert_course()])
+        store.close()
+        # Forge a WAL record that skips a transaction id.
+        from repro.edb.wal import Wal
+
+        wal = Wal(os.path.join(root, "wal"))
+        wal.append({"type": "txn", "tx": 5, "ops": []})
+        wal.sync()
+        wal.close()
+        with pytest.raises(WalCorruptError):
+            EdbStore(root)
+
+
+class TestPoisoning:
+    def test_fsync_fault_poisons_handle(self, tmp_path):
+        store = EdbStore(str(tmp_path / "store"))
+        store.apply([declare_course()])
+        plan = FaultPlan.inject("wal_fsync", at=1)
+        with plan.installed():
+            with pytest.raises(Exception):
+                store.apply([assert_course()])
+        # The commit may or may not have reached disk: the handle must
+        # refuse further writes until a reopen settles the question.
+        with pytest.raises(WalError):
+            store.apply([assert_course(LOGIC)])
+        reopened = EdbStore(store.root)
+        assert reopened.head_tx in (1, 2)
+        reopened.apply([assert_course(LOGIC)])
+        reopened.close()
+
+    def test_append_fault_commits_nothing(self, tmp_path):
+        store = EdbStore(str(tmp_path / "store"))
+        store.apply([declare_course()])
+        plan = FaultPlan.inject("wal_append", at=1)
+        with plan.installed():
+            with pytest.raises(Exception):
+                store.apply([assert_course()])
+        reopened = EdbStore(store.root)
+        assert reopened.head_tx == 1
+        assert extension(reopened.snapshot(), "course", 0, 200) == []
+        reopened.close()
+
+
+class TestEvents:
+    def test_txn_and_recover_events(self, tmp_path):
+        root = str(tmp_path / "store")
+        events = []
+        with hooks.subscribed(lambda kind, fields: events.append((kind, fields))):
+            store = EdbStore(root)
+            store.apply([declare_course(), assert_course()])
+            store.close()
+            EdbStore(root).close()
+        kinds = [kind for kind, _ in events]
+        assert kinds.count("edb.recover") == 2
+        assert kinds.count("edb.txn") == 1
+        txn = next(fields for kind, fields in events if kind == "edb.txn")
+        assert txn["tx"] == 1 and txn["asserted"] == 1 and txn["wal_bytes"] > 0
+        recover = [fields for kind, fields in events if kind == "edb.recover"]
+        assert recover[1]["replayed_txns"] == 1
+        assert recover[1]["head_tx"] == 1
+
+
+class TestOpsFromJson:
+    def test_declare_then_assert_same_batch(self, tmp_path):
+        store = EdbStore(str(tmp_path / "store"))
+        ops = ops_from_json(
+            store,
+            [
+                {
+                    "op": "declare",
+                    "relation": "course",
+                    "temporal_arity": 2,
+                    "data_arity": 1,
+                },
+                {"op": "assert", "relation": "course", "tuple": COURSE},
+            ],
+        )
+        receipt = store.apply(ops)
+        assert receipt.asserted == 1
+        store.close()
+
+    def test_unknown_relation_rejected(self, tmp_path):
+        store = EdbStore(str(tmp_path / "store"))
+        with pytest.raises(TransactionError):
+            ops_from_json(
+                store, [{"op": "assert", "relation": "ghost", "tuple": "(n)"}]
+            )
+        store.close()
+
+    def test_wrapped_ops_object(self, tmp_path):
+        store = EdbStore(str(tmp_path / "store"))
+        ops = ops_from_json(store, {"ops": [declare_course()]})
+        assert ops[0]["op"] == "declare"
+        store.close()

@@ -1,0 +1,201 @@
+"""The write-ahead log: CRC framing, rotation, torn-tail recovery.
+
+The recovery contract under test: damage a crash can explain (an
+incomplete or checksum-bad FINAL frame in the LAST segment) is
+truncated silently; any other damage — bytes after a bad frame, or any
+problem in a sealed segment — raises :class:`WalCorruptError` instead
+of silently dropping committed records.
+"""
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.edb.wal import _HEADER, Wal
+from repro.util.errors import WalCorruptError, WalError
+
+
+def open_wal(tmp_path, **kwargs):
+    return Wal(str(tmp_path / "wal"), **kwargs)
+
+
+def append_all(wal, records):
+    for record in records:
+        wal.append(record)
+    wal.sync()
+
+
+def tail_path(wal):
+    return os.path.join(wal.root, "wal-%08d.seg" % wal.tail_index)
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        wal = open_wal(tmp_path)
+        records = [{"type": "txn", "tx": i, "ops": []} for i in range(1, 6)]
+        append_all(wal, records)
+        assert list(wal.records()) == records
+        wal.close()
+        reopened = open_wal(tmp_path)
+        assert list(reopened.records()) == records
+        assert reopened.recovered_records == 5
+        assert reopened.truncated_bytes == 0
+
+    def test_append_returns_frame_length(self, tmp_path):
+        wal = open_wal(tmp_path)
+        record = {"tx": 1}
+        length = wal.append(record)
+        payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        assert length == _HEADER.size + len(payload)
+
+    def test_closed_wal_refuses_writes(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.close()
+        with pytest.raises(WalError):
+            wal.append({"tx": 1})
+        with pytest.raises(WalError):
+            wal.sync()
+        with pytest.raises(WalError):
+            wal.rotate()
+
+    def test_close_is_idempotent(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.close()
+        wal.close()
+
+
+class TestRotation:
+    def test_rotate_seals_and_continues(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"tx": 1})
+        wal.sync()
+        assert wal.rotate() == 2
+        wal.append({"tx": 2})
+        wal.sync()
+        assert wal.segment_indices() == [1, 2]
+        assert [r["tx"] for r in wal.records()] == [1, 2]
+
+    def test_auto_rotation_past_threshold(self, tmp_path):
+        wal = open_wal(tmp_path, segment_bytes=64)
+        for tx in range(1, 8):
+            wal.append({"tx": tx, "pad": "x" * 40})
+        wal.sync()
+        assert len(wal.segment_indices()) > 1
+        assert [r["tx"] for r in wal.records()] == list(range(1, 8))
+        wal.close()
+        reopened = open_wal(tmp_path, segment_bytes=64)
+        assert [r["tx"] for r in reopened.records()] == list(range(1, 8))
+
+    def test_drop_segments_before_keeps_tail(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"tx": 1})
+        wal.sync()
+        wal.rotate()
+        wal.rotate()
+        removed = wal.drop_segments_before(wal.tail_index)
+        assert removed == [1, 2]
+        assert wal.segment_indices() == [wal.tail_index]
+        # Asking to drop everything still spares the live tail.
+        assert wal.drop_segments_before(10**6) == []
+
+
+class TestTornTail:
+    def make_two(self, tmp_path):
+        wal = open_wal(tmp_path)
+        append_all(wal, [{"tx": 1}, {"tx": 2}])
+        wal.close()
+        return wal
+
+    def test_incomplete_header_truncated(self, tmp_path):
+        wal = self.make_two(tmp_path)
+        with open(tail_path(wal), "ab") as handle:
+            handle.write(b"\x07\x00")  # torn mid-header
+        reopened = open_wal(tmp_path)
+        assert reopened.truncated_bytes == 2
+        assert [r["tx"] for r in reopened.records()] == [1, 2]
+
+    def test_incomplete_payload_truncated(self, tmp_path):
+        wal = self.make_two(tmp_path)
+        payload = b'{"tx":3}'
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        with open(tail_path(wal), "ab") as handle:
+            handle.write(frame[:-3])  # torn mid-payload
+        reopened = open_wal(tmp_path)
+        assert reopened.truncated_bytes == len(frame) - 3
+        assert [r["tx"] for r in reopened.records()] == [1, 2]
+
+    def test_final_frame_bad_crc_truncated(self, tmp_path):
+        wal = self.make_two(tmp_path)
+        payload = b'{"tx":3}'
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload) ^ 0xFF) + payload
+        with open(tail_path(wal), "ab") as handle:
+            handle.write(frame)
+        reopened = open_wal(tmp_path)
+        assert reopened.truncated_bytes == len(frame)
+        assert [r["tx"] for r in reopened.records()] == [1, 2]
+
+    def test_recovery_then_append_continues_cleanly(self, tmp_path):
+        wal = self.make_two(tmp_path)
+        with open(tail_path(wal), "ab") as handle:
+            handle.write(b"torn")
+        reopened = open_wal(tmp_path)
+        reopened.append({"tx": 3})
+        reopened.sync()
+        assert [r["tx"] for r in reopened.records()] == [1, 2, 3]
+
+
+class TestCorruption:
+    def test_bad_crc_with_bytes_following_is_corrupt(self, tmp_path):
+        wal = open_wal(tmp_path)
+        append_all(wal, [{"tx": 1}, {"tx": 2}])
+        wal.close()
+        path = tail_path(wal)
+        with open(path, "r+b") as handle:
+            handle.seek(_HEADER.size + 1)  # inside the FIRST payload
+            handle.write(b"X")
+        with pytest.raises(WalCorruptError) as excinfo:
+            open_wal(tmp_path)
+        assert excinfo.value.path == path
+        assert excinfo.value.offset == 0
+
+    def test_damage_in_sealed_segment_is_corrupt(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"tx": 1})
+        wal.sync()
+        sealed = tail_path(wal)
+        wal.rotate()
+        wal.append({"tx": 2})
+        wal.close()
+        with open(sealed, "r+b") as handle:
+            handle.truncate(3)  # even a torn-looking tail is fatal here
+        with pytest.raises(WalCorruptError):
+            open_wal(tmp_path)
+
+    def test_valid_crc_invalid_json_is_corrupt(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"tx": 1})
+        wal.close()
+        payload = b"not json at all"
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        with open(tail_path(wal), "ab") as handle:
+            handle.write(frame)
+        # The CRC matches, so the bytes were written intact: this is
+        # writer corruption, never a torn write.
+        with pytest.raises(WalCorruptError):
+            open_wal(tmp_path)
+
+    def test_error_carries_offset_context(self, tmp_path):
+        wal = open_wal(tmp_path)
+        append_all(wal, [{"tx": 1}, {"tx": 2}, {"tx": 3}])
+        wal.close()
+        first = _HEADER.size + len(b'{"tx":1}')
+        with open(tail_path(wal), "r+b") as handle:
+            handle.seek(first + _HEADER.size + 1)  # inside payload 2 of 3
+            handle.write(b"X")
+        with pytest.raises(WalCorruptError) as excinfo:
+            open_wal(tmp_path)
+        assert excinfo.value.offset == first
+        assert "at byte %d" % first in str(excinfo.value)

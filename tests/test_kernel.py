@@ -319,5 +319,69 @@ class TestWireCodec:
         )
 
 
+class TestWireCodecPastInternCap:
+    """Tuples whose zones overflowed the ConstraintTable cap carry no
+    integer id — ``constraint_id`` falls back to the structural
+    canonical key — and must still cross the shard wire codec
+    bit-identically (the shard pool ships whatever the engine derives,
+    interned or not)."""
+
+    def _overflow_tuples(self):
+        # Clamp the shared table at its current size: every zone below
+        # is distinct and new, so none of them gets interned.
+        tuples = []
+        for k in range(5):
+            system = ConstraintSystem.parse(
+                "T2 = T1 + %d & T1 >= %d" % (7919 + k, 104729 + k), 2
+            )
+            tuples.append(
+                GeneralizedTuple((Lrp(24, 1), Lrp(24, 3)), ("v%d" % k,), system)
+            )
+        # Two rows sharing one overflowed zone, to exercise the
+        # structural-key dictionary slot path.
+        shared = ConstraintSystem.parse("T2 = T1 + 7930 & T1 >= 104740", 2)
+        tuples.append(GeneralizedTuple((Lrp(24, 5), Lrp(24, 7)), ("w0",), shared))
+        tuples.append(GeneralizedTuple((Lrp(24, 9), Lrp(24, 11)), ("w1",), shared))
+        return tuples
+
+    def test_overflow_round_trip_bit_identical(self):
+        import json
+
+        saved_cap = CONSTRAINT_TABLE.cap
+        CONSTRAINT_TABLE.cap = len(CONSTRAINT_TABLE)
+        try:
+            tuples = self._overflow_tuples()
+            # The clamp really bit: none of these zones was interned.
+            for gt in tuples:
+                assert not isinstance(
+                    gt.constraints.constraint_id(), int
+                ), "zone unexpectedly interned despite the cap clamp"
+            payload = encode_tuple_batch(tuples)
+            # The shared overflowed zone still dedups to one dict slot.
+            assert len(payload["constraints"]) == 6
+            assert payload["rows"][5][2] == payload["rows"][6][2]
+            wire = json.dumps(payload, sort_keys=True)
+            decoded = decode_tuple_batch(json.loads(wire))
+            assert _keys(decoded) == _keys(tuples)
+            # Bit-identical: re-encoding the decoded batch reproduces
+            # the original wire bytes exactly.
+            assert json.dumps(encode_tuple_batch(decoded), sort_keys=True) == wire
+        finally:
+            CONSTRAINT_TABLE.cap = saved_cap
+
+    def test_mixed_interned_and_overflowed_batch(self):
+        interned = ConstraintSystem.parse("T1 >= 0 & T2 = T1 + 2", 2)
+        saved_cap = CONSTRAINT_TABLE.cap
+        CONSTRAINT_TABLE.cap = len(CONSTRAINT_TABLE)
+        try:
+            tuples = [
+                GeneralizedTuple((Lrp(24, 1), Lrp(24, 3)), ("a",), interned)
+            ] + self._overflow_tuples()
+            decoded = decode_tuple_batch(encode_tuple_batch(tuples))
+            assert _keys(decoded) == _keys(tuples)
+        finally:
+            CONSTRAINT_TABLE.cap = saved_cap
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))

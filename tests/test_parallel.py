@@ -70,6 +70,9 @@ def _checkpoint_payload(path):
         "segment_elapsed_seconds",
     ):
         payload["stats"][key] = 0.0
+    # The sha256 digest covers the raw payload — wall clock included —
+    # so it inherits the nondeterminism normalized away just above.
+    payload.pop("digest", None)
     return payload
 
 

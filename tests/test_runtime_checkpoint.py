@@ -169,6 +169,81 @@ class TestCheckpointFiles:
         assert set(loaded.known_signatures["problems"]) == signatures
 
 
+class TestTypedLoadErrors:
+    """Every load failure is a CheckpointError locating the damage:
+    the path always, the byte offset when the JSON decoder knows it."""
+
+    def test_corrupt_json_carries_path_and_offset(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-checkpoint", !garbage')
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(str(path))
+        assert excinfo.value.path == str(path)
+        assert excinfo.value.offset == 31
+        assert "at byte 31" in str(excinfo.value)
+
+    def test_truncated_file_carries_offset(self, tmp_path):
+        whole = tmp_path / "whole.json"
+        make_engine().run(checkpoint_every=1, checkpoint_path=str(whole))
+        torn = tmp_path / "torn.json"
+        torn.write_bytes(whole.read_bytes()[: whole.stat().st_size // 2])
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(str(torn))
+        assert excinfo.value.path == str(torn)
+        assert excinfo.value.offset is not None
+
+    def test_unreadable_file_carries_path(self, tmp_path):
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(str(tmp_path / "nope.json"))
+        assert excinfo.value.path == str(tmp_path / "nope.json")
+
+
+class TestPayloadDigest:
+    """Checkpoints self-verify: the written file carries a sha256 of
+    its own payload, checked on load; files from before the digest was
+    introduced (no ``digest`` key) still load."""
+
+    def write_one(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        make_engine().run(checkpoint_every=1, checkpoint_path=path)
+        return path
+
+    def test_written_checkpoints_carry_digest(self, tmp_path):
+        path = self.write_one(tmp_path)
+        payload = json.loads(open(path).read())
+        assert len(payload["digest"]) == 64
+        load_checkpoint(path)  # verifies without complaint
+
+    def test_bit_rot_detected(self, tmp_path):
+        path = self.write_one(tmp_path)
+        text = open(path).read()
+        # Flip one digit inside the payload without breaking the JSON.
+        assert '"rounds_in_stratum": ' in text or '"rounds_in_stratum":' in text
+        rotted = text.replace('"last_growth"', '"last_gr0wth"', 1)
+        assert rotted != text
+        open(path, "w").write(rotted)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path)
+        assert "digest" in str(excinfo.value)
+        assert excinfo.value.path == path
+
+    def test_digestless_legacy_checkpoint_accepted(self, tmp_path):
+        path = self.write_one(tmp_path)
+        payload = json.loads(open(path).read())
+        del payload["digest"]
+        open(path, "w").write(json.dumps(payload))
+        loaded = load_checkpoint(path)
+        assert loaded.stats["rounds"] >= 1
+
+    def test_resumed_run_verifies_digest_end_to_end(self, tmp_path):
+        path = str(tmp_path / "resume.ckpt.json")
+        uninterrupted = make_engine().run(
+            checkpoint_every=1, checkpoint_path=path
+        )
+        resumed = make_engine().run(resume_from=path)
+        assert resumed.equivalent(uninterrupted)
+
+
 class TestDurability:
     """Atomic, durable checkpoint writes: staged through a temp file,
     fsynced, renamed into place — and leftover temp files are refused

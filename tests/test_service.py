@@ -370,3 +370,96 @@ class TestObservability:
         assert [r.backend for r in results] == [
             "compiled", "fo", "closed-form", "closed-form"
         ]
+
+
+class TestMaintainJobs:
+    """``maintain`` jobs: the service refreshes a process-cached
+    materialized model over a durable EDB store instead of evaluating
+    inline sources."""
+
+    def _store(self, tmp_path):
+        from repro.edb import EdbStore
+        from repro.gdb.parser import parse_generalized_tuple
+
+        store = EdbStore(str(tmp_path / "store"))
+        store.apply(
+            [
+                {
+                    "op": "declare",
+                    "relation": "course",
+                    "temporal_arity": 2,
+                    "data_arity": 1,
+                },
+                {
+                    "op": "assert",
+                    "relation": "course",
+                    "tuple": parse_generalized_tuple(
+                        '(168n+8, 168n+10; "database") where T2 = T1 + 2', 2, 1
+                    ),
+                },
+            ]
+        )
+        return store
+
+    def test_spec_requires_store(self):
+        with pytest.raises(ValueError):
+            JobSpec("m", "maintain", program=PROGRAM)
+
+    def test_store_changes_program_key(self):
+        a = JobSpec("m", "maintain", program=PROGRAM, store="/x")
+        b = JobSpec("m", "maintain", program=PROGRAM, store="/y")
+        assert a.program_key() != b.program_key()
+
+    def test_maintain_job_tracks_commits(self, tmp_path, baseline_model):
+        from repro.edb import MAINTAINERS
+        from repro.gdb.parser import parse_generalized_tuple
+
+        store = self._store(tmp_path)
+        spec = JobSpec(
+            "m1", "maintain", program=PROGRAM, store=store.root,
+            window=(0, 200),
+        )
+        with service(workers=2) as svc:
+            first = svc.run_batch([spec])[0]
+            assert first.state == "ok"
+            assert first.backend == "compiled"
+            store.apply(
+                [
+                    {
+                        "op": "assert",
+                        "relation": "course",
+                        "tuple": parse_generalized_tuple(
+                            '(168n+20, 168n+22; "logic") where T2 = T1 + 2',
+                            2,
+                            1,
+                        ),
+                    }
+                ]
+            )
+            second = svc.run_batch(
+                [JobSpec("m2", "maintain", program=PROGRAM, store=store.root,
+                         window=(0, 200))]
+            )[0]
+        store.close()
+        assert second.state == "ok"
+        maintainer = MAINTAINERS.get(store.root, PROGRAM)
+        assert maintainer.tx == 2
+        assert maintainer.last_report.recomputed is False
+        assert maintainer.last_report.inserted == 1
+        # The first job's window answers are the baseline's; the second
+        # job's include the new chain too.
+        first_problems = first.model.relation("problems")
+        assert first_problems.equivalent(baseline_model.relation("problems"))
+        assert not second.model.relation("problems").equivalent(first_problems)
+
+    def test_maintain_results_report_model_window(self, tmp_path):
+        store = self._store(tmp_path)
+        store.close()
+        spec = JobSpec(
+            "m", "maintain", program=PROGRAM, store=store.root, window=(0, 60)
+        )
+        with service(workers=1) as svc:
+            result = svc.run_batch([spec])[0]
+        assert result.state == "ok"
+        assert result.stats["rounds"] >= 1
+        assert result.model_text

@@ -32,6 +32,9 @@ REQUIRED_FIELDS = {
     "service.job": ("phase", "job_id"),
     "shard.worker": ("phase", "worker", "round"),
     "shard.degraded": ("reason", "restarts_used", "pending_tasks"),
+    "edb.txn": ("root", "tx", "asserted", "retracted", "wal_bytes"),
+    "edb.recover": ("root", "checkpoint_tx", "replayed_txns", "truncated_bytes", "head_tx"),
+    "maintain.delta": ("tx", "inserted", "retracted", "rounds", "recomputed"),
 }
 
 #: extra fields required on specific phases.
