@@ -34,6 +34,8 @@ from repro.core import DeductiveEngine, parse_program
 from repro.edb import EdbStore, MaterializedModel
 from repro.gdb.parser import parse_generalized_tuple
 
+import srcstate
+
 PROGRAM = """
 problems(t1 + 2, t2 + 2; X) <- course(t1, t2; X).
 problems(t1 + 48, t2 + 48; X) <- problems(t1, t2; X).
@@ -165,6 +167,7 @@ def run(quick=False):
 
 
 def write(payload, path="BENCH_edb.json"):
+    srcstate.stamp(payload)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -28,6 +28,7 @@ from repro.core import DeductiveEngine
 from repro.gdb import kernel
 from repro.gdb.store import encode_relation_batch
 
+import srcstate
 from workloads import shift_cycle_workload
 
 REPS = 5
@@ -110,6 +111,7 @@ def run(quick=False):
 
 
 def write(payload, path="BENCH_kernel.json"):
+    srcstate.stamp(payload)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

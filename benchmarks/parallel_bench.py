@@ -34,6 +34,7 @@ from repro.core import DeductiveEngine
 from repro.runtime.faults import FaultPlan
 from repro.util import hooks
 
+import srcstate
 from workloads import example_41, multi_chain_workload, shift_cycle_workload
 
 REPS = 3
@@ -260,6 +261,7 @@ def run(quick=False):
 
 
 def write(payload, path="BENCH_parallel.json"):
+    srcstate.stamp(payload)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

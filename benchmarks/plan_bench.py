@@ -27,6 +27,7 @@ from repro.core import DeductiveEngine
 from repro.obs import ProfileCollector
 from repro.util import hooks
 
+import srcstate
 from workloads import example_41, shift_cycle_workload
 
 REPS = 3
@@ -116,6 +117,7 @@ def run(quick=False):
 
 
 def write(payload, path="BENCH_plan.json"):
+    srcstate.stamp(payload)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -1,0 +1,225 @@
+"""Goal-directed (magic-set) query evaluation vs full materialization.
+
+Runs the multi-chain E14 workload (``chains`` independent recursive
+predicates) and answers point and windowed queries two ways — the
+full bottom-up fixpoint followed by a lookup, and the magic-set
+rewrite (:mod:`repro.plan.magic`) that evaluates only the demand cone
+— recording derived-tuple counts and latency in ``BENCH_query.json``::
+
+    python benchmarks/query_bench.py             # full sizes
+    python benchmarks/query_bench.py --quick     # CI smoke sizes
+    python benchmarks/query_bench.py --quick --check
+
+``--check`` fails (exit 1) unless the point query derives at most half
+the tuples of full materialization — the acceptance gate for the
+goal-directed path — and every scenario's goal-directed answers match
+the full fixpoint within the demanded window.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import DeductiveEngine
+from repro.plan.magic import QueryGoal, goal_directed_model
+
+import srcstate
+from workloads import multi_chain_workload
+
+REPS = 3
+
+
+def _best(run_once):
+    best = None
+    result = None
+    for _ in range(REPS):
+        started = time.perf_counter()
+        result = run_once()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _run_full(program, edb):
+    def once():
+        return DeductiveEngine(program, edb, on_give_up="partial").run()
+
+    best, model = _best(once)
+    return model, {
+        "wall_ms": best * 1000.0,
+        "derived_tuples": model.stats.total_new_tuples(),
+        "rounds": model.stats.rounds,
+    }
+
+
+def _run_goal(program, edb, goal):
+    def once():
+        return goal_directed_model(program, edb, goal, on_give_up="partial")
+
+    best, (model, info) = _best(once)
+    if info.get("degraded"):
+        raise RuntimeError(
+            "goal %s unexpectedly degraded to the full fixpoint: %s"
+            % (goal, info.get("reason"))
+        )
+    return model, {
+        "wall_ms": best * 1000.0,
+        "derived_tuples": model.stats.total_new_tuples(),
+        "rounds": model.stats.rounds,
+        "magic_facts": info["magic_facts"],
+        "dropped_clauses": info["dropped_clauses"],
+        "restricted": len(info["restricted"]),
+        "widenings": info["widenings"],
+    }
+
+
+def _scenario(program, edb, goal, window):
+    """Both evaluations of one goal, plus the equivalence check of the
+    goal predicate's extension within the demanded window."""
+    full_model, full = _run_full(program, edb)
+    goal_model, directed = _run_goal(program, edb, goal)
+    low, high = window
+    full_ext = set(full_model.extension(goal.predicate, low, high))
+    goal_ext = set(goal_model.extension(goal.predicate, low, high))
+    if goal.data:
+        bound = dict(goal.data)
+        t_arity = full_model.relation(goal.predicate).temporal_arity
+        full_ext = {
+            row
+            for row in full_ext
+            if all(row[t_arity + col] == val for col, val in bound.items())
+        }
+    derived = max(1, directed["derived_tuples"])
+    return {
+        "goal": str(goal),
+        "window": [low, high],
+        "full": full,
+        "goal_directed": directed,
+        "answers": len(goal_ext),
+        "equivalent_within_window": goal_ext == full_ext,
+        "tuple_reduction": full["derived_tuples"] / derived,
+        "speedup": full["wall_ms"] / max(1e-9, directed["wall_ms"]),
+    }
+
+
+def run(quick=False):
+    chains = 4 if quick else 6
+    period = 24 if quick else 48
+    program, edb = multi_chain_workload(chains=chains, period=period)
+    instant = period // 2 + 1
+    payload = {
+        "chains": chains,
+        "period": period,
+        "reps": REPS,
+        # One instant of one chain's join predicate: reachability drops
+        # the other chains and the demand zone bounds the shift
+        # recursion — the acceptance gate's >= 2x scenario.
+        "point": _scenario(
+            program,
+            edb,
+            QueryGoal.point("meet%d" % (chains - 1), instant),
+            (instant, instant + 1),
+        ),
+        # A window of one chain: the zone still prunes, less sharply.
+        "window": _scenario(
+            program,
+            edb,
+            QueryGoal.windowed("p0", 0, period),
+            (0, period),
+        ),
+        # No temporal bound at all: pure reachability pruning — the
+        # floor of what goal direction buys on this workload.
+        "reachability": _scenario(
+            program,
+            edb,
+            QueryGoal.whole("p1"),
+            (0, 2 * period),
+        ),
+    }
+    return payload
+
+
+def write(payload, path="BENCH_query.json"):
+    srcstate.stamp(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def _print_summary(payload):
+    print(
+        "Goal-directed queries — magic sets vs full fixpoint "
+        "(%d chains, period %d, best of %d)"
+        % (payload["chains"], payload["period"], payload["reps"])
+    )
+    print(
+        "%14s %24s %10s %10s %10s %8s"
+        % ("scenario", "goal", "full tup", "goal tup", "reduction", "equal")
+    )
+    for key in ("point", "window", "reachability"):
+        entry = payload[key]
+        print(
+            "%14s %24s %10d %10d %9.2fx %8s"
+            % (
+                key,
+                entry["goal"],
+                entry["full"]["derived_tuples"],
+                entry["goal_directed"]["derived_tuples"],
+                entry["tuple_reduction"],
+                entry["equivalent_within_window"],
+            )
+        )
+
+
+def report():
+    """Regenerate ``BENCH_query.json`` and print the summary table
+    (hooked into ``benchmarks/report.py``)."""
+    payload = run()
+    write(payload)
+    _print_summary(payload)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default="BENCH_query.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the point query derives <= 1/2 the tuples of "
+        "full materialization and every scenario matches the full "
+        "fixpoint within its window",
+    )
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    write(payload, args.out)
+    _print_summary(payload)
+    if args.check:
+        failures = []
+        for key in ("point", "window", "reachability"):
+            if not payload[key]["equivalent_within_window"]:
+                failures.append(
+                    "%s: goal-directed answers diverge from the full "
+                    "fixpoint within the window" % key
+                )
+        if payload["point"]["tuple_reduction"] < 2.0:
+            failures.append(
+                "point: derived-tuple reduction %.2fx is below the 2x gate"
+                % payload["point"]["tuple_reduction"]
+            )
+        if failures:
+            for failure in failures:
+                print("FAIL: %s" % failure, file=sys.stderr)
+            return 1
+        print(
+            "check ok: point reduction %.2fx, all windows equivalent"
+            % payload["point"]["tuple_reduction"]
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,8 +17,9 @@ from __future__ import annotations
 import importlib
 import json
 import os
-import subprocess
 import sys
+
+import srcstate
 
 EXPERIMENTS = [
     ("e1", "test_e1_example41_trace"),
@@ -40,6 +41,7 @@ EXPERIMENTS = [
     ("parallel", "parallel_bench"),
     ("kernel", "kernel_bench"),
     ("edb", "edb_bench"),
+    ("query", "query_bench"),
 ]
 
 #: The benchmark artifacts the consolidated summary reads.
@@ -49,6 +51,7 @@ ARTIFACTS = (
     "BENCH_parallel.json",
     "BENCH_kernel.json",
     "BENCH_edb.json",
+    "BENCH_query.json",
 )
 
 
@@ -179,12 +182,32 @@ def _edb_lines(payload):
     ]
 
 
+def _query_lines(payload):
+    point = payload["point"]
+    reach = payload["reachability"]
+    return [
+        "- Goal-directed point query on the %d-chain E14 workload: "
+        "**%.1fx** fewer derived tuples than full materialization "
+        "(%d vs %d), answers equivalent within the window."
+        % (
+            payload["chains"],
+            point["tuple_reduction"],
+            point["goal_directed"]["derived_tuples"],
+            point["full"]["derived_tuples"],
+        ),
+        "- Reachability-only goal (no window): **%.1fx** fewer derived "
+        "tuples from clause pruning alone."
+        % reach["tuple_reduction"],
+    ]
+
+
 _SECTIONS = (
     ("BENCH_plan.json", "Plan layer", _plan_lines),
     ("BENCH_service.json", "Query service", _service_lines),
     ("BENCH_parallel.json", "Parallel fixpoint & coverage cache", _parallel_lines),
     ("BENCH_kernel.json", "Columnar kernel", _kernel_lines),
     ("BENCH_edb.json", "Durable EDB & incremental maintenance", _edb_lines),
+    ("BENCH_query.json", "Goal-directed queries (magic sets)", _query_lines),
 )
 
 
@@ -216,39 +239,23 @@ def write_summary(path="BENCH_SUMMARY.md"):
     return path
 
 
-def _last_src_commit_time(base):
-    """Unix time of the last commit touching ``src/``, or None when
-    the tree is not a git checkout (or git is unavailable)."""
-    try:
-        output = subprocess.run(
-            ["git", "log", "-1", "--format=%ct", "--", "src"],
-            cwd=base,
-            capture_output=True,
-            text=True,
-            timeout=30,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return None
-    if output.returncode != 0 or not output.stdout.strip():
-        return None
-    try:
-        return int(output.stdout.strip())
-    except ValueError:
-        return None
-
-
 def stale_artifacts(base=None):
-    """The ``BENCH_*.json`` artifacts older than the last ``src/``
-    commit — their numbers predate the code they claim to measure."""
+    """The ``BENCH_*.json`` artifacts whose recorded ``src_digest``
+    does not match the current tracked ``src/`` tree — their numbers
+    were measured against different code than what is checked out.
+    Artifacts written before digests existed (no ``src_digest`` key)
+    are stale by definition."""
     if base is None:
         base = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    src_time = _last_src_commit_time(base)
-    if src_time is None:
+    current = srcstate.src_digest(base)
+    if current is None:
         return []
     stale = []
     for artifact in ARTIFACTS:
-        path = os.path.join(base, artifact)
-        if os.path.exists(path) and os.path.getmtime(path) < src_time:
+        payload = _load(os.path.join(base, artifact))
+        if payload is None:
+            continue
+        if payload.get("src_digest") != current:
             stale.append(artifact)
     return stale
 
@@ -258,8 +265,9 @@ def flag_stale_artifacts(base=None, out=sys.stderr):
     stale = stale_artifacts(base)
     for artifact in stale:
         print(
-            "WARNING: %s is older than the last src/ commit — regenerate "
-            "it (python benchmarks/report.py %s)"
+            "WARNING: %s was measured against a different src/ tree "
+            "(src_digest mismatch) — regenerate it "
+            "(python benchmarks/report.py %s)"
             % (artifact, artifact.replace("BENCH_", "").replace(".json", "")),
             file=out,
         )

@@ -28,6 +28,7 @@ from repro.runtime.faults import FaultPlan, TransientFaultError
 from repro.service import JobSpec, QueryService, RetryPolicy
 from repro.util.errors import WorkerDiedError
 
+import srcstate
 from workloads import EXAMPLE_41_EDB, EXAMPLE_41_PROGRAM
 
 WORKER_COUNTS = (1, 2, 4)
@@ -108,6 +109,7 @@ def run(quick=False):
 
 
 def write(payload, path="BENCH_service.json"):
+    srcstate.stamp(payload)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

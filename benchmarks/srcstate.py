@@ -1,0 +1,82 @@
+"""Which code a benchmark artifact actually measured.
+
+Every ``BENCH_*.json`` writer stamps its payload with
+``src_digest()`` — a content hash over the tracked files under
+``src/`` — and the staleness gate (:mod:`report`) compares the stamp
+against the current tree.  Hashing *content* instead of comparing the
+artifact's mtime to the last ``src/`` commit time makes the check
+robust where the old mtime heuristic lied in both directions: an
+artifact regenerated before the measured change was committed looked
+fresh forever, and ``git checkout`` / clock skew made fresh artifacts
+look stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+
+
+def _repo_base():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _tracked_files(base):
+    """Repo-relative paths of the tracked ``src/`` files, or None when
+    the tree is not a git checkout (or git is unavailable)."""
+    try:
+        output = subprocess.run(
+            ["git", "ls-files", "--", "src"],
+            cwd=base,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if output.returncode != 0:
+        return None
+    files = sorted(line.strip() for line in output.stdout.splitlines() if line.strip())
+    return files or None
+
+
+def _walked_files(base):
+    """Fallback for non-git trees: every ``.py`` under ``src/``."""
+    files = []
+    root = os.path.join(base, "src")
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                files.append(os.path.relpath(path, base))
+    return files
+
+
+def src_digest(base=None):
+    """A short content digest of the tracked ``src/`` tree, or None
+    when there is nothing to hash (no ``src/`` directory)."""
+    if base is None:
+        base = _repo_base()
+    files = _tracked_files(base) or _walked_files(base)
+    if not files:
+        return None
+    digest = hashlib.sha256()
+    for rel in files:
+        path = os.path.join(base, rel)
+        if not os.path.isfile(path):
+            continue
+        digest.update(rel.replace(os.sep, "/").encode("utf-8"))
+        digest.update(b"\x00")
+        with open(path, "rb") as handle:
+            digest.update(handle.read())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def stamp(payload, base=None):
+    """Record the current digest in a benchmark payload (in place) and
+    return the payload — the one-liner every bench ``write()`` calls."""
+    payload["src_digest"] = src_digest(base)
+    return payload

@@ -112,6 +112,7 @@ from repro.util.errors import (
     ParseError,
     ReproError,
 )
+from repro.util.sorting import typed_sort_key
 
 EXIT_OK = 0
 EXIT_ERROR = 1
@@ -352,7 +353,7 @@ def _cmd_run(args, out):
             print("%% stats: %s" % analyze(model.relation(name)), file=out)
         if window:
             low, high = window
-            for flat in sorted(model.extension(name, low, high), key=repr):
+            for flat in sorted(model.extension(name, low, high), key=typed_sort_key):
                 print("  %s" % (flat,), file=out)
     if args.verify and outcome == "ok":
         from repro.core.verify import verify_model
@@ -465,11 +466,37 @@ def _cmd_explain(args, out):
 
 def _cmd_query(args, out):
     edb = parse_database(_read(args.database))
+    if args.goal_directed and not args.program:
+        raise _UsageError("--goal-directed requires --program")
+    magic_info = None
     try:
         with _tracing(args):
-            answers = evaluate_query(
-                edb, args.formula, budget=_budget_from_args(args)
-            )
+            budget = _budget_from_args(args)
+            if args.program:
+                from repro.plan.magic import goal_from_formula
+
+                program = parse_program(_read(args.program))
+                engine = DeductiveEngine(program, edb, on_give_up="partial")
+                if args.goal_directed:
+                    window = tuple(args.window) if args.window else None
+                    goal, reason = goal_from_formula(
+                        args.formula,
+                        program.intensional_predicates(),
+                        window=window,
+                    )
+                    if goal is None:
+                        model = engine.run(budget=budget)
+                        model.stats.magic_degraded = {"reason": reason}
+                        magic_info = {"degraded": True, "reason": reason}
+                    else:
+                        model, magic_info = engine.run_goal_directed(
+                            goal, budget=budget
+                        )
+                else:
+                    model = engine.run(budget=budget)
+                answers = model.query(args.formula)
+            else:
+                answers = evaluate_query(edb, args.formula, budget=budget)
     except BudgetExceededError as err:
         if args.json:
             _emit_json(
@@ -488,6 +515,8 @@ def _cmd_query(args, out):
             "answers_over": header,
             "relation": str(answers.relation),
         }
+        if magic_info is not None:
+            report["magic"] = magic_info
         if not answers.temporal_vars and not answers.data_vars:
             report["truth_value"] = answers.is_true()
         if args.window:
@@ -496,18 +525,35 @@ def _cmd_query(args, out):
                 "low": low,
                 "high": high,
                 "tuples": sorted(
-                    [list(flat) for flat in answers.extension(low, high)], key=repr
+                    [list(flat) for flat in answers.extension(low, high)], key=typed_sort_key
                 ),
             }
         _emit_json(report, out)
         return EXIT_OK
     print("%% answers over: %s" % header, file=out)
+    if magic_info is not None:
+        if magic_info.get("degraded"):
+            print(
+                "%% goal-directed: degraded to full fixpoint (%s)"
+                % magic_info["reason"],
+                file=out,
+            )
+        else:
+            print(
+                "%% goal-directed: %s (dropped %d clauses, %d magic facts)"
+                % (
+                    magic_info["goal"],
+                    magic_info["dropped_clauses"],
+                    magic_info["magic_facts"],
+                ),
+                file=out,
+            )
     print(str(answers.relation), file=out)
     if not answers.temporal_vars and not answers.data_vars:
         print("%% truth value: %s" % answers.is_true(), file=out)
     if args.window:
         low, high = args.window
-        for flat in sorted(answers.extension(low, high), key=repr):
+        for flat in sorted(answers.extension(low, high), key=typed_sort_key):
             print("  %s" % (flat,), file=out)
     return EXIT_OK
 
@@ -962,7 +1008,7 @@ def _cmd_txn_apply(args, out):
             print("%s %s" % (name, model.relation(name).coalesce()), file=out)
             if window:
                 low, high = window
-                for flat in sorted(model.extension(name, low, high), key=repr):
+                for flat in sorted(model.extension(name, low, high), key=typed_sort_key):
                     print("  %s" % (flat,), file=out)
     return EXIT_OK
 
@@ -1025,6 +1071,8 @@ def _cmd_asof(args, out):
         )
     snapshot = store.snapshot(tx)
     window = tuple(args.window) if args.window else None
+    if args.goal_directed and not args.program:
+        raise _UsageError("--goal-directed requires --program")
     if not args.program:
         if args.json:
             _emit_json(
@@ -1042,12 +1090,26 @@ def _cmd_asof(args, out):
         print("%% EDB as of tx %d (head %d)" % (tx, store.head_tx), file=out)
         print(str(snapshot), file=out)
         return EXIT_OK
+    if args.goal_directed and not args.predicate:
+        raise _UsageError("--goal-directed requires --predicate")
     program = parse_program(_read(args.program))
     engine = DeductiveEngine(program, snapshot)
     outcome, code, model, error = "ok", EXIT_OK, None, None
+    magic_info = None
     with _tracing(args):
         try:
-            model = engine.run(budget=_budget_from_args(args))
+            if args.goal_directed:
+                from repro.plan.magic import QueryGoal
+
+                if window:
+                    goal = QueryGoal.windowed(args.predicate, window[0], window[1])
+                else:
+                    goal = QueryGoal.whole(args.predicate)
+                model, magic_info = engine.run_goal_directed(
+                    goal, budget=_budget_from_args(args)
+                )
+            else:
+                model = engine.run(budget=_budget_from_args(args))
         except GiveUpError as err:
             outcome, code, model, error = "gave-up", EXIT_PARTIAL, err.partial_model, err
         except BudgetExceededError as err:
@@ -1068,6 +1130,8 @@ def _cmd_asof(args, out):
             window=window,
         )
         report["tx"] = tx
+        if magic_info is not None:
+            report["magic"] = magic_info
         _emit_json(report, out)
         return code
     if error is not None:
@@ -1075,11 +1139,18 @@ def _cmd_asof(args, out):
     if model is None:
         return code
     print("%% model as of tx %d (head %d)" % (tx, store.head_tx), file=out)
-    for name in model.predicates():
+    if magic_info is not None and not magic_info.get("degraded"):
+        # A goal-directed model is only promised within the demanded
+        # region of the goal predicate; print just that.
+        print("%% goal-directed: %s" % magic_info["goal"], file=out)
+    predicates = model.predicates()
+    if magic_info is not None and not magic_info.get("degraded"):
+        predicates = [name for name in predicates if name == args.predicate]
+    for name in predicates:
         print("%s %s" % (name, model.relation(name).coalesce()), file=out)
         if window:
             low, high = window
-            for flat in sorted(model.extension(name, low, high), key=repr):
+            for flat in sorted(model.extension(name, low, high), key=typed_sort_key):
                 print("  %s" % (flat,), file=out)
     return code
 
@@ -1203,6 +1274,20 @@ def build_parser():
     query = commands.add_parser("query", help="evaluate an FO query")
     query.add_argument("database", help="generalized database file")
     query.add_argument("formula", help="first-order query text")
+    query.add_argument(
+        "--program",
+        metavar="FILE",
+        help="evaluate this deductive program first; the query then "
+        "ranges over its model (IDB + EDB)",
+    )
+    query.add_argument(
+        "--goal-directed",
+        action="store_true",
+        help="with --program: evaluate only the demand cone of the "
+        "query via the magic-set rewrite; answers are guaranteed "
+        "within the demanded window (falls back to the full fixpoint "
+        "when the rewrite cannot apply)",
+    )
     _add_deadline(query)
     _add_json(query)
     _add_window(query)
@@ -1331,6 +1416,18 @@ def build_parser():
         metavar="FILE",
         help="evaluate this deductive program over the as-of snapshot "
         "(default: print the snapshot EDB itself)",
+    )
+    asof.add_argument(
+        "--predicate",
+        metavar="NAME",
+        help="with --goal-directed: the goal predicate to demand",
+    )
+    asof.add_argument(
+        "--goal-directed",
+        action="store_true",
+        help="with --program and --predicate: evaluate only the goal's "
+        "demand cone via the magic-set rewrite, pushing --window into "
+        "the demand as a constraint zone",
     )
     _add_window(asof)
     _add_json(asof)

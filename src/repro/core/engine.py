@@ -89,6 +89,12 @@ class EvaluationStats:
     carries the reason (schema change, rederive budget, negation) and
     the batch's delta counts; again included in :meth:`to_dict` only
     when set.
+
+    ``magic_degraded`` is the goal-directed path's rung
+    (:mod:`repro.plan.magic`): ``None`` unless a query asked for the
+    magic rewrite and had to fall back to the full fixpoint, in which
+    case it carries the goal and the reason; included in
+    :meth:`to_dict` only when set.
     """
 
     strategy: str = "semi-naive"
@@ -108,6 +114,7 @@ class EvaluationStats:
     checkpoints_written: int = 0
     shard_degraded: Optional[dict] = None
     maintain_degraded: Optional[dict] = None
+    magic_degraded: Optional[dict] = None
 
     def total_new_tuples(self):
         """Tuples accepted into the model across all rounds."""
@@ -141,6 +148,8 @@ class EvaluationStats:
             payload["shard_degraded"] = dict(self.shard_degraded)
         if self.maintain_degraded is not None:
             payload["maintain_degraded"] = dict(self.maintain_degraded)
+        if self.magic_degraded is not None:
+            payload["magic_degraded"] = dict(self.magic_degraded)
         return payload
 
     def restore_progress(self, payload):
@@ -570,6 +579,38 @@ class DeductiveEngine:
                 stats=stats,
             )
         return model
+
+    def run_goal_directed(self, goal, budget=None, widen_delay=None):
+        """Evaluate goal-directedly for ``goal`` (a
+        :class:`~repro.plan.magic.QueryGoal`) via the magic-set rewrite,
+        falling back to the full fixpoint — with the degradation
+        recorded in ``stats.magic_degraded`` — when the rewrite cannot
+        apply.  Returns ``(model, info)``; see
+        :func:`~repro.plan.magic.goal_directed_model`.
+
+        The rewritten program always runs sequentially: demand
+        predicates are internal names the shard pool's program
+        round-trip does not guarantee to preserve, and goal-directed
+        runs are small by construction.
+        """
+        from repro.plan.magic import DEFAULT_WIDEN_DELAY, goal_directed_model
+
+        return goal_directed_model(
+            self.program,
+            self.edb,
+            goal,
+            evaluation=self.evaluator.evaluation,
+            strategy=self.strategy,
+            safety=self.safety,
+            max_rounds=self.max_rounds,
+            patience=self.patience,
+            on_give_up=self.on_give_up,
+            budget=budget,
+            coverage_cache=self.coverage_cache,
+            widen_delay=(
+                DEFAULT_WIDEN_DELAY if widen_delay is None else widen_delay
+            ),
+        )
 
     def maintain(self, relations, delta=None, budget=None):
         """Continue the fixpoint from a warm intensional state instead

@@ -67,6 +67,31 @@ def stratify(program):
     return stratum, clause_strata
 
 
+def reachable_predicates(program, roots):
+    """Every IDB predicate reachable from ``roots`` in the head→body
+    dependency graph (positive and negative edges alike), including
+    the roots themselves when they are IDB.
+
+    This is the demand cone of a goal-directed query: clauses whose
+    head predicate lies outside it can never contribute to the goal
+    and are dropped wholesale by the magic rewrite
+    (:mod:`repro.plan.magic`).
+    """
+    idb = program.intensional_predicates()
+    children = {}
+    for (head, body, _negative) in dependency_edges(program):
+        children.setdefault(head, set()).add(body)
+    reachable = set()
+    frontier = [root for root in roots if root in idb]
+    while frontier:
+        predicate = frontier.pop()
+        if predicate in reachable:
+            continue
+        reachable.add(predicate)
+        frontier.extend(children.get(predicate, ()))
+    return reachable
+
+
 def negated_predicates(clauses):
     """The predicates negated anywhere in the given clauses."""
     negated = set()

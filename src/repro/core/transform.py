@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.core.ast import (
     Clause,
     ConstraintAtom,
+    NegatedAtom,
     PredicateAtom,
     TemporalTerm,
 )
@@ -195,3 +196,27 @@ def normalize_clause(clause):
 def normalize_program(program):
     """Normalize every clause of a program."""
     return [normalize_clause(clause) for clause in program.clauses]
+
+
+def denormalize(normalized):
+    """Rebuild an AST :class:`Clause` from a :class:`NormalizedClause`.
+
+    Normalized clauses are already legal surface clauses — distinct
+    bare temporal variables with the arithmetic in constraint atoms —
+    so the reconstruction is a direct re-assembly.  This is how the
+    magic-set rewrite (:mod:`repro.plan.magic`) turns its transformed
+    normalized clauses back into a :class:`~repro.core.ast.Program`
+    that the ordinary validate/stratify/compile pipeline accepts.
+    Round-tripping through :func:`normalize_clause` is stable: a
+    denormalized clause normalizes to an equivalent clause (the body
+    is already in normal form).
+    """
+    head = PredicateAtom(
+        normalized.head_predicate,
+        tuple(TemporalTerm(name) for name in normalized.head_vars),
+        normalized.head_data,
+    )
+    body = list(normalized.body_atoms)
+    body += [NegatedAtom(atom) for atom in normalized.negated_atoms]
+    body += list(normalized.constraints)
+    return Clause(head, tuple(body))

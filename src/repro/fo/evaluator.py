@@ -45,6 +45,7 @@ from repro.lrp.point import Lrp
 from repro.plan.joiner import NamedRelation, join_all
 from repro.util import hooks
 from repro.util.errors import BudgetExceededError, EvaluationError
+from repro.util.sorting import typed_sort_key
 
 
 @dataclass
@@ -74,7 +75,7 @@ class Answers:
         [{'t': 0, 'W': 'a'}, {'t': 4, 'W': 'a'}]
         """
         names = list(self.temporal_vars) + list(self.data_vars)
-        flats = sorted(self.relation.extension(low, high), key=repr)
+        flats = sorted(self.relation.extension(low, high), key=typed_sort_key)
         return [dict(zip(names, flat)) for flat in flats]
 
 

@@ -33,6 +33,14 @@ from repro.plan.operators import CarrierStep, JoinStep, PlanVariant, Projection
 from repro.util.errors import SchemaError
 from repro.util.hooks import fault_point
 
+#: Name prefix of the demand (magic) predicates the goal-directed
+#: rewrite introduces (:mod:`repro.plan.magic`).  The join-order
+#: scorer treats atoms over these predicates as the most selective
+#: source available: a demand relation holds one zone per demanded
+#: binding, so seeding the pipeline with it restricts every later join
+#: to the demanded region.
+DEMAND_PREFIX = "_m__"
+
 
 def _lower_constraint(constraint, position_of, aliases=None):
     """Convert an AST constraint atom to a column-indexed Comparison.
@@ -236,7 +244,8 @@ def compile_variant(normalized, seed_position=None):
                 seen_local.add(term.name)
                 if term.name in first_data:
                     shared += 1
-        return (gain, shared, restrictions, -position)
+        demand = 1 if atom.predicate.startswith(DEMAND_PREFIX) else 0
+        return (demand, gain, shared, restrictions, -position)
 
     settle(None)  # constant-only and pure-carrier constraints
 

@@ -8,6 +8,8 @@ and batch consumers parse this instead of scraping the human output.
 
 from __future__ import annotations
 
+from repro.util.sorting import typed_sort_key
+
 OUTCOME_OK = "ok"
 OUTCOME_GAVE_UP = "gave-up"
 OUTCOME_BUDGET_EXCEEDED = "budget-exceeded"
@@ -33,7 +35,7 @@ def model_summary(model, window=None):
                 "high": high,
                 "tuples": sorted(
                     [list(flat) for flat in model.extension(name, low, high)],
-                    key=repr,
+                    key=typed_sort_key,
                 ),
             }
         predicates[name] = entry

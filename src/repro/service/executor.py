@@ -30,7 +30,8 @@ from repro.fo import evaluate_query
 from repro.gdb import parse_database
 from repro.runtime.budget import EvaluationBudget
 from repro.templog import parse_templog, templog_minimal_model
-from repro.util.errors import BudgetExceededError, CheckpointError
+from repro.util.errors import BudgetExceededError, CheckpointError, SchemaError
+from repro.util.sorting import typed_sort_key
 
 #: Backend labels reported per job kind.
 BACKEND_COMPILED = "compiled"
@@ -61,6 +62,11 @@ class AttemptOutcome:
     resumed: bool = False
     window: Optional[dict] = None
     shard_degraded: bool = False
+    #: True when a goal-directed query attempt fell back to the full
+    #: fixpoint (the "magic → full" rung): the result is still exact,
+    #: so the attempt completes and the pool annotates the job's
+    #: degradation ladder instead of burning a retry.
+    magic_degraded: bool = False
 
 
 class JobExecutor:
@@ -165,10 +171,51 @@ class JobExecutor:
 
     def _run_query(self, spec, budget):
         db = parse_database(spec.edb)
-        try:
-            answers = evaluate_query(db, spec.query, budget=budget)
-        except BudgetExceededError as error:
-            return self._budget_outcome(spec, BACKEND_FO, error)
+        outcome = "ok"
+        stats = None
+        backend = BACKEND_FO
+        magic_degraded = False
+        if spec.program:
+            from repro.plan.magic import goal_from_formula
+
+            program = parse_program(spec.program)
+            engine = DeductiveEngine(
+                program,
+                db,
+                strategy=spec.strategy,
+                patience=spec.patience,
+                on_give_up="partial",
+            )
+            backend = BACKEND_COMPILED
+            try:
+                if spec.goal_directed:
+                    goal, reason = goal_from_formula(
+                        spec.query,
+                        program.intensional_predicates(),
+                        window=spec.window,
+                    )
+                    if goal is None:
+                        model = engine.run(budget=budget)
+                        model.stats.magic_degraded = {"reason": reason}
+                        magic_degraded = True
+                    else:
+                        model, info = engine.run_goal_directed(
+                            goal, budget=budget
+                        )
+                        magic_degraded = bool(info.get("degraded"))
+                else:
+                    model = engine.run(budget=budget)
+            except BudgetExceededError as error:
+                return self._budget_outcome(spec, backend, error)
+            if model.stats.gave_up:
+                outcome = "gave-up"
+            stats = model.stats.to_dict()
+            answers = model.query(spec.query)
+        else:
+            try:
+                answers = evaluate_query(db, spec.query, budget=budget)
+            except BudgetExceededError as error:
+                return self._budget_outcome(spec, BACKEND_FO, error)
         window = None
         if spec.window is not None:
             low, high = spec.window
@@ -176,15 +223,18 @@ class JobExecutor:
                 "low": low,
                 "high": high,
                 "tuples": sorted(
-                    [list(flat) for flat in answers.extension(low, high)], key=repr
+                    [list(flat) for flat in answers.extension(low, high)],
+                    key=typed_sort_key,
                 ),
             }
         return AttemptOutcome(
-            outcome="ok",
-            backend=BACKEND_FO,
+            outcome=outcome,
+            backend=backend,
             model=answers,
             model_text=str(answers.relation),
+            stats=stats,
             window=window,
+            magic_degraded=magic_degraded,
         )
 
     def _run_maintain(self, spec, backend, budget):
@@ -261,8 +311,14 @@ class JobExecutor:
             for name in model.predicates():
                 window["predicates"][name] = sorted(
                     [list(flat) for flat in model.extension(name, low, high)],
-                    key=repr,
+                    key=typed_sort_key,
                 )
-        except Exception:
+        except (SchemaError, AttributeError, KeyError, TypeError):
+            # Windowing is a best-effort decoration of the outcome: a
+            # partial model missing a predicate or carrying an
+            # unexpected shape must not fail the attempt.  Anything
+            # else — WalCorruptError, injected faults — propagates so
+            # the pool's classifier (and the chaos tests watching it)
+            # sees the typed error with its cause chain intact.
             return None
         return window

@@ -66,6 +66,13 @@ class JobSpec:
     strategy: str = "semi-naive"
     window: Optional[Tuple[int, int]] = None
     parallelism: Optional[int] = None
+    #: ``query`` jobs with an inline ``program``: evaluate only the
+    #: query's demand cone via the magic-set rewrite
+    #: (:mod:`repro.plan.magic`), the binding pattern taken from the
+    #: formula's constants and ``window``.  Falls back to the full
+    #: fixpoint (degradation rung ``"magic-full"``) when the rewrite
+    #: cannot apply.
+    goal_directed: bool = False
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -111,6 +118,7 @@ class JobSpec:
             strategy=payload.get("strategy", "semi-naive"),
             window=None if window is None else (int(window[0]), int(window[1])),
             parallelism=payload.get("parallelism"),
+            goal_directed=bool(payload.get("goal_directed", False)),
         )
 
 

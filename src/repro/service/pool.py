@@ -516,6 +516,7 @@ class QueryService:
                     "degraded_backend",
                     "degraded_partial",
                     "degraded_shard",
+                    "degraded_magic",
                     "shed",
                     "breaker_rejections",
                 )
@@ -811,6 +812,13 @@ class QueryService:
             if "shard-sequential" not in job.degradation:
                 job.degradation.append("shard-sequential")
             self._count("degraded_shard")
+        if getattr(outcome, "magic_degraded", False):
+            # A goal-directed query fell back to the full fixpoint —
+            # exact (indeed larger) result, so the state is untouched;
+            # only the ladder records the "magic → full" rung.
+            if "magic-full" not in job.degradation:
+                job.degradation.append("magic-full")
+            self._count("degraded_magic")
         if outcome.outcome == "ok":
             state = STATE_OK
         else:

@@ -1,0 +1,39 @@
+"""Typed sort keys for mixed-type output rows.
+
+Window extensions and model rows mix numeric temporal columns with
+arbitrary data constants (strings, ints, tuples).  Sorting them with
+``key=repr`` orders ``(10, ...)`` before ``(2, ...)`` — lexicographic
+on the digits — and flips order between value types, which makes
+``--json`` output unstable.  :func:`typed_sort_key` sorts numbers
+numerically, strings lexicographically, and everything else by a
+stable ``(type name, repr)`` fallback, with a rank prefix so distinct
+types never compare against each other directly.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+
+def _element_key(value):
+    if isinstance(value, bool):
+        # bools are ints, but keep them out of the numeric ordering so
+        # True/False don't interleave with temporal values.
+        return (2, "bool", repr(value))
+    if isinstance(value, numbers.Real):
+        return (0, value)
+    if isinstance(value, str):
+        return (1, value)
+    if isinstance(value, (tuple, list)):
+        return (3, tuple(_element_key(item) for item in value))
+    return (2, type(value).__name__, repr(value))
+
+
+def typed_sort_key(row):
+    """Sort key for one flat output row (a sequence of scalars).
+
+    Numeric columns compare numerically (so ``(2,)`` precedes
+    ``(10,)``), strings compare as strings, and mixed types fall into
+    disjoint rank buckets instead of raising ``TypeError``.
+    """
+    return tuple(_element_key(value) for value in row)

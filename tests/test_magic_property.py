@@ -1,0 +1,312 @@
+"""Goal-directed (magic-set) evaluation: equivalence and unit tests.
+
+The core contract: within the demanded window, goal-directed answers
+are exactly the full fixpoint's.  Hypothesis generates recursive chain
+programs with random shifts and random point/window goals and checks
+the extensions match; unit tests pin the adornment meet, the demand
+zones seeded into magic facts, the negation cone, the fallback
+degradations, and the CLI's typed (numeric-before-lexicographic) sort
+of windowed answers.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core import DeductiveEngine, parse_program
+from repro.gdb import parse_database
+from repro.plan.magic import (
+    MagicUnsupportedError,
+    QueryGoal,
+    goal_directed_model,
+    goal_from_formula,
+    magic_predicate,
+    rewrite_for_goal,
+)
+
+
+@st.composite
+def chain_case(draw):
+    """2-3 independent recursive chains plus a cross-chain join, and a
+    random goal (point or window) on one of the derived predicates."""
+    chains = draw(st.integers(2, 3))
+    edb_parts = []
+    program_parts = []
+    for chain in range(chains):
+        period = draw(st.integers(4, 12))
+        offset = draw(st.integers(0, period - 1))
+        shift = draw(st.integers(1, 6))
+        edb_parts.append(
+            'relation s%d[1; 1] { (%dn+%d; "d%d") where T1 >= 0; }'
+            % (chain, period, offset, chain)
+        )
+        program_parts.append("p%d(t; X) <- s%d(t; X)." % (chain, chain))
+        program_parts.append(
+            "p%d(t + %d; X) <- p%d(t; X)." % (chain, shift, chain)
+        )
+    program_parts.append("join0(t; X, Y) <- p0(t; X), p1(t; Y).")
+    predicate = draw(
+        st.sampled_from(["p%d" % c for c in range(chains)] + ["join0"])
+    )
+    low = draw(st.integers(0, 40))
+    width = draw(st.integers(1, 25))
+    return (
+        "\n".join(edb_parts),
+        "\n".join(program_parts),
+        predicate,
+        low,
+        low + width,
+    )
+
+
+@given(chain_case())
+@settings(max_examples=20, deadline=None)
+def test_goal_directed_equals_full_within_window(case):
+    edb_text, program_text, predicate, low, high = case
+    edb = parse_database(edb_text)
+    program = parse_program(program_text)
+    full = DeductiveEngine(program, edb, on_give_up="partial").run()
+    assert full.stats.constraint_safe
+
+    goal = QueryGoal.windowed(predicate, low, high)
+    model, info = goal_directed_model(program, edb, goal, on_give_up="partial")
+    assert not info["degraded"], info
+    assert set(model.extension(predicate, low, high)) == set(
+        full.extension(predicate, low, high)
+    )
+    # Goal direction must never do *more* work than full fixpoint.
+    assert model.stats.total_new_tuples() <= full.stats.total_new_tuples()
+
+
+EDB = parse_database(
+    """
+relation seed[1; 1] {
+  (24n+0; "a") where T1 >= 0;
+  (24n+3; "b") where T1 >= 0;
+}
+"""
+)
+
+PROGRAM = parse_program(
+    """
+p(t; X) <- seed(t; X).
+p(t + 6; X) <- p(t; X).
+q(t; X) <- p(t; X).
+r(t; X) <- q(t + 1; X).
+"""
+)
+
+
+def test_reachability_drops_unrelated_clauses():
+    rewrite = rewrite_for_goal(PROGRAM, QueryGoal.point("q", 12))
+    assert rewrite.reachable == {"p", "q"}
+    assert rewrite.dropped_clauses == 1  # the r clause
+    heads = {clause.head.predicate for clause in rewrite.program.clauses}
+    assert "r" not in heads
+
+
+def test_magic_facts_carry_demand_zone_as_dbm():
+    rewrite = rewrite_for_goal(PROGRAM, QueryGoal.point("q", 12))
+    [gt] = rewrite.magic_relations[magic_predicate("q")].tuples
+    assert gt.constraints.satisfied_by((12,))
+    assert not gt.constraints.satisfied_by((13,))
+    # p's demand is widened below the goal instant (the +6 shift walks
+    # the demand downward), never above it.
+    [gt_p] = rewrite.magic_relations[magic_predicate("p")].tuples
+    assert gt_p.constraints.satisfied_by((6,))
+    assert gt_p.constraints.satisfied_by((0,))
+    assert not gt_p.constraints.satisfied_by((18,))
+    assert rewrite.widenings >= 1
+
+
+def test_adornment_meets_over_all_occurrences():
+    program = parse_program(
+        """
+reach(t; X, Y) <- edge(t; X, Y).
+reach(t; X, Z) <- reach(t; X, Y), edge(t; Y, Z).
+"""
+    )
+    goal = QueryGoal.windowed("reach", 0, 5, {0: "a"})
+    rewrite = rewrite_for_goal(program, goal)
+    # Column 0 stays bound through the recursion (X flows head->body);
+    # column 1 is unresolvable in the recursive occurrence, so the
+    # meet drops it.
+    assert rewrite.bound_columns["reach"] == (0,)
+    [gt] = rewrite.magic_relations[magic_predicate("reach")].tuples
+    assert gt.data == ("a",)
+
+
+def test_adornment_drops_column_not_passed_sideways():
+    program = parse_program(
+        """
+out(t; Y) <- pair(t; X, Y).
+pair(t; X, Y) <- left(t; X), right(t; Y).
+"""
+    )
+    goal = QueryGoal.whole("out")
+    rewrite = rewrite_for_goal(program, goal)
+    # out's head data var Y is unbound in the goal, so nothing is
+    # resolvable at pair's occurrence: no bound data columns at all.
+    assert rewrite.bound_columns["pair"] == ()
+
+
+def test_negation_cone_stays_unguarded():
+    program = parse_program(
+        """
+busy(t; X) <- edge(t; X, Y).
+free(t; X) <- node(t; X), not busy(t; X).
+"""
+    )
+    rewrite = rewrite_for_goal(program, QueryGoal.point("free", 3))
+    assert rewrite.restricted == {"free"}
+    assert rewrite.unrestricted == {"busy"}
+    for clause in rewrite.program.clauses:
+        body_predicates = [a.predicate for a in clause.predicate_atoms()]
+        if clause.head.predicate == "busy":
+            assert magic_predicate("busy") not in body_predicates
+        if clause.head.predicate == "free":
+            assert body_predicates[0] == magic_predicate("free")
+
+
+def test_negation_results_match_full_fixpoint():
+    program = parse_program(
+        """
+busy(t; X) <- edge(t; X, Y).
+free(t; X) <- node(t; X), not busy(t; X).
+"""
+    )
+    edb = parse_database(
+        """
+relation edge[1; 2] { (24n+0; "a", "b") where T1 >= 0; }
+relation node[1; 1] {
+  (n; "a") where T1 >= 0 & T1 <= 100;
+  (n; "z") where T1 >= 0 & T1 <= 100;
+}
+"""
+    )
+    full = DeductiveEngine(program, edb, on_give_up="partial").run()
+    model, info = goal_directed_model(
+        program, edb, QueryGoal.windowed("free", 0, 10), on_give_up="partial"
+    )
+    assert not info["degraded"]
+    assert set(model.extension("free", 0, 10)) == set(
+        full.extension("free", 0, 10)
+    )
+
+
+def test_unknown_goal_predicate_degrades_to_full():
+    with pytest.raises(MagicUnsupportedError):
+        rewrite_for_goal(PROGRAM, QueryGoal.point("nosuch", 0))
+    model, info = goal_directed_model(
+        PROGRAM, EDB, QueryGoal.point("nosuch", 0), on_give_up="partial"
+    )
+    assert info["degraded"]
+    assert model.stats.magic_degraded is not None
+    assert "magic_degraded" in model.stats.to_dict()
+    # The fallback is the full fixpoint: every predicate is complete.
+    full = DeductiveEngine(PROGRAM, EDB, on_give_up="partial").run()
+    assert model.equivalent(full)
+
+
+def test_demand_prefix_collision_degrades():
+    program = parse_program("_m__p(t) <- seed2(t). p(t) <- _m__p(t).")
+    with pytest.raises(MagicUnsupportedError):
+        rewrite_for_goal(program, QueryGoal.point("p", 0))
+
+
+def test_goal_from_formula_single_atom():
+    idb = {"q", "p"}
+    goal, reason = goal_from_formula('q(t; X)', idb, window=(5, 9))
+    assert reason is None
+    assert goal == QueryGoal.windowed("q", 5, 9)
+    goal, reason = goal_from_formula('q(12; "a")', idb)
+    assert reason is None
+    assert goal.predicate == "q"
+    assert (goal.low, goal.high) == (12, 13)
+    assert goal.data == ((0, "a"),)
+
+
+def test_goal_from_formula_rejections():
+    idb = {"q", "p"}
+    goal, reason = goal_from_formula("q(t; X) and p(t; X)", idb)
+    assert goal is None and "2 intensional" in reason
+    goal, reason = goal_from_formula("not q(t; X)", idb)
+    assert goal is None and "negation" in reason
+    goal, reason = goal_from_formula("seed(t; X)", idb)
+    assert goal is None and "no intensional" in reason
+    # EDB atoms alongside the one IDB atom are fine.
+    goal, reason = goal_from_formula("exists u (q(t; X) and seed(u; X))", idb)
+    assert reason is None and goal.predicate == "q"
+
+
+def test_cli_window_sorts_numerically(tmp_path):
+    """t=2 rows print before t=10: the typed sort key orders numbers
+    numerically where the old ``repr`` sort put "(10" before "(2"."""
+    edb = tmp_path / "edb.gdb"
+    edb.write_text(
+        """
+relation s[1; 1] {
+  (24n+2; "x") where T1 >= 0;
+  (24n+10; "x") where T1 >= 0;
+}
+"""
+    )
+    out = io.StringIO()
+    code = main(
+        ["query", str(edb), "s(t; X)", "--window", "0", "24", "--json"],
+        out=out,
+    )
+    assert code == 0
+    tuples = json.loads(out.getvalue())["window"]["tuples"]
+    assert tuples == [[2, "x"], [10, "x"]]
+
+
+def test_cli_goal_directed_matches_full(tmp_path):
+    edb = tmp_path / "edb.gdb"
+    edb.write_text(
+        """
+relation seed[1; 1] {
+  (24n+0; "a") where T1 >= 0;
+  (24n+3; "b") where T1 >= 0;
+}
+"""
+    )
+    prog = tmp_path / "prog.dtl"
+    prog.write_text(
+        """
+p(t; X) <- seed(t; X).
+p(t + 6; X) <- p(t; X).
+q(t; X) <- p(t; X).
+r(t; X) <- q(t + 1; X).
+"""
+    )
+    reports = {}
+    for label, extra in (("full", []), ("goal", ["--goal-directed"])):
+        out = io.StringIO()
+        code = main(
+            [
+                "query",
+                str(edb),
+                "q(t; X)",
+                "--program",
+                str(prog),
+                "--window",
+                "10",
+                "14",
+                "--json",
+            ]
+            + extra,
+            out=out,
+        )
+        assert code == 0
+        reports[label] = json.loads(out.getvalue())
+    assert (
+        reports["goal"]["window"]["tuples"]
+        == reports["full"]["window"]["tuples"]
+    )
+    assert not reports["goal"]["magic"]["degraded"]
+    assert reports["goal"]["magic"]["dropped_clauses"] == 1

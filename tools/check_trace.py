@@ -35,6 +35,14 @@ REQUIRED_FIELDS = {
     "edb.txn": ("root", "tx", "asserted", "retracted", "wal_bytes"),
     "edb.recover": ("root", "checkpoint_tx", "replayed_txns", "truncated_bytes", "head_tx"),
     "maintain.delta": ("tx", "inserted", "retracted", "rounds", "recomputed"),
+    "magic.rewrite": (
+        "goal",
+        "reachable",
+        "restricted",
+        "demand_rules",
+        "dropped_clauses",
+    ),
+    "magic.seed": ("predicate", "magic", "zone", "data"),
 }
 
 #: extra fields required on specific phases.
