@@ -15,11 +15,23 @@ to ``BENCH_parallel.json``::
                                                      # cache regression
 
 Sharded rounds split one round's clause-variant firings across
-processes, so wall-clock speedup needs real cores: the payload records
-the host's usable CPU count, and ``--check`` asserts the >= 1.5x
-speedup at ``--parallel 4`` only when at least 4 cores are usable
-(single-core hosts measure IPC overhead, not speedup; equivalence and
-cache assertions always run).
+persistent worker processes; bulk payloads (the stratum broadcast,
+round results, accepted-delta references) travel through shared-memory
+segments while the pipes carry control frames only.  The payload
+records both transports' wire bytes (``wire_protocol``) from the same
+workload run twice — ``REPRO_SHARD_TRANSPORT=pipe`` is the legacy
+inline baseline — and ``--check`` asserts the >= 3x pipe-byte
+reduction of the shm protocol unconditionally.
+
+Wall-clock gates are core-count aware: ``--check`` asserts >= 1.5x
+speedup at ``--parallel 4`` with at least 4 usable cores, > 1x at
+``--parallel 2`` with at least 2, and on a single core — where
+parallelism can only measure dispatch overhead, never speedup — that
+``--parallel 2`` stays under the recorded overhead ceiling.  Under
+``--quick`` the wire and wall gates are skipped: at smoke sizes the
+one-time pool bootstrap dominates both ledgers, so the ratios say
+nothing about the protocol (equivalence, fingerprint, and cache gates
+still run).
 """
 
 from __future__ import annotations
@@ -40,6 +52,20 @@ from workloads import example_41, multi_chain_workload, shift_cycle_workload
 REPS = 3
 PARALLELISMS = (2, 4)
 SPEEDUP_TARGET = 1.5
+#: Minimum pipe-byte reduction of the shm protocol over the inline
+#: pipe baseline (control frames only vs full payloads on the pipes).
+WIRE_RATIO_TARGET = 3.0
+#: Single-core ceiling: parallel 2 may cost at most this much of the
+#: sequential wall time (dispatch overhead, not speedup, is measurable
+#: there).  Block task assignment plus worker-side gc isolation brought
+#: the measured overhead from ~1.8x to ~1.4x; the ceiling ratchets at
+#: 1.6 to stay noise-safe.  The aspirational bar is 1.15x — the rest of
+#: the gap is per-replica join/canonicalization work that the kernel
+#: vectorization item on the roadmap attacks, and ``--parallel auto``
+#: already sidesteps it entirely by staying sequential on one core.
+OVERHEAD_CEILING = 1.6
+#: Recorded alongside the measured overhead in the payload.
+OVERHEAD_TARGET = 1.15
 
 #: The faulted-recovery scenario: SIGKILL one shard worker at the
 #: FAULT_AT-th dispatch (worker 2 of round 2 at parallelism 2) and
@@ -56,23 +82,31 @@ def _usable_cpus():
         return os.cpu_count() or 1
 
 
-def _best_run(make_engine):
-    """Best-of-REPS wall time (ms), the last model, the fingerprint."""
-    best = float("inf")
-    model = None
-    fingerprint = None
+def _best_runs(factories):
+    """Best-of-REPS wall times for several engine factories at once.
+
+    Reps are *interleaved* across the factories (rep 1 of every mode,
+    then rep 2, ...) so a noisy neighbour on a shared host skews every
+    mode's samples the same way instead of landing entirely on one
+    mode — the wall-time ratios between modes are what the gates
+    assert on.  Returns ``{key: (best_ms, model, fingerprint)}``.
+    """
+    best = {key: (float("inf"), None, None) for key, _ in factories}
     for _ in range(REPS):
-        engine = make_engine()
-        start = time.perf_counter()
-        model = engine.run()
-        best = min(best, (time.perf_counter() - start) * 1000)
-        fingerprint = engine.fingerprint()
-    return best, model, fingerprint
+        for key, make_engine in factories:
+            engine = make_engine()
+            start = time.perf_counter()
+            model = engine.run()
+            wall = (time.perf_counter() - start) * 1000
+            if wall < best[key][0]:
+                best[key] = (wall, model, engine.fingerprint())
+            elif best[key][1] is None:
+                best[key] = (best[key][0], model, engine.fingerprint())
+    return best
 
 
-def _entry(make_engine):
-    wall_ms, model, fingerprint = _best_run(make_engine)
-    return model, {
+def _entry(wall_ms, model, fingerprint):
+    return {
         "wall_ms": round(wall_ms, 3),
         "rounds": model.stats.rounds,
         "accepted_tuples": model.stats.total_new_tuples(),
@@ -99,16 +133,26 @@ def _scaling(name, program, edb, strategy="semi-naive"):
     """Sequential vs every parallelism level, with equivalence and
     fingerprint cross-checks.  Returns the sequential model (for
     further cross-checks) alongside the results table."""
-    results = {}
-    sequential, results["sequential"] = _entry(
-        lambda: DeductiveEngine(program, edb, strategy=strategy)
-    )
+    factories = [
+        ("sequential", lambda: DeductiveEngine(program, edb, strategy=strategy))
+    ]
     for parallelism in PARALLELISMS:
-        model, entry = _entry(
-            lambda: DeductiveEngine(
-                program, edb, strategy=strategy, parallelism=parallelism
+        factories.append(
+            (
+                "parallel_%d" % parallelism,
+                lambda parallelism=parallelism: DeductiveEngine(
+                    program, edb, strategy=strategy, parallelism=parallelism
+                ),
             )
         )
+    best = _best_runs(factories)
+    results = {}
+    wall_ms, sequential, fingerprint = best["sequential"]
+    results["sequential"] = _entry(wall_ms, sequential, fingerprint)
+    for parallelism in PARALLELISMS:
+        key = "parallel_%d" % parallelism
+        wall_ms, model, fingerprint = best[key]
+        entry = _entry(wall_ms, model, fingerprint)
         _assert_equivalent("%s@%d" % (name, parallelism), sequential, model)
         assert entry["fingerprint"] == results["sequential"]["fingerprint"], (
             "%s: parallelism=%d changed the engine fingerprint"
@@ -117,8 +161,42 @@ def _scaling(name, program, edb, strategy="semi-naive"):
         entry["speedup"] = round(
             results["sequential"]["wall_ms"] / entry["wall_ms"], 2
         )
-        results["parallel_%d" % parallelism] = entry
+        results[key] = entry
     return sequential, results
+
+
+def _wire_protocol(name, program, edb, sequential):
+    """The same workload over both shard transports, with the wire-byte
+    ledger each pool kept.  The pipe transport is the legacy inline
+    protocol (every payload pickled onto the pipes, every round); the
+    shm transport ships control frames on the pipes and everything bulky
+    through shared-memory segments.  Both must reproduce the sequential
+    model; the ratio of pipe bytes is the headline number."""
+    results = {}
+    for transport in ("pipe", "shm"):
+        os.environ["REPRO_SHARD_TRANSPORT"] = transport
+        try:
+            engine = DeductiveEngine(
+                program, edb, strategy="semi-naive", parallelism=2
+            )
+            start = time.perf_counter()
+            model = engine.run()
+            wall_ms = (time.perf_counter() - start) * 1000
+        finally:
+            os.environ.pop("REPRO_SHARD_TRANSPORT", None)
+        _assert_equivalent("%s@%s" % (name, transport), sequential, model)
+        wire = dict(engine.evaluator.shard_wire_stats)
+        total = wire["pipe_bytes"] + wire["shm_bytes"]
+        wire["wall_ms"] = round(wall_ms, 3)
+        wire["bytes_per_dispatch"] = round(
+            total / max(1, wire["dispatches"]), 1
+        )
+        results[transport] = wire
+    ratio = results["pipe"]["pipe_bytes"] / max(
+        1, results["shm"]["pipe_bytes"]
+    )
+    results["pipe_bytes_ratio"] = round(ratio, 2)
+    return results
 
 
 def _faulted_recovery(name, program, edb, sequential, scaling):
@@ -233,6 +311,8 @@ def run(quick=False):
         "quick": quick,
         "cpus": _usable_cpus(),
         "parallelisms": list(PARALLELISMS),
+        "single_core_overhead_ceiling": OVERHEAD_CEILING,
+        "single_core_overhead_target": OVERHEAD_TARGET,
     }
     program, edb = multi_chain_workload(
         chains=chains, period=period, shift=2, data_per_chain=data_per_chain
@@ -240,6 +320,9 @@ def run(quick=False):
     sequential, scaling = _scaling("e14-multi-chain", program, edb)
     payload["e14_multi_chain"] = dict(
         {"chains": chains, "classes": period // 2}, **scaling
+    )
+    payload["wire_protocol"] = _wire_protocol(
+        "e14-wire", program, edb, sequential
     )
     payload["faulted_recovery"] = _faulted_recovery(
         "e14-faulted", program, edb, sequential, scaling
@@ -300,6 +383,22 @@ def _print_summary(payload):
                 entry["rounds"],
             )
         )
+    wire = payload.get("wire_protocol")
+    if wire is not None:
+        print(
+            "Wire protocol — pipe %d B on pipes vs shm %d B on pipes "
+            "+ %d B in %d segment(s): %.2fx fewer pipe bytes, "
+            "%.1f B/dispatch (shm) vs %.1f B/dispatch (pipe)"
+            % (
+                wire["pipe"]["pipe_bytes"],
+                wire["shm"]["pipe_bytes"],
+                wire["shm"]["shm_bytes"],
+                wire["shm"]["segments"],
+                wire["pipe_bytes_ratio"],
+                wire["shm"]["bytes_per_dispatch"],
+                wire["pipe"]["bytes_per_dispatch"],
+            )
+        )
     faulted = payload.get("faulted_recovery")
     if faulted is not None:
         print(
@@ -349,22 +448,57 @@ def main(argv=None):
     _print_summary(payload)
     if args.check:
         # run() already asserted equivalence, fingerprints, and the
-        # cache reduction; what remains is the core-gated speedup bar.
-        best = payload["e14_multi_chain"]["parallel_4"]["speedup"]
-        if payload["cpus"] >= 4:
-            if best < SPEEDUP_TARGET:
-                print(
-                    "FAIL: parallel 4 speedup %.2fx below %.1fx on %d cpus"
-                    % (best, SPEEDUP_TARGET, payload["cpus"]),
-                    file=sys.stderr,
-                )
-                return 1
-            print("check ok: parallel 4 speedup %.2fx" % best)
-        else:
+        # cache reduction; what remains is the wire-byte bar and the
+        # core-count-gated wall-clock bars.  Both are meaningless at
+        # --quick sizes, where the one-time pool bootstrap dominates
+        # every ledger.
+        if args.quick:
             print(
-                "check ok: equivalence and cache verified; speedup bar "
-                "skipped (%d usable cpu(s), need 4)" % payload["cpus"]
+                "check ok (quick): equivalence, fingerprint, and cache "
+                "gates hold; wire/wall bars need full sizes"
             )
+            return 0
+        failures = []
+        cpus = payload["cpus"]
+        scaling = payload["e14_multi_chain"]
+        ratio = payload["wire_protocol"]["pipe_bytes_ratio"]
+        if ratio < WIRE_RATIO_TARGET:
+            failures.append(
+                "shm transport cut pipe bytes only %.2fx (need %.1fx)"
+                % (ratio, WIRE_RATIO_TARGET)
+            )
+        if cpus >= 4:
+            best = scaling["parallel_4"]["speedup"]
+            if best < SPEEDUP_TARGET:
+                failures.append(
+                    "parallel 4 speedup %.2fx below %.1fx on %d cpus"
+                    % (best, SPEEDUP_TARGET, cpus)
+                )
+        if cpus >= 2:
+            speedup = scaling["parallel_2"]["speedup"]
+            if speedup <= 1.0:
+                failures.append(
+                    "parallel 2 speedup %.2fx is no win on %d cpus"
+                    % (speedup, cpus)
+                )
+        else:
+            overhead = (
+                scaling["parallel_2"]["wall_ms"]
+                / scaling["sequential"]["wall_ms"]
+            )
+            if overhead > OVERHEAD_CEILING:
+                failures.append(
+                    "parallel 2 costs %.2fx sequential on one cpu "
+                    "(ceiling %.2fx)" % (overhead, OVERHEAD_CEILING)
+                )
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            "check ok: wire ratio %.2fx; wall-clock bars for %d usable "
+            "cpu(s) hold" % (ratio, cpus)
+        )
     return 0
 
 

@@ -106,6 +106,19 @@ def _parallel_lines(payload):
             scaling["parallel_4"]["speedup"],
         )
     ]
+    wire = payload.get("wire_protocol")
+    if wire is not None:
+        lines.append(
+            "- Shared-memory delta plane: **%.2fx** fewer pipe bytes than "
+            "the inline pipe protocol (%.1f B/dispatch vs %.1f B/dispatch; "
+            "bulk payloads ride %d shm segments)."
+            % (
+                wire["pipe_bytes_ratio"],
+                wire["shm"]["bytes_per_dispatch"],
+                wire["pipe"]["bytes_per_dispatch"],
+                wire["shm"]["segments"],
+            )
+        )
     faulted = payload.get("faulted_recovery")
     if faulted is not None:
         lines.append(

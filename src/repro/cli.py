@@ -125,6 +125,18 @@ class _UsageError(Exception):
     """A user-input problem reported as one line with exit code 2."""
 
 
+def _parallel_arg(value):
+    """``--parallel`` accepts a positive process count or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a process count or 'auto', got %r" % value
+        ) from None
+
+
 def _read(path):
     try:
         with open(path) as handle:
@@ -248,8 +260,8 @@ def _emit_json_line(report, out):
 def _cmd_run(args, out):
     program = parse_program(_read(args.program))
     edb = parse_database(_read(args.edb))
-    if args.parallel < 1:
-        raise _UsageError("--parallel must be a positive process count")
+    if args.parallel != "auto" and args.parallel < 1:
+        raise _UsageError("--parallel must be a positive process count or 'auto'")
     if args.shard_recv_deadline is not None and args.shard_recv_deadline <= 0:
         raise _UsageError("--shard-recv-deadline must be positive")
     if args.shard_max_restarts is not None and args.shard_max_restarts < 0:
@@ -1174,11 +1186,13 @@ def build_parser():
     run.add_argument("--patience", type=int, default=10)
     run.add_argument(
         "--parallel",
-        type=int,
+        type=_parallel_arg,
         default=1,
-        metavar="N",
+        metavar="N|auto",
         help="shard each round's clause firings across N processes "
-        "(default 1: sequential; the model is identical either way)",
+        "(default 1: sequential; the model is identical either way); "
+        "'auto' starts sequential and upshifts only when a measured "
+        "round is big enough to pay the dispatch overhead",
     )
     run.add_argument(
         "--no-coverage-cache",

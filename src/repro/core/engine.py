@@ -25,6 +25,7 @@ partial model and the statistics accumulated so far.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -52,6 +53,17 @@ from repro.util.errors import (
     PartialResultError,
 )
 from repro.util.hooks import fault_point
+
+#: The ``parallelism="auto"`` governor's cost model.  A sharded round
+#: saves at most ``t_round * (W-1)/W`` of sequential derivation time
+#: and pays roughly ``W * AUTO_DISPATCH_OVERHEAD_S`` of dispatch /
+#: merge overhead per round; the governor upshifts only when the
+#: saving clears the overhead with an ``AUTO_ACTIVATION_MARGIN``
+#: cushion, so marginal workloads stay on the (never-slower)
+#: sequential path.  The overhead constant is calibrated against
+#: ``benchmarks/parallel_bench.py`` on a warm pool.
+AUTO_DISPATCH_OVERHEAD_S = 0.002
+AUTO_ACTIVATION_MARGIN = 2.0
 
 
 @dataclass
@@ -95,6 +107,11 @@ class EvaluationStats:
     magic rewrite and had to fall back to the full fixpoint, in which
     case it carries the goal and the reason; included in
     :meth:`to_dict` only when set.
+
+    ``parallel_auto`` records the ``parallelism="auto"`` governor's
+    decision (upshift to N workers at a given round, or stay
+    sequential and why); ``None`` — and absent from :meth:`to_dict` —
+    for fixed-parallelism runs, so their payloads are untouched.
     """
 
     strategy: str = "semi-naive"
@@ -115,6 +132,7 @@ class EvaluationStats:
     shard_degraded: Optional[dict] = None
     maintain_degraded: Optional[dict] = None
     magic_degraded: Optional[dict] = None
+    parallel_auto: Optional[dict] = None
 
     def total_new_tuples(self):
         """Tuples accepted into the model across all rounds."""
@@ -150,6 +168,8 @@ class EvaluationStats:
             payload["maintain_degraded"] = dict(self.maintain_degraded)
         if self.magic_degraded is not None:
             payload["magic_degraded"] = dict(self.magic_degraded)
+        if self.parallel_auto is not None:
+            payload["parallel_auto"] = dict(self.parallel_auto)
         return payload
 
     def restore_progress(self, payload):
@@ -284,6 +304,14 @@ class DeductiveEngine:
         pool is supervised: crashed/hung workers are detected, their
         task slices retried on survivors or respawned replacements, and
         the invariant holds no matter which workers die when.
+        ``"auto"`` starts sequential and measures: when a round's
+        derivation time can pay for the measured dispatch overhead
+        (and the host has at least 2 CPUs), the run upshifts to a pool
+        mid-stratum — otherwise it never pays the sharding tax at all.
+        The decision lands in ``stats.parallel_auto``.
+    auto_parallelism_cap:
+        Upper bound on the worker count an ``"auto"`` upshift may
+        choose (default: min(cores, 4)); ignored for fixed counts.
     shard_recv_deadline:
         Seconds a silent-but-alive shard worker is waited on mid-round
         before being declared hung and killed (default
@@ -335,6 +363,9 @@ class DeductiveEngine:
         shard_recv_deadline=None,
         shard_max_restarts=None,
         shard_fallback=True,
+        shard_poll_floor=None,
+        shard_poll_ceiling=None,
+        auto_parallelism_cap=None,
     ):
         if strategy not in ("naive", "semi-naive"):
             raise ValueError("strategy must be 'naive' or 'semi-naive'")
@@ -357,6 +388,9 @@ class DeductiveEngine:
             shard_recv_deadline=shard_recv_deadline,
             shard_max_restarts=shard_max_restarts,
             shard_fallback=shard_fallback,
+            shard_poll_floor=shard_poll_floor,
+            shard_poll_ceiling=shard_poll_ceiling,
+            auto_parallelism_cap=auto_parallelism_cap,
         )
 
     @property
@@ -418,8 +452,12 @@ class DeductiveEngine:
                 raise ValueError("checkpoint_every requires checkpoint_path")
         stats = EvaluationStats(strategy=self.strategy, safety_mode=self.safety)
         # A degraded pool belongs to the run that lost it; a fresh run
-        # gets a fresh shot at parallelism.
+        # gets a fresh shot at parallelism.  Likewise an auto-mode
+        # upshift: each run re-measures from the sequential baseline.
         self.evaluator.shard_degraded = None
+        self.evaluator.parallel_auto = None
+        if self.evaluator.parallelism_mode == "auto":
+            self.evaluator.parallelism = 1
         started = time.perf_counter()
         meter = budget.start() if budget is not None else None
         checker = CoverageChecker(self.safety, use_cache=self.coverage_cache)
@@ -467,6 +505,11 @@ class DeductiveEngine:
             stratum_index = start_stratum
             while stratum_index < len(strata):
                 evaluators = strata[stratum_index]
+                if meter is not None:
+                    # Deadline-only check at the stratum boundary (no
+                    # budget.charge event, so parallel/sequential event
+                    # streams stay identical).
+                    meter.tick_stratum()
                 if hooks.SINKS:
                     hooks.emit(
                         "engine.stratum",
@@ -550,6 +593,16 @@ class DeductiveEngine:
         stats.elapsed_seconds = stats.prior_elapsed_seconds + (
             time.perf_counter() - started
         )
+
+        if self.evaluator.parallelism_mode == "auto":
+            if self.evaluator.parallel_auto is None:
+                # The governor never saw a round worth sharding.
+                self.evaluator.parallel_auto = {
+                    "decision": "sequential",
+                    "reason": "below-threshold",
+                }
+            if stats.parallel_auto is None:
+                stats.parallel_auto = dict(self.evaluator.parallel_auto)
 
         if check_free_extension_safety:
             stats.free_extension_safe_checked = is_free_extension_safe(
@@ -823,6 +876,18 @@ class DeductiveEngine:
                 stratum_index, env, complements, delta
             )
             parallel = self._still_parallel(stats)
+        # The auto governor: while undecided, time each sequential
+        # round's derivation and upshift when it could pay for a pool.
+        auto_undecided = (
+            self.evaluator.parallelism_mode == "auto"
+            and self.evaluator.parallel_auto is None
+            and self.evaluator.shard_degraded is None
+        )
+        if auto_undecided and (os.cpu_count() or 1) < 2:
+            decision = {"decision": "sequential", "reason": "single-cpu"}
+            self.evaluator.parallel_auto = decision
+            stats.parallel_auto = dict(decision)
+            auto_undecided = False
         while rounds_done < self.max_rounds:
             rounds_done += 1
             stats.rounds += 1
@@ -842,6 +907,8 @@ class DeductiveEngine:
             if meter is not None:
                 meter.charge_round()
             seminaive = self.strategy != "naive" and delta is not None
+            if auto_undecided and not parallel:
+                derive_started = time.perf_counter()
             if parallel:
                 tasks = self.evaluator.round_tasks(
                     evaluators, delta if seminaive else None
@@ -866,6 +933,8 @@ class DeductiveEngine:
                 derived = self.evaluator.naive_round(
                     env, evaluators=evaluators, complements=complements, meter=meter
                 )
+            if auto_undecided and not parallel:
+                derive_seconds = time.perf_counter() - derive_started
             stats.derived_tuples_per_round.append(
                 sum(len(ts) for ts in derived.values())
             )
@@ -901,6 +970,7 @@ class DeductiveEngine:
 
             if not fresh:
                 stats.signature_stable_round = last_growth
+                self.evaluator.parallel_end_stratum()
                 return True
 
             grew_signatures = False
@@ -918,6 +988,32 @@ class DeductiveEngine:
                 # order the parent just did, keeping replicas
                 # bit-identical.
                 pending_update = list(fresh.items())
+            elif auto_undecided:
+                workers = self.evaluator.auto_target_workers()
+                saving = derive_seconds * (workers - 1) / workers
+                threshold = (
+                    AUTO_ACTIVATION_MARGIN * workers * AUTO_DISPATCH_OVERHEAD_S
+                )
+                if saving > threshold:
+                    decision = {
+                        "decision": "parallel",
+                        "workers": workers,
+                        "round": stats.rounds,
+                        "round_seconds": derive_seconds,
+                        "threshold_seconds": threshold,
+                    }
+                    self.evaluator.parallel_auto = decision
+                    stats.parallel_auto = dict(decision)
+                    auto_undecided = False
+                    self.evaluator.resolve_auto_parallelism(workers)
+                    # Mid-stratum upshift rides the same broadcast as a
+                    # mid-stratum resume: the current env plus the
+                    # in-flight delta; no pending update remains.
+                    self.evaluator.parallel_begin_stratum(
+                        stratum_index, env, complements, delta
+                    )
+                    pending_update = None
+                    parallel = self._still_parallel(stats)
 
             if meter is not None:
                 meter.charge_accepted(accepted)
@@ -956,6 +1052,7 @@ class DeductiveEngine:
             ):
                 break
         stats.signature_stable_round = last_growth
+        self.evaluator.parallel_end_stratum()
         return False
 
     def trace(self, max_rounds=None, budget=None):

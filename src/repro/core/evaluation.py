@@ -46,11 +46,16 @@ class ProgramEvaluator:
     across a process pool (:mod:`repro.plan.shard`); the merged result
     is bit-identical to the sequential round (see
     :meth:`parallel_round`), and ``parallelism=1`` (the default) never
-    touches the pool machinery at all.  The pool is supervised:
+    touches the pool machinery at all.  ``parallelism="auto"`` starts
+    sequential and lets the engine's dispatch-overhead governor upshift
+    mid-run when the measured per-round work can pay for sharding (see
+    :meth:`resolve_auto_parallelism`; ``auto_parallelism_cap`` bounds
+    the worker count it may choose).  The pool is supervised:
     ``shard_recv_deadline`` / ``shard_max_restarts`` tune hang
-    detection and the respawn cap, and with ``shard_fallback`` (the
-    default) an unhealable pool downshifts the rest of the run to
-    in-process sequential evaluation — recorded in
+    detection and the respawn cap, ``shard_poll_floor`` /
+    ``shard_poll_ceiling`` the liveness-poll backoff, and with
+    ``shard_fallback`` (the default) an unhealable pool downshifts the
+    rest of the run to in-process sequential evaluation — recorded in
     :attr:`shard_degraded` — instead of failing it.
     """
 
@@ -63,6 +68,9 @@ class ProgramEvaluator:
         shard_recv_deadline=None,
         shard_max_restarts=None,
         shard_fallback=True,
+        shard_poll_floor=None,
+        shard_poll_ceiling=None,
+        auto_parallelism_cap=None,
     ):
         if evaluation not in _EVALUATION_MODES:
             raise ValueError(
@@ -70,17 +78,33 @@ class ProgramEvaluator:
             )
         if parallelism is None:
             parallelism = 1
-        parallelism = int(parallelism)
-        if parallelism < 1:
-            raise ValueError("parallelism must be a positive worker count")
+        if parallelism == "auto":
+            self.parallelism_mode = "auto"
+            parallelism = 1
+        else:
+            self.parallelism_mode = "fixed"
+            parallelism = int(parallelism)
+            if parallelism < 1:
+                raise ValueError(
+                    "parallelism must be a positive worker count or 'auto'"
+                )
         self.parallelism = parallelism
+        self.auto_parallelism_cap = auto_parallelism_cap
+        #: The auto governor's decision record for the last run
+        #: (``None`` before it decides / in fixed mode).
+        self.parallel_auto = None
         self.shard_recv_deadline = shard_recv_deadline
         self.shard_max_restarts = shard_max_restarts
         self.shard_fallback = bool(shard_fallback)
+        self.shard_poll_floor = shard_poll_floor
+        self.shard_poll_ceiling = shard_poll_ceiling
         #: ``None`` while sharding is healthy (or unused); after a
         #: mid-run downshift, a dict describing why (reason,
         #: restarts_used, pending_tasks).
         self.shard_degraded = None
+        #: Transport totals of the last pool this evaluator closed
+        #: (``None`` when no pool ever ran) — benchmark fodder.
+        self.shard_wire_stats = None
         self._shard_pool = None
         program.validate()
         self.program = program
@@ -323,19 +347,45 @@ class ProgramEvaluator:
                 plan_fingerprint=self.plan_fingerprint(),
                 recv_deadline=self.shard_recv_deadline,
                 max_restarts=self.shard_max_restarts,
+                poll_floor=self.shard_poll_floor,
+                poll_ceiling=self.shard_poll_ceiling,
             )
         return self._shard_pool
 
     def close_parallel(self):
-        """Tear down the shard pool; a later parallel round restarts it."""
+        """Tear down the shard pool; a later parallel round restarts it.
+        The closed pool's transport totals stay readable as
+        :attr:`shard_wire_stats`."""
         if self._shard_pool is not None:
+            self.shard_wire_stats = self._shard_pool.wire_stats()
             self._shard_pool.close()
             self._shard_pool = None
 
     def parallel_active(self):
         """True while sharded rounds are in effect: ``parallelism >= 2``
-        and the pool has not been degraded away mid-run."""
+        and the pool has not been degraded away mid-run.  In auto mode
+        this stays False until the governor upshifts."""
         return self.parallelism > 1 and self.shard_degraded is None
+
+    def auto_target_workers(self):
+        """The worker count an auto upshift would use: every core up to
+        ``auto_parallelism_cap`` (default 4), but never fewer than 2 —
+        below that a pool cannot beat staying sequential."""
+        import os
+
+        cap = self.auto_parallelism_cap or 4
+        return max(2, min(os.cpu_count() or 1, cap))
+
+    def resolve_auto_parallelism(self, workers):
+        """Commit the auto governor's upshift decision: from here on
+        the evaluator behaves exactly as if ``parallelism=workers`` had
+        been configured (the pool spins up lazily on the next stratum
+        broadcast)."""
+        if self.parallelism_mode != "auto":
+            raise ValueError("resolve_auto_parallelism requires auto mode")
+        if workers < 2:
+            raise ValueError("an auto upshift needs at least 2 workers")
+        self.parallelism = int(workers)
 
     def _shard_degrade(self, error, pending_tasks=0):
         """Record the downshift to sequential, announce it, and drop
@@ -366,6 +416,14 @@ class ProgramEvaluator:
             if not self.shard_fallback:
                 raise
             self._shard_degrade(error)
+
+    def parallel_end_stratum(self):
+        """Stratum boundary housekeeping for an active pool: drain the
+        workers' aggregated operator statistics onto the parent's event
+        bus and retire the stratum's shared-memory segments (see
+        :meth:`repro.plan.shard.ShardPool.end_stratum`)."""
+        if self._shard_pool is not None and self._shard_pool.started():
+            self._shard_pool.end_stratum()
 
     def parallel_round(
         self,
@@ -401,7 +459,13 @@ class ProgramEvaluator:
             for _ in tasks:
                 meter.tick_clause()
         try:
-            per_task = self.shard_pool().run_round(tasks, update)
+            # The workers re-enumerate the task list themselves, so
+            # they must know which enumeration this round used —
+            # ``delta`` here is exactly what the parent enumerated
+            # ``tasks`` from.
+            per_task = self.shard_pool().run_round(
+                tasks, update, seminaive=delta is not None
+            )
         except ShardPoolLostError as error:
             if not self.shard_fallback or env is None:
                 raise

@@ -33,6 +33,8 @@ referencing it by local index), instead of one JSON object per tuple.
 
 from __future__ import annotations
 
+import pickle
+
 from repro.constraints.system import ConstraintSystem
 from repro.gdb.tuple import GeneralizedTuple, signature_id
 from repro.lrp.point import Lrp
@@ -167,21 +169,89 @@ def encode_tuple_batch(tuples):
     return {"constraints": dictionary, "rows": rows}
 
 
+#: Decode-side constraint interning: the engine re-broadcasts the same
+#: handful of zones round after round (a delta's tuples mostly reuse
+#: the zones of the tuples they were derived from), so decoding keys
+#: each canonical JSON form to the already-canonicalized system and
+#: skips the DBM canonicalization entirely on a hit.  Keys are the
+#: ``repr`` of the canonical dict — :meth:`ConstraintSystem.to_json_dict`
+#: is deterministic and both pickle and the pipe transport preserve
+#: dict order, so equal zones always produce equal keys.  The cache is
+#: per-process and capped; systems are immutable value objects, so
+#: sharing one instance across batches (and rounds) is semantics-free.
+_ZONE_INTERN_CAP = 1 << 14
+_zone_intern = {}
+
+
+def _decode_constraints(entry):
+    key = repr(entry)
+    system = _zone_intern.get(key)
+    if system is None:
+        system = ConstraintSystem.from_json_dict(entry)
+        if len(_zone_intern) >= _ZONE_INTERN_CAP:
+            _zone_intern.clear()
+        _zone_intern[key] = system
+    return system
+
+
 def decode_tuple_batch(payload):
     """Decode :func:`encode_tuple_batch` output, order-preserving.
 
     Each distinct constraint system is decoded (and canonicalized)
-    once and shared across the rows referencing it.
+    once — via the process-level intern cache — and shared across the
+    rows referencing it.
     """
-    systems = [
-        ConstraintSystem.from_json_dict(entry) for entry in payload["constraints"]
-    ]
+    systems = [_decode_constraints(entry) for entry in payload["constraints"]]
     tuples = []
     for lrp_pairs, data, slot in payload["rows"]:
         lrps = tuple(Lrp(period, offset) for period, offset in lrp_pairs)
         constraints = systems[slot] if slot >= 0 else None
         tuples.append(GeneralizedTuple(lrps, tuple(data), constraints))
     return tuples
+
+
+def decode_tuple_batch_rows(payload, positions):
+    """Decode only the rows of ``payload`` at the given positions, in
+    the order given — the accept-reference path of the shard protocol:
+    a worker resolving another worker's accepted rows touches just
+    those rows' zones, not the whole batch."""
+    rows = payload["rows"]
+    dictionary = payload["constraints"]
+    systems = {}
+    tuples = []
+    for position in positions:
+        lrp_pairs, data, slot = rows[position]
+        constraints = None
+        if slot >= 0:
+            constraints = systems.get(slot)
+            if constraints is None:
+                constraints = systems[slot] = _decode_constraints(
+                    dictionary[slot]
+                )
+        lrps = tuple(Lrp(period, offset) for period, offset in lrp_pairs)
+        tuples.append(GeneralizedTuple(lrps, tuple(data), constraints))
+    return tuples
+
+
+def dump_payload(obj):
+    """Serialize a shard payload (nested batch structures) to bytes.
+
+    One pickling, highest protocol — the bytes land either in a
+    shared-memory segment (written once, read by every worker) or on a
+    pipe via ``send_bytes`` (so the parent can count wire bytes
+    exactly instead of trusting ``Connection.send``'s hidden pickling).
+    """
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_payload(buffer):
+    """Deserialize :func:`dump_payload` bytes.
+
+    Accepts any buffer — in particular a ``memoryview`` over a
+    shared-memory segment, which :func:`pickle.loads` consumes without
+    first copying the segment into a private ``bytes`` object.
+    """
+    return pickle.loads(buffer)
 
 
 def encode_relation_batch(relation):

@@ -1,67 +1,115 @@
-"""Supervised process-pool sharding of one T_GP round (``parallelism > 1``).
+"""Supervised persistent-worker sharding of T_GP rounds (``parallelism > 1``).
 
 Within a round, every clause-variant firing reads only the *previous*
 environment (plus the last round's delta), so the firings of one round
 are embarrassingly parallel.  The GIL makes threads useless for this
-CPU-bound work, so the shards are **processes**: each worker rebuilds
-the compiled plans from the program/EDB *texts* (the same canonical
-texts the engine fingerprint hashes — the worker verifies its plan
-fingerprint against the parent's at startup), replicates the growing
-IDB environment from the accepted-tuple updates the parent broadcasts
-each round, and evaluates the task subset it is handed.
+CPU-bound work, so the shards are **processes**: each worker is
+bootstrapped once per run — it rebuilds the compiled plans from the
+program/EDB *texts* (the same canonical texts the engine fingerprint
+hashes; the worker verifies its plan fingerprint against the parent's
+at startup) — and then stays resident for the whole run, replicating
+the growing IDB environment from the per-round accepted-tuple updates.
 
-Determinism is by construction, not by luck:
+The wire protocol (v2) is built around a **shared-memory delta
+plane**.  Pipes carry only small control frames; bulk payloads ride
+:mod:`multiprocessing.shared_memory` segments carrying the column-batch
+codec of :mod:`repro.gdb.store` (each distinct constraint zone
+serialized once per batch, rows referencing it by index):
 
-* the parent enumerates the round's tasks in exactly the sequential
-  firing order (stratum clause order, then intensional body position
-  order) and reassembles worker results by global task index, so the
-  merged ``{predicate: [tuples]}`` dict is element-for-element the one
-  the sequential round would have built;
-* tuples and relations cross the process boundary as *column batches*
-  (:func:`~repro.gdb.store.encode_tuple_batch`): each distinct
-  constraint system is serialized once into a per-batch dictionary (in
-  its canonical checkpoint JSON form) and rows reference it by index,
-  so worker-side evaluation sees value-identical inputs in the same
-  order while a round's broadcast ships measurably fewer bytes than
-  the old one-JSON-object-per-tuple form (``benchmarks/kernel_bench.py``
-  records the ratio).  Checkpoints keep the per-tuple canonical form —
-  the batch codec is wire-only.
+* **Stratum broadcast** — at each stratum boundary the parent encodes
+  the IDB environment, the negation complements, and any in-flight
+  delta *once*, writes the pickled payload into one segment, and sends
+  every worker a frame naming it.  The segment is retained for the
+  stratum so replacements spawned mid-stratum rehydrate from it.
+* **Round dispatch** — one control frame per worker per round.  It
+  carries no task payloads at all: a compact *assignment descriptor*
+  (``["block", slot, count]`` on the first attempt — contiguous blocks,
+  because consecutive tasks share subgoal joins and cache affinity —
+  an explicit index list on re-deals) plus the round's task-list
+  length as a cross-check.
+  The worker recomputes the round's task list itself — the enumeration
+  is a pure function of the (replicated) delta, so it provably matches
+  the parent's sequential firing order, and the ``tasks_total`` check
+  turns any divergence into a hard error instead of a silent reorder.
+* **Results** — each worker pickles its ``{task index: column batch}``
+  map into a segment whose name the parent assigned in the dispatch
+  frame (no segment when every assigned task derived nothing); the pipe
+  reply carries only the name and size.
+* **Accepted-delta broadcast as result references** — the parent never
+  re-serializes accepted tuples.  Coverage sweeping preserves object
+  identity, so each accepted tuple maps back to ``(task index, row)``
+  in the round it was derived; the next round's dispatch ships those
+  index pairs.  A worker resolves references into its *own* tasks from
+  the derived tuples it retained, and decodes only the other workers'
+  accepted rows from the previous round's result segments (which the
+  parent retains exactly one round for this purpose).  Workers more
+  than one round behind — respawned replacements, re-healed laggards —
+  get the missing updates inline, lazily encoded from the accepted
+  tuples the parent retains per stratum.
+
+``REPRO_SHARD_TRANSPORT=pipe`` switches to the legacy inline-payload
+protocol (every payload pickled per worker onto its pipe); the
+parallel benchmark uses it to price the shared-memory plane honestly
+(``wire_stats()`` counts pipe and segment bytes exactly, and every
+round emits a ``shard.dispatch`` event with the totals).
+
+Determinism is by construction, not by luck: tasks are enumerated in
+exactly the sequential firing order, results are reassembled by global
+task index, and tuples cross the process boundary in canonical form —
+so the merged round is element-for-element the sequential one, no
+matter how it was transported.
 
 Supervision
 -----------
 Long-running fixpoints on real pods lose workers mid-round, so the
 pool is supervised rather than trusted:
 
-* every receive is deadline-bounded with liveness polling — a dead
-  worker is detected within one poll interval, a *hung* one within
-  ``recv_deadline`` seconds (and is then killed);
+* every receive is deadline-bounded with exponentially backed-off
+  liveness polling (``poll_floor`` doubling to ``poll_ceiling``) — a
+  dead worker wakes the poll immediately via pipe EOF, a *hung* one is
+  detected within ``recv_deadline`` seconds (and is then killed), and
+  an idle parent waiting on a long computation burns almost no CPU;
 * a round task is a pure function of the broadcast ``(env, delta)``
   replica, so a failed worker's task slice is simply re-dealt to the
   survivors (or to a freshly respawned replacement) and the
   index-keyed merge stays bit-identical to sequential no matter which
   workers die when;
-* replacements are rehydrated from the stored stratum broadcast plus
-  the per-round accepted-tuple updates they missed — each worker
-  tracks how many updates it has applied (``synced``), and every round
+* replacements are rehydrated from the retained stratum broadcast plus
+  the per-round accepted updates they missed — each worker tracks how
+  many updates its replica has applied (``synced``), and every round
   dispatch carries exactly the missing suffix;
 * respawns are capped (``max_restarts`` per pool lifetime).  When the
   pool empties with the cap spent, :class:`ShardPoolLostError` carries
   the per-task results already collected so the caller can finish the
   round sequentially instead of failing the run.
 
+Shared-memory segments are parent-owned: the parent names every
+segment (its own and the ones workers create for replies), keeps a
+registry, and is the only process that ever unlinks — at round
+retirement, stratum end, and unconditionally in :meth:`ShardPool.close`
+(which every engine exit path reaches), so no segment outlives the
+pool even when workers are SIGKILLed mid-write.  Python's resource
+tracker remains the safety net for a SIGKILLed *parent*.
+
 Worker loss, respawn, and retry surface as ``shard.worker`` events on
-the bus; the caller emits ``shard.degraded`` when it downshifts.
-Observability sinks and fault hooks are otherwise parent-side
-concerns: workers clear :data:`repro.util.hooks.SINKS` and the fault
-hook at startup, so plan-operator events and injected faults keep
-their sequential semantics.  The parent-side chaos sites
-(``shard_dispatch``, ``shard_worker_crash``, ``shard_worker_hang`` —
-see :mod:`repro.runtime.faults`) let tests kill, wedge, or unplug
-specific workers at exact dispatch counts.
+the bus; per-round transport totals as ``shard.dispatch``; the caller
+emits ``shard.degraded`` when it downshifts.  Fault injection stays a
+parent-side concern (workers clear the fault hook), but observability
+is **aggregated, not dropped**: when the parent had sinks installed at
+pool start, each worker accumulates its ``plan.operator`` and
+``kernel.batch`` events locally and the parent drains them at stratum
+end (``flush_stats``), re-emitting them as aggregated events carrying
+a ``count`` — so ``explain --profile`` under ``--parallel`` reports
+the worker-side operator work instead of silently under-counting.  The
+parent-side chaos sites (``shard_dispatch``, ``shard_worker_crash``,
+``shard_worker_hang`` — see :mod:`repro.runtime.faults`) let tests
+kill, wedge, or unplug specific workers at exact dispatch counts.
 
 The pool prefers the ``fork`` start method (cheap, copy-on-write) and
 falls back to ``spawn`` where fork is unavailable; set
-``REPRO_PARALLEL_START_METHOD`` to override.
+``REPRO_PARALLEL_START_METHOD`` to override (the test suite runs the
+equivalence and heal suites under ``spawn`` too, since shared memory
+plus ``spawn`` is the macOS/Windows reality).
 """
 
 from __future__ import annotations
@@ -71,10 +119,12 @@ import os
 import time
 
 from repro.gdb.store import (
-    decode_relation_batch,
     decode_tuple_batch,
+    decode_tuple_batch_rows,
+    dump_payload,
     encode_relation_batch,
     encode_tuple_batch,
+    load_payload,
 )
 from repro.util import hooks
 from repro.util.errors import EvaluationError, ReproError
@@ -82,19 +132,27 @@ from repro.util.hooks import fault_point
 
 #: Seconds a worker may stay silent mid-round before the parent
 #: declares it hung and kills it.  Liveness is polled throughout, so a
-#: worker that *dies* is detected within one poll interval regardless.
+#: worker that *dies* is detected immediately (pipe EOF) regardless.
 DEFAULT_RECV_DEADLINE = 30.0
 
 #: Worker respawns allowed per pool lifetime before a lost worker
 #: means a lost pool slot (and an empty pool means degradation).
 DEFAULT_MAX_RESTARTS = 2
 
-#: Granularity of the liveness poll inside :meth:`ShardPool._receive`.
-_POLL_INTERVAL = 0.05
+#: Liveness-poll backoff inside :meth:`ShardPool._receive`: the first
+#: poll waits the floor, each quiet wakeup doubles the wait up to the
+#: ceiling.  Data (and pipe EOF) wake the poll immediately either way —
+#: the interval only paces the ``is_alive`` check on a silent worker.
+DEFAULT_POLL_FLOOR = 0.001
+DEFAULT_POLL_CEILING = 0.1
 
 #: Floor for the startup-handshake deadline: a worker re-parsing and
 #: re-compiling a large program is slow but not hung.
 _BOOT_DEADLINE = 60.0
+
+#: Prefix of every shared-memory segment the pool creates (or assigns
+#: to a worker); the leak tests scan ``/dev/shm`` for it.
+SHM_PREFIX = "repro_shard_"
 
 
 class ShardError(EvaluationError):
@@ -140,12 +198,26 @@ def _start_method(override=None):
     )
 
 
-def _relation_payload(relation):
-    return encode_relation_batch(relation)
+def _shared_memory_available():
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - all supported platforms have it
+        return False
+    return True
 
 
-def _tuples_payload(tuples):
-    return encode_tuple_batch(tuples)
+def _transport(override=None):
+    """``"shm"`` (default where available) or ``"pipe"``."""
+    choice = override or os.environ.get("REPRO_SHARD_TRANSPORT")
+    if choice:
+        if choice not in ("shm", "pipe"):
+            raise ValueError(
+                "shard transport must be 'shm' or 'pipe', got %r" % (choice,)
+            )
+        if choice == "shm" and not _shared_memory_available():
+            raise ValueError("shared-memory transport is unavailable here")
+        return choice
+    return "shm" if _shared_memory_available() else "pipe"
 
 
 class _ShardWorker:
@@ -175,9 +247,12 @@ class ShardPool:
 
     ``recv_deadline`` bounds how long a silent-but-alive worker is
     waited on mid-round; ``max_restarts`` caps replacement spawns per
-    pool lifetime.  Both default to the module constants when ``None``.
-    The pool is a context manager: ``with ShardPool(...) as pool: ...``
-    guarantees :meth:`close` on exit.
+    pool lifetime; ``poll_floor`` / ``poll_ceiling`` tune the
+    liveness-poll backoff.  All default to the module constants when
+    ``None``.  ``transport`` forces ``"shm"`` or ``"pipe"`` (default:
+    the ``REPRO_SHARD_TRANSPORT`` environment variable, else shared
+    memory where available).  The pool is a context manager:
+    ``with ShardPool(...) as pool: ...`` guarantees :meth:`close`.
     """
 
     def __init__(
@@ -190,6 +265,9 @@ class ShardPool:
         start_method=None,
         recv_deadline=None,
         max_restarts=None,
+        poll_floor=None,
+        poll_ceiling=None,
+        transport=None,
     ):
         if parallelism < 2:
             raise ValueError("a shard pool needs parallelism >= 2")
@@ -199,6 +277,7 @@ class ShardPool:
         self.parallelism = parallelism
         self.expected_fingerprint = plan_fingerprint
         self.start_method = _start_method(start_method)
+        self.transport = _transport(transport)
         self.recv_deadline = (
             DEFAULT_RECV_DEADLINE if recv_deadline is None else float(recv_deadline)
         )
@@ -209,15 +288,44 @@ class ShardPool:
         )
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        self.poll_floor = (
+            DEFAULT_POLL_FLOOR if poll_floor is None else float(poll_floor)
+        )
+        self.poll_ceiling = (
+            DEFAULT_POLL_CEILING if poll_ceiling is None else float(poll_ceiling)
+        )
+        if self.poll_floor <= 0 or self.poll_ceiling < self.poll_floor:
+            raise ValueError("need 0 < poll_floor <= poll_ceiling")
         self._workers = []  # [_ShardWorker]
         self._context = None
         self._spawn_seq = 0
         self.restarts_used = 0
+        self.observe = False
         self._round = 0  # rounds dispatched this stratum (for events)
+        self._stratum = 0
         # Rehydration state for respawned replacements: the last
-        # stratum broadcast, and every per-round update applied since.
+        # stratum broadcast frame, and every per-round update applied
+        # since — as accepted-tuple object refs, encoded lazily only
+        # when a laggard actually needs the inline form.
         self._stratum_message = None
-        self._updates = []
+        self._updates = []  # [{"objects", "encoded", "refs"}]
+        # Previous round's decoded per-task results (accept-reference
+        # translation) and the segments that carried them.
+        self._last_results = None
+        self._prev_reply_segments = []  # [[name, size]]
+        # Parent-owned shared-memory registry: every name the pool
+        # created or assigned, mapped to an attached handle when the
+        # parent holds one (None for assigned-but-unread names).
+        self._segments = {}
+        self._segment_seq = 0
+        #: Exact transport totals for this pool's lifetime.
+        self.wire = {
+            "pipe_bytes": 0,
+            "shm_bytes": 0,
+            "dispatches": 0,
+            "segments": 0,
+            "rounds": 0,
+        }
 
     # -- lifecycle --------------------------------------------------------
 
@@ -231,6 +339,13 @@ class ShardPool:
         self.close()
         return False
 
+    def wire_stats(self):
+        """Lifetime transport totals (bytes are exact, both directions
+        on the pipes plus every segment written)."""
+        stats = dict(self.wire)
+        stats["transport"] = self.transport
+        return stats
+
     def _spawn(self):
         """Start one worker process; the caller still owes a handshake."""
         if self._context is None:
@@ -239,6 +354,7 @@ class ShardPool:
             "program": self.program_text,
             "edb": self.edb_text,
             "evaluation": self.evaluation,
+            "observe": self.observe,
         }
         parent_end, child_end = self._context.Pipe(duplex=True)
         process = self._context.Process(
@@ -278,6 +394,10 @@ class ShardPool:
     def ensure_started(self):
         if self._workers:
             return
+        # Whether the parent is observing is captured once, at pool
+        # start: it decides whether workers aggregate their operator
+        # events for the stratum-end flush.
+        self.observe = bool(hooks.SINKS)
         try:
             for _ in range(self.parallelism):
                 self._workers.append(self._spawn())
@@ -293,21 +413,25 @@ class ShardPool:
             raise
 
     def close(self):
-        """Stop the workers; safe to call repeatedly.
+        """Stop the workers and unlink every segment; safe to call
+        repeatedly.
 
         Escalates per worker: cooperative stop, ``terminate()`` when
         the join times out, ``kill()`` when even SIGTERM is ignored
         (a worker wedged in uninterruptible state).  The parent pipe
         end is closed unconditionally so no descriptor outlives a dead
-        worker.
+        worker, and the segment registry is drained unconditionally so
+        no shared memory outlives the pool.
         """
         workers, self._workers = self._workers, []
         self._stratum_message = None
         self._updates = []
+        self._last_results = None
+        self._prev_reply_segments = []
         for worker in workers:
             try:
-                worker.connection.send({"op": "stop"})
-            except (OSError, ValueError):
+                self._send(worker, {"op": "stop"})
+            except (_WorkerFailure, OSError, ValueError):
                 pass
         for worker in workers:
             try:
@@ -321,6 +445,82 @@ class ShardPool:
             if worker.process.is_alive():
                 worker.process.kill()
                 worker.process.join(timeout=2.0)
+        for name in list(self._segments):
+            self._unlink_segment(name)
+
+    # -- shared-memory registry -------------------------------------------
+
+    def _new_segment_name(self):
+        name = "%s%d_%d" % (SHM_PREFIX, os.getpid(), self._segment_seq)
+        self._segment_seq += 1
+        return name
+
+    def _write_segment(self, data):
+        """Create a segment holding ``data``; returns ``(name, size)``."""
+        from multiprocessing import shared_memory
+
+        name = self._new_segment_name()
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, len(data))
+        )
+        segment.buf[: len(data)] = data
+        self._segments[name] = segment
+        self.wire["shm_bytes"] += len(data)
+        self.wire["segments"] += 1
+        return name, len(data)
+
+    def _assign_segment_name(self):
+        """Reserve a name for a worker-created reply segment.  It goes
+        into the registry immediately (handle ``None``) so close() can
+        unlink it even if the worker dies mid-write."""
+        name = self._new_segment_name()
+        self._segments[name] = None
+        return name
+
+    def _read_segment(self, name, size, retain=False):
+        """Attach and unpickle a worker-written segment.  With
+        ``retain`` the attached handle stays in the registry (the
+        segment must survive for accept-reference resolution); without
+        it the segment is unlinked on the spot."""
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            view = segment.buf[:size]
+            try:
+                payload = load_payload(view)
+            finally:
+                view.release()
+        except BaseException:
+            segment.close()
+            raise
+        if retain:
+            self._segments[name] = segment
+        else:
+            self._segments.pop(name, None)
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        return payload
+
+    def _unlink_segment(self, name):
+        """Remove one segment, attached or not; tolerates the segment
+        never having been created (a worker died before writing it)."""
+        from multiprocessing import shared_memory
+
+        handle = self._segments.pop(name, None)
+        if handle is None:
+            try:
+                handle = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                return
+        handle.close()
+        try:
+            handle.unlink()
+        except FileNotFoundError:  # pragma: no cover - unlink raced
+            pass
 
     # -- supervision ------------------------------------------------------
 
@@ -353,11 +553,12 @@ class ShardPool:
         """Respawn workers up to the restart cap; returns the live list.
 
         A replacement is rehydrated through the normal bootstrap
-        handshake plus a re-broadcast of the stored stratum context;
+        handshake plus a re-broadcast of the retained stratum context;
         its ``synced`` counter starts at 0, so its first round dispatch
-        ships every update the stratum has applied so far.  A
-        replacement that itself dies burns its restart credit — that is
-        what bounds a crash-looping pod.
+        ships every update the stratum has applied so far (inline —
+        the result segments its siblings resolve references from only
+        cover the latest round).  A replacement that itself dies burns
+        its restart credit — that is what bounds a crash-looping pod.
         """
         while (
             len(self._workers) < self.parallelism
@@ -412,31 +613,50 @@ class ShardPool:
             except (OSError, ValueError):
                 pass
 
-    # -- round protocol ---------------------------------------------------
+    # -- stratum protocol -------------------------------------------------
 
     def begin_stratum(self, stratum_index, env, complements, delta, intensional):
         """Broadcast the stratum context: the current IDB relations
         (which a resume may have pre-populated), the negated-predicate
         complements, and the in-flight delta (``None`` outside a
-        mid-stratum resume).  The message is retained so replacements
-        spawned mid-stratum can be rehydrated from it."""
+        mid-stratum start).  Under the shared-memory transport the
+        payload is encoded and written exactly once; the frame — which
+        is retained so replacements can be rehydrated — only names the
+        segment."""
         self.ensure_started()
-        message = {
-            "op": "stratum",
-            "stratum": stratum_index,
+        self._release_stratum_state()
+        payload = {
             "env": {
-                name: _relation_payload(env[name]) for name in intensional
+                name: encode_relation_batch(env[name]) for name in intensional
             },
             "complements": {
-                name: _relation_payload(relation)
+                name: encode_relation_batch(relation)
                 for name, relation in complements.items()
             },
             "delta": None
             if delta is None
-            else {name: _tuples_payload(tuples) for name, tuples in delta.items()},
+            else {
+                name: encode_tuple_batch(tuples)
+                for name, tuples in delta.items()
+            },
         }
+        pipe_before, shm_before = self.wire["pipe_bytes"], self.wire["shm_bytes"]
+        if self.transport == "shm":
+            name, size = self._write_segment(dump_payload(payload))
+            message = {
+                "op": "stratum",
+                "stratum": stratum_index,
+                "shm": name,
+                "size": size,
+            }
+        else:
+            message = {
+                "op": "stratum",
+                "stratum": stratum_index,
+                "payload": payload,
+            }
         self._stratum_message = message
-        self._updates = []
+        self._stratum = stratum_index
         self._round = 0
         acked = []
         for worker in list(self._workers):
@@ -455,6 +675,21 @@ class ShardPool:
             worker.synced = 0
         if len(self._workers) < self.parallelism:
             self._heal()
+        if hooks.SINKS:
+            hooks.emit(
+                "shard.dispatch",
+                {
+                    "phase": "stratum",
+                    "stratum": stratum_index,
+                    "round": self._round,
+                    "tasks": 0,
+                    "workers": len(self._workers),
+                    "transport": self.transport,
+                    "pipe_bytes": self.wire["pipe_bytes"] - pipe_before,
+                    "shm_bytes": self.wire["shm_bytes"] - shm_before,
+                    "segments": 1 if self.transport == "shm" else 0,
+                },
+            )
         if not self._workers:
             raise ShardPoolLostError(
                 "every shard worker was lost broadcasting stratum %d "
@@ -463,7 +698,54 @@ class ShardPool:
                 restarts_used=self.restarts_used,
             )
 
-    def run_round(self, tasks, update):
+    def end_stratum(self):
+        """Stratum boundary: drain worker-side operator statistics
+        (re-emitted as aggregated events) and retire the stratum's
+        segments and update history.  Best-effort on the stats side — a
+        worker that dies during the flush loses its counters, never the
+        run."""
+        if self.observe and hooks.SINKS and self._workers:
+            self.flush_worker_stats()
+        self._release_stratum_state()
+
+    def _release_stratum_state(self):
+        for name, _size in self._prev_reply_segments:
+            self._unlink_segment(name)
+        self._prev_reply_segments = []
+        message = self._stratum_message
+        self._stratum_message = None
+        if message is not None and message.get("shm"):
+            self._unlink_segment(message["shm"])
+        self._updates = []
+        self._last_results = None
+
+    def flush_worker_stats(self):
+        """Collect every worker's aggregated ``plan.operator`` /
+        ``kernel.batch`` counters and re-emit them on the parent's bus
+        with ``aggregated: True`` and a ``count`` of folded events."""
+        for worker in list(self._workers):
+            try:
+                self._send(worker, {"op": "flush_stats"})
+                reply = self._receive(worker)
+            except _WorkerFailure as failure:
+                self._discard(worker, failure.reason, str(failure))
+                continue
+            except ShardError:
+                continue
+            for fields in reply.get("operators", ()):
+                fields = dict(fields)
+                fields["aggregated"] = True
+                fields["worker"] = worker.name
+                hooks.emit("plan.operator", fields)
+            for fields in reply.get("kernel", ()):
+                fields = dict(fields)
+                fields["aggregated"] = True
+                fields["worker"] = worker.name
+                hooks.emit("kernel.batch", fields)
+
+    # -- round protocol ---------------------------------------------------
+
+    def run_round(self, tasks, update, seminaive=None):
         """Evaluate ``tasks`` (global sequential order) across the
         workers and return the per-task derived tuple lists, reassembled
         in that same order.
@@ -473,9 +755,20 @@ class ShardPool:
         first round of a stratum); every worker applies it to its
         replica environment — in the parent's insertion order — before
         evaluating, which also makes it the round's semi-naive delta.
+        Under the shared-memory transport the update crosses the wire
+        as result references (see the module docstring), so accepting a
+        tuple costs the parent no serialization at all.
 
-        The supervision loop deals the still-pending task indices
-        round-robin over the live workers, collects with the deadline,
+        ``seminaive`` tells the workers which task enumeration this
+        round used (they recompute the task list themselves).  It
+        defaults to ``update is not None``; the caller must pass it
+        explicitly for the two exceptions — a naive-strategy round
+        (updates applied, naive enumeration) and the first round after
+        a mid-stratum start (no update, but the stratum broadcast
+        carried a delta).
+
+        The supervision loop deals the still-pending task indices in
+        contiguous blocks over the live workers, collects with the deadline,
         discards failures, and repeats until every index has a result —
         healing the pool between attempts.  Because results are keyed
         by global task index and replicas are value-identical, the
@@ -484,13 +777,16 @@ class ShardPool:
         results) when the pool empties with the restart cap spent.
         """
         self._round += 1
+        self.wire["rounds"] += 1
+        pipe_before, shm_before = self.wire["pipe_bytes"], self.wire["shm_bytes"]
+        if seminaive is None:
+            seminaive = update is not None
         if update is not None:
-            self._updates.append(
-                [[name, _tuples_payload(tuples)] for name, tuples in update]
-            )
+            self._push_update(update)
         merged = [None] * len(tasks)
         pending = list(range(len(tasks)))
         first_attempt = True
+        reply_segments = []  # [[name, size]] successful replies this round
         while pending:
             workers = list(self._workers)
             if len(workers) < self.parallelism:
@@ -513,52 +809,175 @@ class ShardPool:
                         "tasks": len(pending),
                     },
                 )
-            first_attempt = False
             count = len(workers)
-            dispatched = []  # [(worker, [global task index])]
+            # On the first attempt every index is pending, so the
+            # assignment is a contiguous block the worker can recompute
+            # from (slot, count) alone; re-deals ship explicit lists.
+            # Blocks beat a stride deal because the task list is
+            # ordered by clause: consecutive tasks share subgoal
+            # relations, so keeping them on one worker keeps their
+            # joins in that worker's caches instead of recomputing
+            # them on every replica (measured ~1.3x faster end-to-end
+            # on the multi-chain workload).
+            block = first_attempt and len(pending) == len(tasks)
+            first_attempt = False
+            total = len(pending)
+            dispatched = []  # [(worker, [global task index], reply name)]
             for slot, worker in enumerate(workers):
-                # Round-robin keeps shard loads level when task costs
-                # are skewed toward one end of the list.
-                indices = pending[slot::count]
+                if block:
+                    indices = pending[
+                        (total * slot) // count : (total * (slot + 1)) // count
+                    ]
+                else:
+                    indices = pending[slot::count]
                 if not indices:
                     continue
                 self._inject_worker_faults(worker)
+                assign = (
+                    ["block", slot, count] if block else ["indices", indices]
+                )
                 try:
-                    self._dispatch(worker, [tasks[i] for i in indices])
+                    reply_name = self._dispatch(
+                        worker, len(tasks), assign, seminaive
+                    )
                 except _WorkerFailure as failure:
                     self._discard(worker, failure.reason, str(failure))
                     continue
-                dispatched.append((worker, indices))
+                dispatched.append((worker, indices, reply_name))
             completed = set()
-            for worker, indices in dispatched:
+            for worker, indices, reply_name in dispatched:
                 try:
                     reply = self._receive(worker)
+                    results = self._collect_results(reply, reply_name)
                 except _WorkerFailure as failure:
                     self._discard(worker, failure.reason, str(failure))
+                    if reply_name is not None:
+                        self._unlink_segment(reply_name)
                     continue
-                for index, batch in zip(indices, reply["results"]):
-                    merged[index] = decode_tuple_batch(batch)
+                for index in indices:
+                    batch = results.get(index)
+                    merged[index] = (
+                        [] if batch is None else decode_tuple_batch(batch)
+                    )
                     completed.add(index)
+                if reply_name is not None and reply.get("shm"):
+                    reply_segments.append([reply_name, reply["size"]])
+                elif reply_name is not None:
+                    # Assigned but never created (all tasks empty).
+                    self._segments.pop(reply_name, None)
             pending = [i for i in pending if i not in completed]
+        # Retire the previous round's result segments — the accept
+        # references of *this* round's update resolved against them —
+        # and retain this round's for the next update.
+        for name, _size in self._prev_reply_segments:
+            self._unlink_segment(name)
+        self._prev_reply_segments = reply_segments
+        self._last_results = merged
+        self.wire["dispatches"] += len(tasks)
+        if hooks.SINKS:
+            hooks.emit(
+                "shard.dispatch",
+                {
+                    "phase": "round",
+                    "stratum": self._stratum,
+                    "round": self._round,
+                    "tasks": len(tasks),
+                    "workers": len(self._workers),
+                    "transport": self.transport,
+                    "pipe_bytes": self.wire["pipe_bytes"] - pipe_before,
+                    "shm_bytes": self.wire["shm_bytes"] - shm_before,
+                    "segments": len(reply_segments),
+                },
+            )
         return merged
+
+    def _push_update(self, update):
+        """Record one accepted-tuple update: object refs always (the
+        laggard/inline source of truth), accept references when the
+        tuples map back into the previous round's results."""
+        entry = {
+            "objects": [(name, list(tuples)) for name, tuples in update],
+            "encoded": None,
+            "refs": self._translate_update(update),
+        }
+        self._updates.append(entry)
+
+    def _translate_update(self, update):
+        """Map accepted tuple *objects* back to ``[task, row]`` pairs in
+        the previous round's merged results (coverage sweeping preserves
+        identity).  Returns ``None`` — forcing the inline path — when
+        any tuple fails to map or the transport cannot resolve refs."""
+        if self.transport != "shm" or self._last_results is None:
+            return None
+        id_map = {}
+        for task, tuples in enumerate(self._last_results):
+            if tuples:
+                for row, gt in enumerate(tuples):
+                    id_map[id(gt)] = (task, row)
+        refs = []
+        for name, tuples in update:
+            pairs = []
+            for gt in tuples:
+                ref = id_map.get(id(gt))
+                if ref is None:
+                    return None
+                pairs.append([ref[0], ref[1]])
+            refs.append([name, pairs])
+        return refs
+
+    def _encoded_update(self, entry):
+        if entry["encoded"] is None:
+            entry["encoded"] = [
+                [name, encode_tuple_batch(tuples)]
+                for name, tuples in entry["objects"]
+            ]
+        return entry["encoded"]
+
+    def _update_field(self, worker):
+        """The update portion of one worker's dispatch frame: nothing
+        for a replica that is current, accept references for one
+        exactly one round behind, the full missing suffix inline for a
+        laggard or replacement."""
+        total = len(self._updates)
+        missing = total - worker.synced
+        if missing <= 0:
+            return None
+        latest = self._updates[-1]
+        if missing == 1 and latest["refs"] is not None:
+            return {
+                "accept": latest["refs"],
+                "prev": list(self._prev_reply_segments),
+            }
+        return {
+            "inline": [
+                self._encoded_update(entry)
+                for entry in self._updates[worker.synced :]
+            ]
+        }
 
     # -- plumbing ---------------------------------------------------------
 
-    def _dispatch(self, worker, task_list):
-        """Send one round slice, piggybacking whatever per-round updates
-        this worker's replica has not yet applied (none for a worker
-        that has kept up; the whole stratum history for a fresh
-        replacement)."""
-        missing = self._updates[worker.synced :]
+    def _dispatch(self, worker, tasks_total, assign, seminaive):
+        """Send one round control frame; returns the reply-segment name
+        assigned to the worker (``None`` under the pipe transport)."""
+        reply_name = (
+            self._assign_segment_name() if self.transport == "shm" else None
+        )
         message = {
             "op": "round",
-            "tasks": [list(task) for task in task_list],
-            "updates": missing,
+            "round": self._round,
+            "seminaive": seminaive,
+            "tasks_total": tasks_total,
+            "assign": assign,
+            "update": self._update_field(worker),
+            "reply": reply_name,
         }
         try:
             fault_point("shard_dispatch")
-            worker.connection.send(message)
+            self._send_bytes(worker, dump_payload(message))
         except (OSError, ValueError, ReproError) as error:
+            if reply_name is not None:
+                self._segments.pop(reply_name, None)
             # A send that fails because the process died is a crash;
             # pipe trouble with a live worker is dispatch failure.
             reason = "dispatch" if worker.process.is_alive() else "crash"
@@ -566,17 +985,36 @@ class ShardPool:
                 reason, "shard worker %s is gone: %s" % (worker.name, error)
             ) from error
         worker.synced = len(self._updates)
+        return reply_name
+
+    def _collect_results(self, reply, reply_name):
+        """The ``{task index: batch}`` map of one worker reply, read
+        from its segment (retained for accept references) or straight
+        off the pipe frame."""
+        if self.transport != "shm":
+            return reply.get("results", {})
+        if not reply.get("shm"):
+            return {}
+        size = reply["size"]
+        payload = self._read_segment(reply_name, size, retain=True)
+        self.wire["shm_bytes"] += size
+        self.wire["segments"] += 1
+        return payload
 
     def _send(self, worker, message):
         try:
-            worker.connection.send(message)
+            self._send_bytes(worker, dump_payload(message))
         except (OSError, ValueError) as error:
             raise _WorkerFailure(
                 "dispatch", "shard worker %s is gone: %s" % (worker.name, error)
             ) from error
 
+    def _send_bytes(self, worker, data):
+        worker.connection.send_bytes(data)
+        self.wire["pipe_bytes"] += len(data)
+
     def _receive(self, worker, deadline=None):
-        """Deadline-bounded receive with liveness polling.
+        """Deadline-bounded receive with backed-off liveness polling.
 
         Raises :class:`_WorkerFailure` (reason ``crash``) as soon as
         the worker process is observed dead with nothing left to read,
@@ -591,11 +1029,14 @@ class ShardPool:
         connection = worker.connection
         process = worker.process
         expires = time.monotonic() + deadline
+        interval = self.poll_floor
         while True:
             remaining = expires - time.monotonic()
             try:
-                if connection.poll(min(_POLL_INTERVAL, max(0.0, remaining))):
-                    reply = connection.recv()
+                if connection.poll(min(interval, max(0.0, remaining))):
+                    data = connection.recv_bytes()
+                    self.wire["pipe_bytes"] += len(data)
+                    reply = load_payload(data)
                     if not reply.get("ok"):
                         raise ShardError(
                             "shard worker %s failed: %s"
@@ -629,18 +1070,201 @@ class ShardPool:
                     "shard worker %s unresponsive for %.1fs (killed)"
                     % (worker.name, deadline),
                 )
+            # Quiet wakeup: back off before the next liveness check.
+            interval = min(interval * 2.0, self.poll_ceiling)
+
+
+# -- worker side -------------------------------------------------------------
+
+
+class _WorkerStatSink:
+    """Worker-side observability aggregator.
+
+    Workers must not stream events over the pipe (that would serialize
+    the hot path on exactly the IPC this module removes), but dropping
+    them made ``explain --profile`` blind to worker-side operator work.
+    So the worker folds its own events locally — ``plan.operator``
+    keyed by (clause, variant, step), ``kernel.batch`` additionally by
+    fast path — and the parent drains the totals at stratum end.
+    """
+
+    def __init__(self):
+        self.operators = {}
+        self.kernel = {}
+
+    def __call__(self, kind, fields):
+        if kind == "plan.operator":
+            key = (fields.get("clause"), fields.get("variant"), fields.get("step"))
+            entry = self.operators.get(key)
+            if entry is None:
+                entry = self.operators[key] = {
+                    "clause": fields.get("clause"),
+                    "variant": fields.get("variant"),
+                    "step": fields.get("step"),
+                    "op": fields.get("op"),
+                    "predicate": fields.get("predicate"),
+                    "count": 0,
+                    "in": 0,
+                    "source": 0,
+                    "selected": 0,
+                    "out": 0,
+                    "duration_s": 0.0,
+                }
+            entry["count"] += 1
+            entry["in"] += fields.get("in", 0)
+            entry["source"] += fields.get("source", 0)
+            entry["selected"] += fields.get("selected", 0)
+            entry["out"] += fields.get("out", 0)
+            entry["duration_s"] += fields.get("duration_s", 0.0)
+        elif kind == "kernel.batch":
+            key = (
+                fields.get("clause"),
+                fields.get("variant"),
+                fields.get("step"),
+                fields.get("fast_path"),
+            )
+            entry = self.kernel.get(key)
+            if entry is None:
+                entry = self.kernel[key] = {
+                    "clause": fields.get("clause"),
+                    "variant": fields.get("variant"),
+                    "step": fields.get("step"),
+                    "fast_path": fields.get("fast_path"),
+                    "count": 0,
+                    "size": 0,
+                    "hits": 0,
+                }
+            entry["count"] += 1
+            entry["size"] += fields.get("size", 0)
+            entry["hits"] += fields.get("hits", 0)
+
+    def drain(self):
+        operators = list(self.operators.values())
+        kernel = list(self.kernel.values())
+        self.operators = {}
+        self.kernel = {}
+        return operators, kernel
+
+
+def _worker_send(connection, message):
+    connection.send_bytes(dump_payload(message))
+
+
+def _worker_read_segment(name, size):
+    """Attach, unpickle, detach — the worker never unlinks (segments
+    are parent-owned)."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        view = segment.buf[:size]
+        try:
+            return load_payload(view)
+        finally:
+            view.release()
+    finally:
+        segment.close()
+
+
+def _worker_write_segment(name, data):
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name, create=True, size=len(data))
+    try:
+        segment.buf[: len(data)] = data
+    finally:
+        segment.close()
+
+
+def _resolve_accept_refs(refs, prev_segments, retained):
+    """Rebuild an accepted-tuple update from ``[task, row]`` references:
+    the worker's own derived objects where it evaluated the task,
+    selective decodes of the previous round's result segments
+    elsewhere.  Returns the ordered ``[(predicate, [tuples])]`` list."""
+    needed = {}  # task -> [row, ...] not resolvable locally
+    for _name, pairs in refs:
+        for task, row in pairs:
+            if task not in retained:
+                needed.setdefault(task, []).append(row)
+    remote = {}  # (task, row) -> tuple
+    if needed:
+        batches = {}
+        for name, size in prev_segments:
+            batches.update(_worker_read_segment(name, size))
+        for task, rows in needed.items():
+            batch = batches.get(task)
+            if batch is None:
+                raise ValueError(
+                    "accept reference to task %d missing from the previous "
+                    "round's result segments" % task
+                )
+            unique = sorted(set(rows))
+            for row, gt in zip(unique, decode_tuple_batch_rows(batch, unique)):
+                remote[(task, row)] = gt
+    update = []
+    for name, pairs in refs:
+        tuples = []
+        for task, row in pairs:
+            own = retained.get(task)
+            tuples.append(own[row] if own is not None else remote[(task, row)])
+        update.append((name, tuples))
+    return update
+
+
+def _disable_worker_shm_tracking():
+    """Keep the worker's resource tracker out of segment lifecycle.
+
+    Segments are parent-owned: the parent unlinks every name it
+    registers, and its own resource tracker is the safety net for a
+    SIGKILLed parent.  Workers, however, *attach* to those segments,
+    and attaching also registers the name with the attaching process's
+    tracker.  Under ``spawn`` each worker has a private tracker that
+    dies with it — and on the way out it would "clean up" (unlink)
+    segments the parent and surviving workers still need, turning a
+    healed worker loss into a corrupted stratum.  Dropping
+    shared-memory registrations in workers leaves exactly one owner.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
 
 
 def _worker_main(connection, bootstrap):
     """Shard worker loop: rebuild the evaluator, replicate the
     environment, answer round requests until told to stop."""
-    # Observability and fault injection belong to the parent; a forked
-    # worker must not double-report to inherited sinks or re-fire
-    # injected faults.
+    # Fault injection belongs to the parent; a forked worker must not
+    # re-fire inherited injected faults.  Observability is replaced,
+    # not inherited: when the parent was observing at pool start the
+    # worker aggregates its own events for the stratum-end flush,
+    # otherwise events are disabled entirely.
+    import gc
+
     from repro.util import hooks
 
-    hooks.SINKS = ()
+    _disable_worker_shm_tracking()
+
+    # The evaluator allocates heavily but acyclically (tuples, zones,
+    # batches are refcount-collected); cycle detection in every worker
+    # multiplies the collector's sweep cost by the pool size for no
+    # reclaim.  Freeze the inherited/bootstrapped heap out of the
+    # collector's view and switch cycle detection off for the worker's
+    # lifetime — worth ~8% of round wall on the parallel benchmark.
+    gc.freeze()
+    gc.disable()
+
     hooks.FAULT_HOOK = None
+    stat_sink = None
+    if bootstrap.get("observe"):
+        stat_sink = _WorkerStatSink()
+        hooks.SINKS = (stat_sink,)
+    else:
+        hooks.SINKS = ()
 
     from repro.core.evaluation import ProgramEvaluator
     from repro.core.parser import parse_program
@@ -654,12 +1278,13 @@ def _worker_main(connection, bootstrap):
             program, edb, evaluation=bootstrap["evaluation"]
         )
         env = evaluator.initial_environment()
-        connection.send(
-            {"ok": True, "plan_fingerprint": evaluator.plan_fingerprint()}
+        _worker_send(
+            connection,
+            {"ok": True, "plan_fingerprint": evaluator.plan_fingerprint()},
         )
     except Exception as error:  # pragma: no cover - startup failure path
         try:
-            connection.send({"ok": False, "error": repr(error)})
+            _worker_send(connection, {"ok": False, "error": repr(error)})
         finally:
             connection.close()
         return
@@ -667,10 +1292,19 @@ def _worker_main(connection, bootstrap):
     stratum_index = 0
     complements = {}
     delta = None  # {predicate: [GeneralizedTuple]}
+    retained = {}  # global task index -> derived tuples (last round)
+    retained_round = 0
+
+    def decode_relation(payload):
+        return GeneralizedRelation(
+            payload["temporal_arity"],
+            payload["data_arity"],
+            decode_tuple_batch(payload["batch"]),
+        )
 
     while True:
         try:
-            message = connection.recv()
+            message = load_payload(connection.recv_bytes())
         except (EOFError, OSError):
             break
         op = message.get("op")
@@ -682,29 +1316,76 @@ def _worker_main(connection, bootstrap):
         try:
             if op == "stratum":
                 stratum_index = message["stratum"]
-                for name, payload in message["env"].items():
-                    env[name] = decode_relation_batch(payload)
+                if "shm" in message:
+                    payload = _worker_read_segment(
+                        message["shm"], message["size"]
+                    )
+                else:
+                    payload = message["payload"]
+                for name, encoded in payload["env"].items():
+                    env[name] = decode_relation(encoded)
                 complements = {
-                    name: decode_relation_batch(payload)
-                    for name, payload in message["complements"].items()
+                    name: decode_relation(encoded)
+                    for name, encoded in payload["complements"].items()
                 }
                 delta = None
-                if message["delta"] is not None:
+                if payload["delta"] is not None:
                     delta = {
                         name: decode_tuple_batch(batch)
-                        for name, batch in message["delta"].items()
+                        for name, batch in payload["delta"].items()
                     }
-                connection.send({"ok": True})
+                retained = {}
+                retained_round = 0
+                _worker_send(connection, {"ok": True})
             elif op == "round":
-                # Apply every update this replica has missed, in
+                # Apply whatever updates this replica has missed, in
                 # parent order; the last one is the round's semi-naive
-                # delta (a replica that kept up gets exactly one).
-                for update in message["updates"]:
-                    delta = {}
-                    for name, batch in update:
-                        tuples = decode_tuple_batch(batch)
-                        env[name] = env[name].with_tuples(tuples)
-                        delta[name] = tuples
+                # delta (a replica that kept up gets exactly one, as
+                # accept references into the last round's results).
+                update = message["update"]
+                if update is not None:
+                    if "accept" in update:
+                        rounds = [
+                            _resolve_accept_refs(
+                                update["accept"], update["prev"], retained
+                            )
+                        ]
+                    else:
+                        rounds = [
+                            [
+                                (name, decode_tuple_batch(batch))
+                                for name, batch in encoded
+                            ]
+                            for encoded in update["inline"]
+                        ]
+                    for one_round in rounds:
+                        delta = {}
+                        for name, tuples in one_round:
+                            env[name] = env[name].with_tuples(tuples)
+                            delta[name] = tuples
+                round_no = message["round"]
+                if round_no != retained_round:
+                    retained = {}
+                    retained_round = round_no
+                evaluators = evaluator.stratum_evaluators[stratum_index]
+                task_list = evaluator.round_tasks(
+                    evaluators, delta if message["seminaive"] else None
+                )
+                if len(task_list) != message["tasks_total"]:
+                    raise ValueError(
+                        "task-list divergence: worker enumerated %d round "
+                        "tasks, parent %d"
+                        % (len(task_list), message["tasks_total"])
+                    )
+                kind, *spec = message["assign"]
+                if kind == "block":
+                    slot, count = spec
+                    total = len(task_list)
+                    indices = range(
+                        (total * slot) // count, (total * (slot + 1)) // count
+                    )
+                else:
+                    (indices,) = spec
                 delta_env = None
                 if delta is not None:
                     delta_env = {
@@ -713,9 +1394,9 @@ def _worker_main(connection, bootstrap):
                         )
                         for name, tuples in delta.items()
                     }
-                evaluators = evaluator.stratum_evaluators[stratum_index]
-                results = []
-                for index, position in message["tasks"]:
+                results = {}
+                for i in indices:
+                    index, position = task_list[i]
                     clause = evaluators[index]
                     if position is None:
                         relation = clause.evaluate(env, complements=complements)
@@ -726,15 +1407,37 @@ def _worker_main(connection, bootstrap):
                             delta_position=position,
                             complements=complements,
                         )
-                    results.append(encode_tuple_batch(relation.tuples))
-                connection.send({"ok": True, "results": results})
+                    retained[i] = relation.tuples
+                    if relation.tuples:
+                        results[i] = encode_tuple_batch(relation.tuples)
+                if message["reply"] is not None:
+                    reply = {"ok": True, "round": round_no, "shm": None, "size": 0}
+                    if results:
+                        data = dump_payload(results)
+                        _worker_write_segment(message["reply"], data)
+                        reply["shm"] = message["reply"]
+                        reply["size"] = len(data)
+                    _worker_send(connection, reply)
+                else:
+                    _worker_send(
+                        connection,
+                        {"ok": True, "round": round_no, "results": results},
+                    )
+            elif op == "flush_stats":
+                operators, kernel = (
+                    stat_sink.drain() if stat_sink is not None else ([], [])
+                )
+                _worker_send(
+                    connection,
+                    {"ok": True, "operators": operators, "kernel": kernel},
+                )
             else:
-                connection.send(
-                    {"ok": False, "error": "unknown op %r" % (op,)}
+                _worker_send(
+                    connection, {"ok": False, "error": "unknown op %r" % (op,)}
                 )
         except Exception as error:
             try:
-                connection.send({"ok": False, "error": repr(error)})
+                _worker_send(connection, {"ok": False, "error": repr(error)})
             except (OSError, ValueError):
                 break
     try:

@@ -161,6 +161,13 @@ class BudgetMeter:
         """Cheap per-clause-firing check (deadline only)."""
         self.check_deadline("clause firing")
 
+    def tick_stratum(self):
+        """Deadline-only check at a stratum boundary — the engine's
+        coarse governor hook between the per-stratum shard broadcasts.
+        Emits no ``budget.charge`` event, so parallel and sequential
+        runs keep byte-identical event streams."""
+        self.check_deadline("stratum boundary")
+
     def snapshot(self):
         """The meter's counters as a plain dict (for run reports)."""
         return {

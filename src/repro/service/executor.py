@@ -84,8 +84,13 @@ class JobExecutor:
 
     def effective_parallelism(self, spec):
         """The shard count this job actually runs with: its request,
-        clamped to the executor cap (both default to 1/sequential)."""
+        clamped to the executor cap (both default to 1/sequential).
+        An ``"auto"`` request passes through — the engine's governor
+        decides, bounded by the same cap (see
+        :meth:`_run_deductive`)."""
         requested = spec.parallelism or 1
+        if requested == "auto":
+            return "auto"
         if self.max_parallelism is not None:
             return max(1, min(requested, self.max_parallelism))
         return requested
@@ -135,6 +140,7 @@ class JobExecutor:
             on_give_up="partial",
             evaluation=backend,
             parallelism=self.effective_parallelism(spec),
+            auto_parallelism_cap=self.max_parallelism,
         )
         path = self.checkpoint_path(spec)
         resume_from = path if path is not None and os.path.exists(path) else None

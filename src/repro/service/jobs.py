@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 #: The front ends a job may target.  ``maintain`` jobs refresh a
 #: materialized model over a durable EDB store (:mod:`repro.edb`)
@@ -65,7 +65,10 @@ class JobSpec:
     patience: int = 10
     strategy: str = "semi-naive"
     window: Optional[Tuple[int, int]] = None
-    parallelism: Optional[int] = None
+    #: Shard processes for the fixpoint: a fixed count, or ``"auto"``
+    #: to let the engine's dispatch-overhead governor decide per run
+    #: (the executor's cap applies either way).
+    parallelism: Optional[Union[int, str]] = None
     #: ``query`` jobs with an inline ``program``: evaluate only the
     #: query's demand cone via the magic-set rewrite
     #: (:mod:`repro.plan.magic`), the binding pattern taken from the
@@ -84,8 +87,11 @@ class JobSpec:
             raise ValueError("job_id must be non-empty")
         if self.kind == "maintain" and not self.store:
             raise ValueError("maintain jobs require a store directory")
-        if self.parallelism is not None and self.parallelism < 1:
-            raise ValueError("parallelism must be a positive process count")
+        if self.parallelism is not None and self.parallelism != "auto":
+            if not isinstance(self.parallelism, int) or self.parallelism < 1:
+                raise ValueError(
+                    "parallelism must be a positive process count or 'auto'"
+                )
 
     def program_key(self):
         """A stable digest identifying this job's *program* — the unit

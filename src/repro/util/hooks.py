@@ -43,6 +43,11 @@ Event kinds are dotted names; the canonical vocabulary is
 ``shard.worker``      shard-pool supervision: a worker lost (crash /
                       hang / dispatch failure, with exit code), a
                       replacement respawned, a task slice retried
+``shard.dispatch``    shard-pool transport ledger: one per stratum
+                      broadcast and one per round, with the transport
+                      (shm / pipe), worker count, and the pipe /
+                      shared-memory byte and segment totals moved in
+                      that phase
 ``shard.degraded``    a parallel run lost its whole shard pool beyond
                       healing and downshifted to sequential: reason,
                       restarts used, tasks still pending

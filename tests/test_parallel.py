@@ -11,6 +11,7 @@ parallelism cap.
 """
 
 import json
+import multiprocessing
 import os
 
 import pytest
@@ -18,8 +19,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import DeductiveEngine, parse_program
+from repro.core import engine as engine_module
 from repro.core.safety import CoverageChecker
 from repro.gdb import parse_database
+from repro.obs.trace import ProfileCollector
+from repro.plan import shard
 from repro.service.executor import JobExecutor
 from repro.service.jobs import JobSpec
 from repro.util import hooks
@@ -124,6 +128,246 @@ def test_parallelism_validation():
         DeductiveEngine(program, edb(), parallelism=0)
     engine = DeductiveEngine(program, edb(), parallelism=None)
     assert engine.parallelism == 1
+
+
+# -- persistent workers: start methods, transports, auto governor -----------
+
+
+def _shm_leftovers():
+    """Leaked ``repro_shard_*`` shared-memory segments (Linux-visible
+    under /dev/shm; elsewhere the parent-side registry assertion in the
+    pool tests stands in)."""
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return sorted(
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith(shard.SHM_PREFIX)
+    )
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_start_methods_reproduce_sequential(monkeypatch, start_method):
+    """Satellite: the bootstrap handshake works under both start
+    methods, and spawn (no inherited memory at all) still reproduces
+    the sequential run exactly and leaks no segments."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip("start method %r unavailable here" % start_method)
+    monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", start_method)
+    program, database = EXAMPLE_41_PROGRAM, EXAMPLE_41_EDB
+    sequential = DeductiveEngine(
+        parse_program(program), parse_database(database), strategy="naive"
+    ).run()
+    engine = DeductiveEngine(
+        parse_program(program),
+        parse_database(database),
+        strategy="naive",
+        parallelism=2,
+    )
+    model = engine.run()
+    assert str(model) == str(sequential)
+    assert model.stats.new_tuples_per_round == sequential.stats.new_tuples_per_round
+    assert model.stats.shard_degraded is None
+    assert _shm_leftovers() == []
+
+
+def test_pipe_transport_matches_shm_and_costs_more_pipe_bytes(monkeypatch):
+    """The inline pipe protocol stays available as REPRO_SHARD_TRANSPORT=pipe
+    (the wire-cost baseline) and produces the identical model; the shm
+    transport moves the bulk bytes off the pipes."""
+
+    def run(transport):
+        monkeypatch.setenv("REPRO_SHARD_TRANSPORT", transport)
+        engine = DeductiveEngine(
+            parse_program(EXAMPLE_41_PROGRAM),
+            parse_database(EXAMPLE_41_EDB),
+            strategy="semi-naive",
+            parallelism=2,
+        )
+        model = engine.run()
+        return model, engine.evaluator.shard_wire_stats
+
+    pipe_model, pipe_wire = run("pipe")
+    shm_model, shm_wire = run("shm")
+    assert str(pipe_model) == str(shm_model)
+    assert pipe_wire["transport"] == "pipe"
+    assert shm_wire["transport"] == "shm"
+    assert pipe_wire["shm_bytes"] == 0 and pipe_wire["segments"] == 0
+    assert shm_wire["shm_bytes"] > 0 and shm_wire["segments"] > 0
+    assert pipe_wire["rounds"] == shm_wire["rounds"]
+    assert pipe_wire["dispatches"] == shm_wire["dispatches"]
+    # Control frames are all that remain on the pipes under shm.
+    assert shm_wire["pipe_bytes"] < pipe_wire["pipe_bytes"]
+    assert _shm_leftovers() == []
+
+
+def test_shard_dispatch_events_carry_wire_accounting():
+    events = []
+    sink = hooks.subscribe(
+        lambda kind, fields: events.append(dict(fields))
+        if kind == "shard.dispatch"
+        else None
+    )
+    try:
+        DeductiveEngine(
+            parse_program(EXAMPLE_41_PROGRAM),
+            parse_database(EXAMPLE_41_EDB),
+            strategy="semi-naive",
+            parallelism=2,
+        ).run()
+    finally:
+        hooks.unsubscribe(sink)
+    strata = [e for e in events if e["phase"] == "stratum"]
+    rounds = [e for e in events if e["phase"] == "round"]
+    assert strata and rounds
+    for event in events:
+        assert event["transport"] == "shm"
+        assert event["workers"] == 2
+        assert isinstance(event["pipe_bytes"], int)
+        assert isinstance(event["shm_bytes"], int)
+    assert all("stratum" in e and "segments" in e for e in strata)
+    assert all(
+        "round" in e and "tasks" in e and "segments" in e for e in rounds
+    )
+    # The stratum broadcast is the big shm write; rounds ship compact
+    # descriptors plus result/accept segments.
+    assert sum(e["shm_bytes"] for e in events) > 0
+
+
+def test_parallel_profile_counts_worker_operators():
+    """Satellite: worker-side plan.operator totals reach the parent's
+    ProfileCollector, so a parallel profile reports the same invocation
+    and cardinality totals as the sequential one."""
+
+    def profile(parallelism):
+        collector = ProfileCollector()
+        hooks.subscribe(collector)
+        try:
+            DeductiveEngine(
+                parse_program(EXAMPLE_41_PROGRAM),
+                parse_database(EXAMPLE_41_EDB),
+                strategy="semi-naive",
+                parallelism=parallelism,
+            ).run()
+        finally:
+            hooks.SINKS = ()
+        return {
+            key: (
+                entry["invocations"],
+                entry["input_tuples"],
+                entry["output_tuples"],
+            )
+            for key, entry in collector.operators.items()
+        }
+
+    assert profile(2) == profile(1)
+
+
+def test_worker_stats_flush_marks_aggregated_events():
+    operators = []
+    sink = hooks.subscribe(
+        lambda kind, fields: operators.append(dict(fields))
+        if kind == "plan.operator"
+        else None
+    )
+    try:
+        DeductiveEngine(
+            parse_program(EXAMPLE_41_PROGRAM),
+            parse_database(EXAMPLE_41_EDB),
+            strategy="semi-naive",
+            parallelism=2,
+        ).run()
+    finally:
+        hooks.unsubscribe(sink)
+    aggregated = [e for e in operators if e.get("aggregated")]
+    assert aggregated, "worker stats never flushed"
+    assert all(e["count"] >= 1 for e in aggregated)
+    assert all(e["worker"].startswith("repro-shard-") for e in aggregated)
+
+
+# -- the --parallel auto governor -------------------------------------------
+
+
+def test_parallel_auto_validation_and_mode():
+    program = parse_program("p(t; X) <- a(t; X).")
+    engine = DeductiveEngine(program, edb(), parallelism="auto")
+    assert engine.evaluator.parallelism_mode == "auto"
+    assert engine.evaluator.parallelism == 1
+    with pytest.raises(ValueError):
+        DeductiveEngine(program, edb(), parallelism="sometimes")
+
+
+def test_parallel_auto_single_cpu_stays_sequential(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    sequential = DeductiveEngine(
+        parse_program(EXAMPLE_41_PROGRAM),
+        parse_database(EXAMPLE_41_EDB),
+        strategy="semi-naive",
+    ).run()
+    model = DeductiveEngine(
+        parse_program(EXAMPLE_41_PROGRAM),
+        parse_database(EXAMPLE_41_EDB),
+        strategy="semi-naive",
+        parallelism="auto",
+    ).run()
+    assert str(model) == str(sequential)
+    decision = model.stats.to_dict()["parallel_auto"]
+    assert decision == {"decision": "sequential", "reason": "single-cpu"}
+
+
+def test_parallel_auto_upshift_reproduces_sequential(monkeypatch):
+    """Force the governor's hand (zero modeled dispatch overhead, two
+    CPUs): the run must upshift mid-stratum and still match sequential
+    bit for bit."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    monkeypatch.setattr(engine_module, "AUTO_DISPATCH_OVERHEAD_S", 0.0)
+    sequential = DeductiveEngine(
+        parse_program(EXAMPLE_41_PROGRAM),
+        parse_database(EXAMPLE_41_EDB),
+        strategy="semi-naive",
+    ).run()
+    engine = DeductiveEngine(
+        parse_program(EXAMPLE_41_PROGRAM),
+        parse_database(EXAMPLE_41_EDB),
+        strategy="semi-naive",
+        parallelism="auto",
+    )
+    model = engine.run()
+    assert str(model) == str(sequential)
+    assert model.stats.new_tuples_per_round == sequential.stats.new_tuples_per_round
+    decision = model.stats.to_dict()["parallel_auto"]
+    assert decision["decision"] == "parallel"
+    assert decision["workers"] == 2
+    assert engine.evaluator.parallelism == 2
+    assert _shm_leftovers() == []
+
+
+def test_parallel_auto_below_threshold_records_decision():
+    """With the real overhead model on a fast tiny program, auto may
+    legitimately never upshift — but it must always *say* what it
+    decided."""
+    model = DeductiveEngine(
+        parse_program(EXAMPLE_41_PROGRAM),
+        parse_database(EXAMPLE_41_EDB),
+        strategy="semi-naive",
+        parallelism="auto",
+    ).run()
+    decision = model.stats.to_dict()["parallel_auto"]
+    assert decision["decision"] in ("sequential", "parallel")
+    if decision["decision"] == "sequential":
+        assert decision["reason"] in ("single-cpu", "below-threshold")
+    assert _shm_leftovers() == []
+
+
+def test_cli_parallel_argument_accepts_auto():
+    from repro.cli import _parallel_arg
+
+    assert _parallel_arg("auto") == "auto"
+    assert _parallel_arg("3") == 3
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parallel_arg("many")
 
 
 # -- coverage cache ---------------------------------------------------------
@@ -254,8 +498,14 @@ def test_job_spec_parallelism_roundtrip_and_validation():
         {"id": "j", "kind": "run", "program": "x", "parallelism": 3}
     )
     assert spec.parallelism == 3
+    auto = JobSpec.from_json_dict(
+        {"id": "a", "kind": "run", "program": "x", "parallelism": "auto"}
+    )
+    assert auto.parallelism == "auto"
     with pytest.raises(ValueError):
         JobSpec(job_id="j", kind="run", parallelism=0)
+    with pytest.raises(ValueError):
+        JobSpec(job_id="j", kind="run", parallelism="never")
 
 
 def test_executor_caps_job_parallelism():
@@ -268,3 +518,8 @@ def test_executor_caps_job_parallelism():
     assert executor.effective_parallelism(default) == 1
     uncapped = JobExecutor()
     assert uncapped.effective_parallelism(capped) == 8
+    # "auto" passes through — the engine's governor decides, bounded
+    # by the same cap (the executor hands it auto_parallelism_cap).
+    auto = JobSpec(job_id="m", kind="run", parallelism="auto")
+    assert executor.effective_parallelism(auto) == "auto"
+    assert uncapped.effective_parallelism(auto) == "auto"

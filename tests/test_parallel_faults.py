@@ -37,6 +37,7 @@ from tests.test_parallel import (
     EXAMPLE_41_EDB,
     EXAMPLE_41_PROGRAM,
     _checkpoint_payload,
+    _shm_leftovers,
 )
 
 PROGRAM = parse_program(EXAMPLE_41_PROGRAM)
@@ -59,6 +60,9 @@ def _assert_no_leak():
     while _shard_children() and time.monotonic() < deadline:
         time.sleep(0.05)
     assert _shard_children() == []
+    # Satellite: every exit path must also unlink every shared-memory
+    # segment the stratum broadcast and round replies created.
+    assert _shm_leftovers() == []
 
 
 def _engine(**kwargs):
@@ -163,6 +167,19 @@ class TestHealedFaults:
         _assert_identical(model, sequential)
         assert model.stats.shard_degraded is None
         assert _checkpoint_payload(path) == _checkpoint_payload(sequential[1])
+        _assert_no_leak()
+
+    def test_sigkill_heals_under_spawn(self, sequential, monkeypatch):
+        """A spawn-mode pool (private memory, private resource
+        trackers) must heal a mid-round kill exactly like fork — and
+        the dying worker's tracker must not unlink segments the
+        survivors still need."""
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn unavailable here")
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "spawn")
+        model = _run(plan=FaultPlan.inject("shard_worker_crash", at=3))
+        _assert_identical(model, sequential)
+        assert model.stats.shard_degraded is None
         _assert_no_leak()
 
     @settings(max_examples=6, deadline=None)
@@ -358,6 +375,45 @@ def test_shard_recv_deadline_validation():
         ShardPool(str(PROGRAM), str(EDB), "compiled", 2, recv_deadline=0)
     with pytest.raises(ValueError):
         ShardPool(str(PROGRAM), str(EDB), "compiled", 2, max_restarts=-1)
+
+
+def test_shard_poll_backoff_validation():
+    """Satellite: the liveness-poll backoff window must be a sane
+    interval — positive floor, ceiling at or above it."""
+    with pytest.raises(ValueError):
+        ShardPool(str(PROGRAM), str(EDB), "compiled", 2, poll_floor=0)
+    with pytest.raises(ValueError):
+        ShardPool(str(PROGRAM), str(EDB), "compiled", 2, poll_floor=-0.01)
+    with pytest.raises(ValueError):
+        ShardPool(
+            str(PROGRAM), str(EDB), "compiled", 2,
+            poll_floor=0.05, poll_ceiling=0.01,
+        )
+    pool = ShardPool(
+        str(PROGRAM), str(EDB), "compiled", 2,
+        poll_floor=0.002, poll_ceiling=0.002,
+    )
+    assert (pool.poll_floor, pool.poll_ceiling) == (0.002, 0.002)
+
+
+def test_shard_poll_backoff_engine_wiring(sequential):
+    """The engine's shard_poll_floor/ceiling knobs reach the pool, and
+    an aggressive backoff window still reproduces sequential (it can
+    only delay noticing replies, never change them) — including across
+    a healed hang, where the deadline must still fire."""
+    engine = _engine(shard_poll_floor=0.0005, shard_poll_ceiling=0.02)
+    pool = engine.evaluator.shard_pool()  # built lazily, not yet started
+    assert (pool.poll_floor, pool.poll_ceiling) == (0.0005, 0.02)
+    model = engine.run()
+    _assert_identical(model, sequential)
+    model = _run(
+        plan=FaultPlan.inject("shard_worker_hang", at=2),
+        shard_recv_deadline=0.75,
+        shard_poll_floor=0.0005,
+        shard_poll_ceiling=0.05,
+    )
+    _assert_identical(model, sequential)
+    _assert_no_leak()
 
 
 def test_trace_schema_knows_shard_kinds(tmp_path):

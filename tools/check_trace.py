@@ -31,6 +31,7 @@ REQUIRED_FIELDS = {
     "coverage.cache": ("round", "stratum", "enabled", "hits", "misses"),
     "service.job": ("phase", "job_id"),
     "shard.worker": ("phase", "worker", "round"),
+    "shard.dispatch": ("phase", "transport", "workers", "pipe_bytes", "shm_bytes"),
     "shard.degraded": ("reason", "restarts_used", "pending_tasks"),
     "edb.txn": ("root", "tx", "asserted", "retracted", "wal_bytes"),
     "edb.recover": ("root", "checkpoint_tx", "replayed_txns", "truncated_bytes", "head_tx"),
@@ -54,6 +55,8 @@ PHASE_FIELDS = {
     ("shard.worker", "lost"): ("reason", "exitcode"),
     ("shard.worker", "respawn"): ("restarts_used",),
     ("shard.worker", "retry"): ("tasks",),
+    ("shard.dispatch", "round"): ("round", "tasks", "segments"),
+    ("shard.dispatch", "stratum"): ("stratum", "segments"),
 }
 
 OPERATORS = {"join", "anti-join", "carrier", "projection"}
